@@ -1,0 +1,32 @@
+"""Build the definitive benchmark artifacts (the 'full' profile).
+
+Usage::
+
+    REPRO_BENCH_PROFILE=full python benchmarks/build_artifacts.py
+
+Writes ``benchmarks/_artifacts/results.json``, which the benchmark tests
+then read instead of re-training everything.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from common import PROFILES, build_results  # noqa: E402
+
+
+def main() -> None:
+    profile = PROFILES[os.environ.get("REPRO_BENCH_PROFILE", "full")]
+    started = time.time()
+    print(f"building benchmark artifacts with profile={profile.name}")
+    results = build_results(profile)
+    print(f"done in {time.time() - started:.0f}s")
+    print(f"tables: {sorted(k for k in results if k.startswith('table') or k == 'throughput')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import load_results  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def results() -> dict:
+    """The experiment results cache (built on demand with the fast profile)."""
+    return load_results()

@@ -1,0 +1,56 @@
+"""Recompute the Codex-simulator row of Table 3 and splice it into the cache.
+
+Run after changing the simulator's recall parameters; rebuilds only the
+codex evaluation (no neural training involved) on the same dataset split as
+the main suite run.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import FULL, RESULTS_FILE, SEED, _row  # noqa: E402
+
+from repro.baselines import CodexSimulator
+from repro.dataset import build_finetune_dataset, build_galaxy_corpus, split_corpus
+from repro.eval import ANSIBLE_PRIMING, evaluate
+from repro.model import build_default_corpora, build_tokenizer
+from repro.utils.rng import SeededRng
+
+
+def main() -> None:
+    started = time.time()
+    rng = SeededRng(SEED)
+    corpora = build_default_corpora(rng.child("pretrain"), scale=FULL.corpora_scale)
+    tokenizer = build_tokenizer(corpora)
+    galaxy = build_galaxy_corpus(rng.child("galaxy"), scale=FULL.galaxy_scale)
+    splits = split_corpus(galaxy, rng.child("split"))
+    dataset = build_finetune_dataset(splits.train, splits.validation, splits.test)
+
+    codex = CodexSimulator(tokenizer)
+    codex.fit(corpora.ansible, galaxy, rng=rng.child("codex"))
+    report = evaluate(
+        codex, dataset.test, max_samples=FULL.eval_samples,
+        max_new_tokens=96, context_priming=ANSIBLE_PRIMING,
+    )
+    row = _row(report, "175B", 2048)
+    print(f"[patch] codex: {report.as_row()} ({time.time() - started:.0f}s)", flush=True)
+
+    results = json.loads(RESULTS_FILE.read_text())
+    for index, existing in enumerate(results["table3"]):
+        if existing["model"] == row["model"]:
+            results["table3"][index] = row
+            break
+    else:
+        results["table3"].append(row)
+    RESULTS_FILE.write_text(json.dumps(results, indent=2))
+    print("[patch] codex row updated", flush=True)
+
+
+if __name__ == "__main__":
+    main()

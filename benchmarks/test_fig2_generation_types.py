@@ -1,0 +1,79 @@
+"""Figure 2 — the four generation types, reproduced from the paper's own
+VyOS and apache examples."""
+
+from __future__ import annotations
+
+from repro import yamlio
+from repro.dataset import NL_TO_PB, NL_TO_T, PB_NL_TO_T, T_NL_TO_T
+from repro.dataset.corpus import Document
+from repro.dataset.finetune import extract_from_playbook, extract_from_task_list
+
+NETWORK_PLAYBOOK = """---
+- name: Network Setup Playbook
+  connection: ansible.netcommon.network_cli
+  gather_facts: false
+  hosts: all
+  tasks:
+    - name: Get config for VyOS devices
+      vyos.vyos.vyos_facts:
+        gather_subset: all
+    - name: Update the hostname
+      vyos.vyos.vyos_config:
+        backup: true
+        lines:
+          - set system host-name vyos-changed
+    - name: Get changed config for VyOS devices
+      vyos.vyos.vyos_facts:
+        gather_subset: all
+"""
+
+APACHE_TASKS = """---
+- name: Ensure apache is at the latest version
+  ansible.builtin.yum:
+    name: httpd
+    state: latest
+- name: Write the apache config file
+  ansible.builtin.template:
+    src: /srv/httpd.j2
+    dest: /etc/httpd.conf
+"""
+
+
+def test_fig2_all_four_types(benchmark):
+    benchmark(lambda: yamlio.loads(NETWORK_PLAYBOOK))
+    plays = yamlio.loads(NETWORK_PLAYBOOK)
+    tasks = yamlio.loads(APACHE_TASKS)
+    pb_samples = extract_from_playbook(Document("fig2", "paper", "ansible", NETWORK_PLAYBOOK), plays)
+    small_play = [dict(plays[0], tasks=plays[0]["tasks"][:2])]
+    nlpb_samples = extract_from_playbook(Document("fig2b", "paper", "ansible", NETWORK_PLAYBOOK), small_play)
+    task_samples = extract_from_task_list(Document("fig2cd", "paper", "ansible", APACHE_TASKS), tasks)
+
+    types = (
+        [s.generation_type for s in pb_samples]
+        + [s.generation_type for s in nlpb_samples]
+        + [s.generation_type for s in task_samples]
+    )
+    assert set(types) == {PB_NL_TO_T, NL_TO_PB, NL_TO_T, T_NL_TO_T}
+    print("\nFigure 2 generation types extracted:")
+    for sample in pb_samples + nlpb_samples + task_samples:
+        print(f"  {sample.generation_type:10s} prompt={sample.nl_prompt[:50]!r}")
+
+
+def test_fig2a_context_matches_paper_layout(benchmark):
+    benchmark(lambda: yamlio.loads(NETWORK_PLAYBOOK))
+    """Fig 2a: generating the third task, given the playbook with two tasks
+    as context — model output is the vyos_facts body."""
+    plays = yamlio.loads(NETWORK_PLAYBOOK)
+    samples = extract_from_playbook(Document("fig2", "paper", "ansible", NETWORK_PLAYBOOK), plays)
+    last = samples[-1]
+    assert last.nl_prompt == "Get changed config for VyOS devices"
+    assert last.input_text.endswith("    - name: Get changed config for VyOS devices\n")
+    assert "vyos.vyos.vyos_facts" in last.target_text
+    assert "gather_subset" in last.target_text
+
+
+def test_benchmark_fig2_extraction(benchmark):
+    plays = yamlio.loads(NETWORK_PLAYBOOK)
+    document = Document("fig2", "paper", "ansible", NETWORK_PLAYBOOK)
+    samples = benchmark(lambda: extract_from_playbook(document, plays))
+    assert len(samples) == 2

@@ -1,0 +1,55 @@
+"""Table 2 — model names and their associated pre-training datasets.
+
+The seven-model matrix (CodeGen-NL/Multi/Mono + four Wisdom variants) over
+the five datasets (Pile, BigQuery, BigPython, Ansible YAML, Generic YAML).
+"""
+
+from __future__ import annotations
+
+from repro.model import DATASET_COLUMNS, MODEL_CARDS, table2_rows, transformer_config
+from repro.nn.parameter import numpy_rng
+from repro.nn.transformer import DecoderLM
+from repro.utils.tables import format_table
+
+
+def test_table2_matrix(benchmark):
+    rows = benchmark(table2_rows)
+    print()
+    print(
+        format_table(
+            ["Model", "The Pile", "BigQuery", "BigPython", "Ansible YAML", "Generic YAML"],
+            rows,
+            title="Table 2: Model names and their pre-training datasets",
+        )
+    )
+    matrix = {row[0]: row[1:] for row in rows}
+    assert matrix["CodeGen-NL"] == ["x", "", "", "", ""]
+    assert matrix["CodeGen-Multi"] == ["x", "x", "", "", ""]
+    assert matrix["CodeGen-Mono"] == ["x", "x", "x", "", ""]
+    assert matrix["Wisdom-Ansible"] == ["", "", "", "x", ""]
+    assert matrix["Wisdom-Yaml"] == ["", "", "", "x", "x"]
+    assert matrix["Wisdom-Ansible-Multi"] == ["x", "x", "", "x", ""]
+    assert matrix["Wisdom-Yaml-Multi"] == ["x", "x", "", "x", "x"]
+
+
+def test_wisdom_models_extend_codegen_multi(benchmark):
+    benchmark(lambda: {card.name: card for card in MODEL_CARDS})
+    """The two *-Multi Wisdom models warm-start from CodeGen-Multi and add
+    only YAML data on top."""
+    cards = {card.name: card for card in MODEL_CARDS}
+    for name in ("Wisdom-Ansible-Multi", "Wisdom-Yaml-Multi"):
+        card = cards[name]
+        base = cards[card.initialized_from]
+        assert set(base.datasets) < set(card.datasets)
+        assert "ansible_yaml" in set(card.datasets) - set(base.datasets)
+
+
+def test_dataset_columns_complete(benchmark):
+    benchmark(lambda: len(DATASET_COLUMNS))
+    assert len(DATASET_COLUMNS) == 5
+
+
+def test_benchmark_model_construction(benchmark):
+    config = transformer_config(512, "350M", 1024)
+    network = benchmark(lambda: DecoderLM(config, numpy_rng(0)))
+    assert network.n_parameters() > 0

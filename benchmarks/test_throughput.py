@@ -1,0 +1,52 @@
+"""X1 — the §Pre-training latency claim.
+
+"We benchmarked the generation throughput on single GPU for both models and
+found that the 350M model was ~1.9x faster than the 2.7B."  On our CPU
+substrate the *direction* must hold: the small config generates materially
+faster than the large config, which motivates shipping the small one.
+"""
+
+from __future__ import annotations
+
+from repro.model import SIZE_2_7B, SIZE_350M, measure_throughput, transformer_config
+from repro.nn.parameter import numpy_rng
+from repro.nn.transformer import DecoderLM
+from repro.utils.tables import format_table
+
+
+def test_small_model_faster(results, benchmark):
+    benchmark(lambda: results["throughput"])
+    data = results["throughput"]
+    print()
+    print(
+        format_table(
+            ["Model", "tokens/s"],
+            [
+                ["350M-equivalent", data["small_tokens_per_second"]],
+                ["2.7B-equivalent", data["large_tokens_per_second"]],
+                ["speedup (paper: ~1.9x)", data["speedup"]],
+            ],
+            title="Throughput: generation speed, small vs large config",
+        )
+    )
+    assert data["speedup"] > 1.3
+
+
+def test_benchmark_small_generation(benchmark):
+    network = DecoderLM(transformer_config(512, SIZE_350M, 1024), numpy_rng(0))
+
+    def generate():
+        return measure_throughput(network, prompt_length=8, new_tokens=8, runs=1, warmup_runs=0)
+
+    result = benchmark(generate)
+    assert result.total_tokens >= 1
+
+
+def test_benchmark_large_generation(benchmark):
+    network = DecoderLM(transformer_config(512, SIZE_2_7B, 1024), numpy_rng(0))
+
+    def generate():
+        return measure_throughput(network, prompt_length=8, new_tokens=8, runs=1, warmup_runs=0)
+
+    result = benchmark(generate)
+    assert result.total_tokens >= 1

@@ -1,0 +1,67 @@
+"""A tour of the paper's evaluation metrics, including the two novel ones.
+
+Shows, on hand-written examples, exactly what Exact Match, BLEU, Ansible
+Aware and Schema Correct reward and punish — including the paper's corner
+cases: FQCN normalization, legacy k=v arguments, near-equivalent modules,
+ignored insertions, and the "perfect EM but Schema Correct 0" caveat.
+
+Run::
+
+    python examples/metrics_tour.py
+"""
+
+from __future__ import annotations
+
+from repro.metrics import ansible_aware, exact_match, is_schema_correct, sentence_bleu
+from repro.utils.tables import format_table
+
+REFERENCE = """- name: Install nginx
+  ansible.builtin.apt:
+    name: nginx
+    state: present
+  become: true
+"""
+
+CANDIDATES = {
+    "identical": REFERENCE,
+    "renamed (name ignored)": REFERENCE.replace("Install nginx", "do the thing"),
+    "short module name": REFERENCE.replace("ansible.builtin.apt", "apt"),
+    "legacy k=v args": "- name: Install nginx\n  apt: name=nginx state=present\n  become: true\n",
+    "equivalent module (yum)": REFERENCE.replace("ansible.builtin.apt", "ansible.builtin.yum"),
+    "extra inserted key": REFERENCE + "  register: result\n",
+    "missing become": REFERENCE.replace("  become: true\n", ""),
+    "wrong package": REFERENCE.replace("nginx", "apache2"),
+    "unrelated module": "- name: x\n  ansible.builtin.debug:\n    msg: hi\n  become: true\n",
+    "broken YAML": "- name: x\n  apt: {unclosed\n",
+}
+
+
+def main() -> None:
+    rows = []
+    for label, candidate in CANDIDATES.items():
+        rows.append(
+            [
+                label,
+                "yes" if exact_match(REFERENCE, candidate) else "no",
+                round(sentence_bleu(REFERENCE, candidate), 1),
+                round(ansible_aware(REFERENCE, candidate), 1),
+                "yes" if is_schema_correct(candidate) else "no",
+            ]
+        )
+    print(
+        format_table(
+            ["Candidate", "EM", "BLEU", "Ansible Aware", "Schema Correct"],
+            rows,
+            title="Metric behaviour on hand-written candidates",
+        )
+    )
+
+    print("\nThe paper's caveat — a perfect exact match can be schema-incorrect:")
+    historical = "- name: t\n  apt: name=nginx state=present\n"
+    print(f"  EM(historical, historical) = {exact_match(historical, historical)}")
+    print(f"  Schema Correct(historical) = {is_schema_correct(historical)}  (strict linter view)")
+    print(f"  Schema Correct(historical, lenient) = {is_schema_correct(historical, level='lenient')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+"""Parsing and rendering of the legacy ``k1=v1 k2=v2`` module-argument syntax.
+
+Old Ansible content writes module arguments inline::
+
+    - name: Install nginx
+      apt: name=nginx state=present update_cache=yes
+
+The Ansible Aware metric normalizes this historical form into a dict before
+comparing ("another normalization that is applied is to convert the old
+k1=v1, k2=v2 syntax for module parameters into a dict").  Free-form modules
+(``command``, ``shell``, …) additionally accept leading raw text that is not
+a ``k=v`` pair; that text becomes the ``_raw_params`` pseudo-argument, the
+same convention ansible-core uses internally.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FreeFormParseError
+from repro.yamlio.scalars import resolve_scalar
+
+RAW_PARAMS_KEY = "_raw_params"
+
+
+def _split_tokens(text: str) -> list[str]:
+    """Split on whitespace, honouring single/double quotes (shlex-lite)."""
+    tokens: list[str] = []
+    current: list[str] = []
+    quote: str | None = None
+    for ch in text:
+        if quote:
+            current.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+            current.append(ch)
+        elif ch in " \t":
+            if current:
+                tokens.append("".join(current))
+                current = []
+        else:
+            current.append(ch)
+    if quote:
+        raise FreeFormParseError(f"unterminated quote in k=v arguments: {text!r}")
+    if current:
+        tokens.append("".join(current))
+    return tokens
+
+
+def _is_kv_token(token: str) -> bool:
+    if "=" not in token:
+        return False
+    key = token.split("=", 1)[0]
+    return key.replace("_", "").isalnum() and key != "" and not key[0].isdigit()
+
+
+def _strip_quotes(value: str) -> str:
+    if len(value) >= 2 and value[0] == value[-1] and value[0] in "'\"":
+        return value[1:-1]
+    return value
+
+
+def parse_kv(text: str, free_form: bool = False) -> dict[str, object]:
+    """Parse a ``k1=v1 k2=v2`` string into an argument dict.
+
+    With ``free_form=True``, tokens before the first ``k=v`` pair are
+    collected into :data:`RAW_PARAMS_KEY`.  Without it, a non-``k=v`` token
+    raises :class:`FreeFormParseError`.
+
+    >>> parse_kv("name=nginx state=present update_cache=yes")
+    {'name': 'nginx', 'state': 'present', 'update_cache': True}
+    >>> parse_kv("echo hello chdir=/tmp", free_form=True)
+    {'_raw_params': 'echo hello', 'chdir': '/tmp'}
+    """
+    tokens = _split_tokens(text)
+    arguments: dict[str, object] = {}
+    raw_parts: list[str] = []
+    seen_kv = False
+    for token in tokens:
+        if _is_kv_token(token):
+            seen_kv = True
+            key, value = token.split("=", 1)
+            arguments[key] = resolve_scalar(_strip_quotes(value))
+        elif not seen_kv and free_form:
+            raw_parts.append(token)
+        elif free_form:
+            # Free-form text after k=v pairs: ansible treats the k=v pairs as
+            # directives only at the end; keep it simple and append to raw.
+            raw_parts.append(token)
+        else:
+            raise FreeFormParseError(
+                f"token {token!r} is not k=v and module is not free-form"
+            )
+    if raw_parts:
+        return {RAW_PARAMS_KEY: " ".join(raw_parts), **arguments}
+    return arguments
+
+
+def render_kv(arguments: dict[str, object]) -> str:
+    """Render an argument dict back to the legacy inline string.
+
+    Values containing spaces are double-quoted; the :data:`RAW_PARAMS_KEY`
+    entry leads the string unquoted.
+
+    >>> render_kv({'name': 'nginx', 'state': 'present'})
+    'name=nginx state=present'
+    """
+    parts: list[str] = []
+    raw = arguments.get(RAW_PARAMS_KEY)
+    if raw is not None:
+        parts.append(str(raw))
+    for key, value in arguments.items():
+        if key == RAW_PARAMS_KEY:
+            continue
+        if isinstance(value, bool):
+            rendered = "yes" if value else "no"
+        else:
+            rendered = str(value)
+        if " " in rendered or "\t" in rendered:
+            rendered = '"' + rendered + '"'
+        parts.append(f"{key}={rendered}")
+    return " ".join(parts)
+
+
+def looks_like_kv(text: str) -> bool:
+    """Heuristic: does a string argument look like legacy ``k=v`` syntax?"""
+    try:
+        tokens = _split_tokens(text)
+    except FreeFormParseError:
+        return False
+    return any(_is_kv_token(token) for token in tokens)

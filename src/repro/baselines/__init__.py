@@ -1,0 +1,13 @@
+"""Baselines: retrieval, n-gram LM, and the Codex-Davinci-002 simulator."""
+
+from repro.baselines.codex_sim import CodexSimulator, RECALL_THRESHOLD
+from repro.baselines.ngram import NgramLM
+from repro.baselines.retrieval import RetrievalBaseline, jaccard
+
+__all__ = [
+    "CodexSimulator",
+    "RECALL_THRESHOLD",
+    "NgramLM",
+    "RetrievalBaseline",
+    "jaccard",
+]

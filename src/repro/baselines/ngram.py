@@ -1,0 +1,63 @@
+"""Token-level n-gram language model baseline with backoff.
+
+A classical comparator for the transformer: learns local continuation
+statistics over BPE tokens and generates greedily with stupid-backoff from
+order ``n`` down to unigrams.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.tokenizer.bpe import BpeTokenizer
+
+
+class NgramLM:
+    """Greedy n-gram generator over tokenizer ids."""
+
+    def __init__(self, tokenizer: BpeTokenizer, order: int = 4, name: str = "ngram"):
+        if order < 2:
+            raise ValueError(f"order must be >= 2, got {order}")
+        self.name = name
+        self.tokenizer = tokenizer
+        self.order = order
+        self._tables: list[defaultdict[tuple[int, ...], Counter]] = [
+            defaultdict(Counter) for _ in range(order)
+        ]
+        self._unigrams: Counter = Counter()
+
+    def fit(self, texts: list[str]) -> "NgramLM":
+        """Count n-grams over the training texts."""
+        eot = self.tokenizer.end_of_text_id
+        for text in texts:
+            ids = self.tokenizer.encode(text, allow_special=False) + [eot]
+            self._unigrams.update(ids)
+            for position, token in enumerate(ids):
+                for n in range(1, self.order):
+                    if position >= n:
+                        context = tuple(ids[position - n:position])
+                        self._tables[n][context][token] += 1
+        return self
+
+    def next_token(self, context_ids: list[int]) -> int | None:
+        """Most likely next token under stupid backoff; None when untrained."""
+        for n in range(self.order - 1, 0, -1):
+            if len(context_ids) >= n:
+                counts = self._tables[n].get(tuple(context_ids[-n:]))
+                if counts:
+                    return counts.most_common(1)[0][0]
+        if self._unigrams:
+            return self._unigrams.most_common(1)[0][0]
+        return None
+
+    def complete(self, prompt: str, max_new_tokens: int = 96) -> str:
+        """TextCompleter interface: greedy continuation of the prompt."""
+        ids = self.tokenizer.encode(prompt, allow_special=False)
+        eot = self.tokenizer.end_of_text_id
+        generated: list[int] = []
+        for _ in range(max_new_tokens):
+            token = self.next_token(ids + generated)
+            if token is None or token == eot:
+                break
+            generated.append(token)
+        return self.tokenizer.decode(generated)

@@ -1,0 +1,77 @@
+"""Nearest-neighbour retrieval baseline.
+
+Given a prompt, return the stored completion whose *prompt* is most similar
+(token-level Jaccard over the tail of the prompt).  A strong baseline for
+templated domains and the mechanism behind the Codex simulator's
+"memorized the training set" behaviour.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_TOKEN_RE = re.compile(r"[A-Za-z0-9_]+")
+
+
+def _fingerprint(text: str, tail_lines: int = 12) -> frozenset[str]:
+    """Bag of word tokens over the last ``tail_lines`` lines of the text."""
+    lines = text.rstrip("\n").split("\n")
+    tail = "\n".join(lines[-tail_lines:])
+    return frozenset(token.lower() for token in _TOKEN_RE.findall(tail))
+
+
+def jaccard(a: frozenset[str], b: frozenset[str]) -> float:
+    """Jaccard similarity of two token sets."""
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    if union == 0:
+        return 0.0
+    return len(a & b) / union
+
+
+@dataclass(frozen=True)
+class _Entry:
+    fingerprint: frozenset[str]
+    completion: str
+
+
+class RetrievalBaseline:
+    """Stores (prompt, completion) pairs; completes by nearest neighbour."""
+
+    def __init__(self, name: str = "retrieval"):
+        self.name = name
+        self._entries: list[_Entry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def index(self, prompt: str, completion: str) -> None:
+        """Add one pair to the store."""
+        self._entries.append(_Entry(_fingerprint(prompt), completion))
+
+    def index_samples(self, samples) -> None:
+        """Index FinetuneSamples: prompt = input_text, completion = target."""
+        for sample in samples:
+            self.index(sample.input_text, sample.target_text)
+
+    def nearest(self, prompt: str) -> tuple[float, str]:
+        """(similarity, completion) of the best match; ("", 0.0) when empty."""
+        if not self._entries:
+            return 0.0, ""
+        query = _fingerprint(prompt)
+        best_score = -1.0
+        best_completion = ""
+        for entry in self._entries:
+            score = jaccard(query, entry.fingerprint)
+            if score > best_score:
+                best_score = score
+                best_completion = entry.completion
+        return best_score, best_completion
+
+    def complete(self, prompt: str, max_new_tokens: int = 96) -> str:
+        """TextCompleter interface: return the nearest stored completion."""
+        del max_new_tokens
+        _, completion = self.nearest(prompt)
+        return completion

@@ -1,0 +1,169 @@
+"""Command-line interface.
+
+Mirrors the workflows a user of the released system would run::
+
+    python -m repro.cli train --out /tmp/wisdom --seed 7
+    python -m repro.cli generate --model /tmp/wisdom --prompt "Install nginx"
+    python -m repro.cli evaluate --model /tmp/wisdom --samples 20
+    python -m repro.cli serve --model /tmp/wisdom --port 8181
+    python -m repro.cli score --reference ref.yml --prediction pred.yml
+
+Every subcommand is a thin shell over the library API; all heavy lifting
+stays importable and testable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.utils.rng import SeededRng
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro import quickstart_model
+    from repro.model import save_checkpoint
+
+    print(f"training (seed={args.seed}, galaxy_scale={args.galaxy_scale}, epochs={args.epochs})")
+    model, dataset = quickstart_model(
+        seed=args.seed, galaxy_scale=args.galaxy_scale, finetune_epochs=args.epochs
+    )
+    path = save_checkpoint(model, args.out)
+    print(f"checkpoint written to {path}")
+    print(f"dataset sizes: {dataset.sizes()}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.model import load_checkpoint
+
+    model = load_checkpoint(args.model)
+    prompt = args.prompt
+    if not prompt.startswith("- name:"):
+        prompt = f"- name: {prompt}"
+    if not prompt.endswith("\n"):
+        prompt += "\n"
+    completion = model.complete(prompt, max_new_tokens=args.max_new_tokens)
+    sys.stdout.write(prompt + completion)
+    if not completion.endswith("\n"):
+        sys.stdout.write("\n")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.dataset import build_finetune_dataset, build_galaxy_corpus, split_corpus
+    from repro.eval import evaluate
+    from repro.metrics import EvalReport
+    from repro.model import load_checkpoint
+    from repro.utils.tables import format_table
+
+    model = load_checkpoint(args.model)
+    rng = SeededRng(args.seed)
+    galaxy = build_galaxy_corpus(rng.child("galaxy"), scale=args.galaxy_scale)
+    splits = split_corpus(galaxy, rng.child("split"))
+    dataset = build_finetune_dataset(splits.train, splits.validation, splits.test)
+    report = evaluate(model, dataset.test, max_samples=args.samples)
+    print(format_table(list(EvalReport.ROW_HEADERS), [report.as_row()], title="Evaluation"))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.model import load_checkpoint
+    from repro.serving import PredictionService, RestServer
+
+    model = load_checkpoint(args.model)
+    service = PredictionService(model, max_new_tokens=args.max_new_tokens)
+    server = RestServer(service, host=args.host, port=args.port).start()
+    print(f"serving {model.name} at {server.url} (ctrl-c to stop)")
+    try:
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_score(args: argparse.Namespace) -> int:
+    from repro.metrics import ansible_aware, exact_match, is_schema_correct, sentence_bleu
+
+    reference = Path(args.reference).read_text()
+    prediction = Path(args.prediction).read_text()
+    result = {
+        "exact_match": exact_match(reference, prediction),
+        "bleu": round(sentence_bleu(reference, prediction), 2),
+        "ansible_aware": round(ansible_aware(reference, prediction), 2),
+        "schema_correct": is_schema_correct(prediction),
+    }
+    print(json.dumps(result, indent=2))
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from repro import yamlio
+    from repro.dataset import AnsibleSynthesizer
+
+    synthesizer = AnsibleSynthesizer(SeededRng(args.seed))
+    for _ in range(args.count):
+        generated = synthesizer.playbook() if args.kind == "playbook" else synthesizer.task_list()
+        sys.stdout.write(yamlio.dumps(generated.data))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__.split("\n")[0])
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    train = subparsers.add_parser("train", help="pretrain + finetune a Wisdom model")
+    train.add_argument("--out", required=True, help="checkpoint output directory")
+    train.add_argument("--seed", type=int, default=7)
+    train.add_argument("--galaxy-scale", type=float, default=0.001, dest="galaxy_scale")
+    train.add_argument("--epochs", type=int, default=8)
+    train.set_defaults(handler=_cmd_train)
+
+    generate = subparsers.add_parser("generate", help="complete a natural-language prompt")
+    generate.add_argument("--model", required=True, help="checkpoint directory")
+    generate.add_argument("--prompt", required=True)
+    generate.add_argument("--max-new-tokens", type=int, default=96, dest="max_new_tokens")
+    generate.set_defaults(handler=_cmd_generate)
+
+    evaluate_cmd = subparsers.add_parser("evaluate", help="score a model on a fresh test split")
+    evaluate_cmd.add_argument("--model", required=True)
+    evaluate_cmd.add_argument("--samples", type=int, default=20)
+    evaluate_cmd.add_argument("--seed", type=int, default=7)
+    evaluate_cmd.add_argument("--galaxy-scale", type=float, default=0.001, dest="galaxy_scale")
+    evaluate_cmd.set_defaults(handler=_cmd_evaluate)
+
+    serve = subparsers.add_parser("serve", help="start the REST prediction service")
+    serve.add_argument("--model", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8181)
+    serve.add_argument("--max-new-tokens", type=int, default=96, dest="max_new_tokens")
+    serve.set_defaults(handler=_cmd_serve)
+
+    score = subparsers.add_parser("score", help="score a prediction file against a reference")
+    score.add_argument("--reference", required=True)
+    score.add_argument("--prediction", required=True)
+    score.set_defaults(handler=_cmd_score)
+
+    synthesize = subparsers.add_parser("synthesize", help="emit synthetic Ansible YAML")
+    synthesize.add_argument("--count", type=int, default=1)
+    synthesize.add_argument("--kind", choices=("playbook", "tasks"), default="tasks")
+    synthesize.add_argument("--seed", type=int, default=0)
+    synthesize.set_defaults(handler=_cmd_synthesize)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,179 @@
+"""Fine-tuning sample extraction: the paper's four generation types.
+
+From §Generation Types:
+
+* **NL→PB** — playbooks with 1-2 tasks become whole-playbook samples; the
+  prompt combines the play's and its tasks' names.
+* **PB+NL→T** — playbooks with more tasks yield next-task samples whose
+  context is the playbook truncated before the predicted task (at least one
+  task of context).
+* **NL→T** — the first task of a role's task list, no context.
+* **T+NL→T** — subsequent role tasks, with the preceding tasks as context.
+
+Only tasks carrying a usable ``name:`` become samples (the name *is* the
+prompt).  Extraction happens per file on already-split corpora, then
+exact-match sample dedup runs across splits (test first, so duplicated
+samples never leak into train).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import yamlio
+from repro.ansible.model import classify_snippet
+from repro.dataset.corpus import Corpus, Document
+from repro.dataset.dedup import dedup_samples_across_splits
+from repro.dataset.prompt import (
+    COMPLETION,
+    FinetuneSample,
+    NL_TO_T,
+    PB_NL_TO_T,
+    PLAYBOOK_TASK_INDENT,
+    T_NL_TO_T,
+    build_playbook_sample,
+    build_task_sample,
+    render_context_playbook,
+    render_context_tasks,
+)
+from repro.errors import YamlError
+
+MAX_PLAYBOOK_TASKS_FOR_NL_TO_PB = 2
+
+
+def _usable_name(task: object) -> str | None:
+    if not isinstance(task, dict):
+        return None
+    name = task.get("name")
+    if isinstance(name, str) and name.strip() and "\n" not in name:
+        return name
+    return None
+
+
+def extract_from_playbook(document: Document, plays: list, format: str = COMPLETION) -> list[FinetuneSample]:
+    """NL→PB or PB+NL→T samples from one playbook document."""
+    samples: list[FinetuneSample] = []
+    for play_index, play in enumerate(plays):
+        if not isinstance(play, dict):
+            continue
+        tasks = play.get("tasks")
+        if not isinstance(tasks, list) or not tasks:
+            continue
+        if not _usable_name(play):
+            continue
+        source_id = f"{document.identifier}#play{play_index}"
+        if len(tasks) <= MAX_PLAYBOOK_TASKS_FOR_NL_TO_PB:
+            if all(_usable_name(task) for task in tasks):
+                samples.append(build_playbook_sample(play, source_id, format))
+            continue
+        # Longer playbooks: next-task prediction with >= 1 task of context.
+        for task_index in range(1, len(tasks)):
+            task = tasks[task_index]
+            nl = _usable_name(task)
+            if nl is None:
+                continue
+            partial_play = dict(play)
+            partial_play["tasks"] = tasks[:task_index]
+            context_text = render_context_playbook(partial_play)
+            samples.append(
+                build_task_sample(
+                    PB_NL_TO_T,
+                    nl,
+                    context_text,
+                    task,
+                    PLAYBOOK_TASK_INDENT,
+                    f"{source_id}#task{task_index}",
+                    format,
+                )
+            )
+    return samples
+
+
+def extract_from_task_list(document: Document, tasks: list, format: str = COMPLETION) -> list[FinetuneSample]:
+    """NL→T and T+NL→T samples from one role task-list document."""
+    samples: list[FinetuneSample] = []
+    for task_index, task in enumerate(tasks):
+        nl = _usable_name(task)
+        if nl is None:
+            continue
+        if task_index == 0:
+            samples.append(
+                build_task_sample(NL_TO_T, nl, "", task, 0, f"{document.identifier}#task0", format)
+            )
+        else:
+            context_text = render_context_tasks(tasks[:task_index])
+            samples.append(
+                build_task_sample(
+                    T_NL_TO_T,
+                    nl,
+                    context_text,
+                    task,
+                    0,
+                    f"{document.identifier}#task{task_index}",
+                    format,
+                )
+            )
+    return samples
+
+
+def extract_samples(corpus: Corpus, format: str = COMPLETION) -> list[FinetuneSample]:
+    """All fine-tuning samples from an (already validated) Ansible corpus."""
+    samples: list[FinetuneSample] = []
+    for document in corpus:
+        try:
+            data = yamlio.loads(document.content)
+        except YamlError:
+            continue
+        kind = classify_snippet(data)
+        if kind == "playbook":
+            samples.extend(extract_from_playbook(document, data, format))
+        elif kind == "tasks":
+            samples.extend(extract_from_task_list(document, data, format))
+    return samples
+
+
+@dataclass
+class FinetuneDataset:
+    """Extracted and deduplicated samples for the three splits."""
+
+    train: list[FinetuneSample] = field(default_factory=list)
+    validation: list[FinetuneSample] = field(default_factory=list)
+    test: list[FinetuneSample] = field(default_factory=list)
+
+    def sizes(self) -> dict[str, int]:
+        return {"train": len(self.train), "validation": len(self.validation), "test": len(self.test)}
+
+    def counts_by_type(self, split: str = "test") -> dict[str, int]:
+        samples = getattr(self, split)
+        counts: dict[str, int] = {}
+        for sample in samples:
+            counts[sample.generation_type] = counts.get(sample.generation_type, 0) + 1
+        return counts
+
+    def train_fraction(self, fraction: float, rng) -> "FinetuneDataset":
+        """Copy with only ``fraction`` of the training samples (Table 4's
+        10%/20%/50% data ablation); validation and test unchanged."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        kept = rng.shuffled(self.train)[: max(1, int(len(self.train) * fraction))]
+        return FinetuneDataset(train=kept, validation=self.validation, test=self.test)
+
+
+def build_finetune_dataset(
+    train_corpus: Corpus,
+    validation_corpus: Corpus,
+    test_corpus: Corpus,
+    format: str = COMPLETION,
+) -> FinetuneDataset:
+    """Extract samples per split, then dedup across splits (test first)."""
+    raw = {
+        "test": extract_samples(test_corpus, format),
+        "validation": extract_samples(validation_corpus, format),
+        "train": extract_samples(train_corpus, format),
+    }
+    deduped = dedup_samples_across_splits(raw, key=lambda sample: sample.training_text)
+    return FinetuneDataset(
+        train=deduped["train"],
+        validation=deduped["validation"],
+        test=deduped["test"],
+    )

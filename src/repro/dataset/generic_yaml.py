@@ -1,0 +1,131 @@
+"""Generic (non-Ansible) YAML generator.
+
+Stands in for the "2.2M other generic YAML files" of the paper's pretraining
+mix: Kubernetes manifests, docker-compose files, CI workflows and plain
+application configs.  These teach a model YAML *syntax* (indentation,
+mappings, sequences, scalars) without Ansible semantics — the distinction
+that separates Wisdom-Yaml from Wisdom-Ansible in Tables 2-3.
+"""
+
+from __future__ import annotations
+
+from repro.dataset import pools
+from repro.utils.rng import SeededRng
+
+_APP_NAMES = ("webapp", "api", "worker", "frontend", "gateway", "scheduler", "auth", "billing")
+_IMAGES = pools.DOCKER_IMAGES + ("python:3.11-slim", "node:18-alpine", "golang:1.21")
+_ENV_KEYS = ("LOG_LEVEL", "PORT", "DB_HOST", "REDIS_URL", "ENV", "WORKERS", "TIMEOUT")
+_ENV_VALUES = ("debug", "info", "8080", "db.internal", "redis://cache:6379", "production", "4", "30")
+_CI_STEPS = (
+    {"name": "Checkout", "uses": "actions/checkout@v4"},
+    {"name": "Set up Python", "uses": "actions/setup-python@v5", "with": {"python-version": "3.11"}},
+    {"name": "Install dependencies", "run": "pip install -r requirements.txt"},
+    {"name": "Run tests", "run": "pytest tests/"},
+    {"name": "Build image", "run": "docker build -t app ."},
+    {"name": "Lint", "run": "ruff check ."},
+)
+
+
+def k8s_deployment(rng: SeededRng) -> dict:
+    """A Kubernetes Deployment manifest."""
+    app = rng.choice(_APP_NAMES)
+    return {
+        "apiVersion": "apps/v1",
+        "kind": "Deployment",
+        "metadata": {
+            "name": app,
+            "namespace": rng.choice(pools.K8S_NAMESPACES),
+            "labels": {"app": app},
+        },
+        "spec": {
+            "replicas": rng.choice((1, 2, 3, 5)),
+            "selector": {"matchLabels": {"app": app}},
+            "template": {
+                "metadata": {"labels": {"app": app}},
+                "spec": {
+                    "containers": [
+                        {
+                            "name": app,
+                            "image": rng.choice(_IMAGES),
+                            "ports": [{"containerPort": rng.choice((80, 8080, 3000, 9090))}],
+                            "resources": {
+                                "limits": {"cpu": rng.choice(("250m", "500m", "1")), "memory": rng.choice(("256Mi", "512Mi", "1Gi"))},
+                            },
+                        }
+                    ]
+                },
+            },
+        },
+    }
+
+
+def k8s_service(rng: SeededRng) -> dict:
+    app = rng.choice(_APP_NAMES)
+    port = rng.choice((80, 8080, 3000))
+    return {
+        "apiVersion": "v1",
+        "kind": "Service",
+        "metadata": {"name": app, "namespace": rng.choice(pools.K8S_NAMESPACES)},
+        "spec": {
+            "selector": {"app": app},
+            "ports": [{"protocol": "TCP", "port": port, "targetPort": port}],
+            "type": rng.choice(("ClusterIP", "NodePort", "LoadBalancer")),
+        },
+    }
+
+
+def docker_compose(rng: SeededRng) -> dict:
+    services: dict[str, object] = {}
+    for _ in range(rng.randint(1, 3)):
+        app = rng.choice(_APP_NAMES)
+        entry: dict[str, object] = {"image": rng.choice(_IMAGES), "restart": "unless-stopped"}
+        if rng.bernoulli(0.7):
+            port = rng.choice((80, 8080, 5432, 6379))
+            entry["ports"] = [f"{port}:{port}"]
+        if rng.bernoulli(0.5):
+            keys = rng.sample(_ENV_KEYS, 2)
+            entry["environment"] = {key: rng.choice(_ENV_VALUES) for key in keys}
+        services[app] = entry
+    return {"version": "3.8", "services": services}
+
+
+def ci_workflow(rng: SeededRng) -> dict:
+    n_steps = rng.randint(2, 5)
+    return {
+        "name": rng.choice(("CI", "Tests", "Build and test", "Lint and test")),
+        "on": {"push": {"branches": ["main"]}, "pull_request": None},
+        "jobs": {
+            "build": {
+                "runs-on": "ubuntu-latest",
+                "steps": list(rng.sample(_CI_STEPS, n_steps)),
+            }
+        },
+    }
+
+
+def app_config(rng: SeededRng) -> dict:
+    return {
+        "server": {
+            "host": rng.choice(("0.0.0.0", "127.0.0.1")),
+            "port": rng.choice((8080, 8000, 9000)),
+            "workers": rng.randint(1, 8),
+        },
+        "logging": {
+            "level": rng.choice(("debug", "info", "warning")),
+            "file": rng.choice(("/var/log/app.log", "stdout")),
+        },
+        "features": {
+            "metrics": rng.bernoulli(0.5),
+            "tracing": rng.bernoulli(0.3),
+            "cache_ttl": rng.randint(30, 600),
+        },
+    }
+
+
+_GENERATORS = (k8s_deployment, k8s_service, docker_compose, ci_workflow, app_config)
+
+
+def generic_yaml_value(rng: SeededRng) -> dict:
+    """One random generic-YAML document value."""
+    generator = rng.choice(_GENERATORS)
+    return generator(rng)

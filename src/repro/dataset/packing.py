@@ -1,0 +1,59 @@
+"""Context-window packing for pretraining.
+
+The paper: "During pre-training, YAML files were packed to fill up a context
+window of 1024, and we used a special separator token to separate the
+files."  :func:`pack_documents` reproduces that: tokenize every document,
+join with the separator id, and cut the stream into fixed-length windows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.corpus import Corpus
+from repro.errors import EmptyCorpusError
+from repro.tokenizer.bpe import BpeTokenizer
+
+
+def token_stream(corpus: Corpus, tokenizer: BpeTokenizer) -> list[int]:
+    """All documents tokenized and joined with the separator token."""
+    stream: list[int] = []
+    separator = tokenizer.separator_id
+    for document in corpus:
+        stream.extend(tokenizer.encode(document.content, allow_special=False))
+        stream.append(separator)
+    return stream
+
+
+def pack_documents(corpus: Corpus, tokenizer: BpeTokenizer, window: int, drop_last: bool = True) -> np.ndarray:
+    """Pack a corpus into an (N, window) id matrix for pretraining.
+
+    With ``drop_last`` the trailing partial window is discarded; otherwise
+    it is padded with the pad token.
+    """
+    stream = token_stream(corpus, tokenizer)
+    if len(stream) < window + 1:
+        raise EmptyCorpusError(
+            f"corpus {corpus.name!r} yields only {len(stream)} tokens; need > {window}"
+        )
+    n_full = len(stream) // window
+    used = stream[: n_full * window]
+    rows = np.array(used, dtype=np.int64).reshape(n_full, window)
+    if not drop_last and len(stream) > n_full * window:
+        tail = stream[n_full * window:]
+        padded = tail + [tokenizer.pad_id] * (window - len(tail))
+        rows = np.vstack([rows, np.array([padded], dtype=np.int64)])
+    return rows
+
+
+def next_token_targets(rows: np.ndarray, pad_id: int | None = None, ignore_index: int = -1) -> np.ndarray:
+    """Shift ids left by one to make next-token targets.
+
+    The final position of each row gets ``ignore_index`` (no next token);
+    positions whose *target* is the pad token are also ignored.
+    """
+    targets = np.roll(rows, -1, axis=1)
+    targets[:, -1] = ignore_index
+    if pad_id is not None:
+        targets = np.where(targets == pad_id, ignore_index, targets)
+    return targets

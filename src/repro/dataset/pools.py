@@ -1,0 +1,137 @@
+"""Value pools and service profiles for corpus synthesis.
+
+The synthetic Galaxy/GitHub corpus is built from these pools: real package,
+service, path and host-group names, plus ~30 *service profiles* that tie a
+service to its package, config file, port and user.  Profiles make the
+generated roles *coherent* — an install task for nginx is followed by an
+nginx config template and an nginx service task — which is what gives
+context its predictive value (the property behind the paper's Table 5
+finding that PB+NL→T beats NL→T).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """One deployable service and its conventional file-system footprint."""
+
+    service: str
+    package: str
+    config_src: str
+    config_dest: str
+    port: int
+    user: str
+    data_dir: str
+
+
+SERVICE_PROFILES: tuple[ServiceProfile, ...] = (
+    ServiceProfile("nginx", "nginx", "nginx.conf.j2", "/etc/nginx/nginx.conf", 80, "www-data", "/var/www/html"),
+    ServiceProfile("httpd", "httpd", "httpd.conf.j2", "/etc/httpd/conf/httpd.conf", 80, "apache", "/var/www/html"),
+    ServiceProfile("ssh", "openssh-server", "sshd_config.j2", "/etc/ssh/sshd_config", 22, "root", "/etc/ssh"),
+    ServiceProfile("postgresql", "postgresql", "postgresql.conf.j2", "/etc/postgresql/postgresql.conf", 5432, "postgres", "/var/lib/postgresql"),
+    ServiceProfile("mysql", "mysql-server", "my.cnf.j2", "/etc/mysql/my.cnf", 3306, "mysql", "/var/lib/mysql"),
+    ServiceProfile("redis", "redis", "redis.conf.j2", "/etc/redis/redis.conf", 6379, "redis", "/var/lib/redis"),
+    ServiceProfile("docker", "docker-ce", "daemon.json.j2", "/etc/docker/daemon.json", 2375, "root", "/var/lib/docker"),
+    ServiceProfile("haproxy", "haproxy", "haproxy.cfg.j2", "/etc/haproxy/haproxy.cfg", 443, "haproxy", "/var/lib/haproxy"),
+    ServiceProfile("memcached", "memcached", "memcached.conf.j2", "/etc/memcached.conf", 11211, "memcache", "/var/run/memcached"),
+    ServiceProfile("rabbitmq-server", "rabbitmq-server", "rabbitmq.conf.j2", "/etc/rabbitmq/rabbitmq.conf", 5672, "rabbitmq", "/var/lib/rabbitmq"),
+    ServiceProfile("prometheus", "prometheus", "prometheus.yml.j2", "/etc/prometheus/prometheus.yml", 9090, "prometheus", "/var/lib/prometheus"),
+    ServiceProfile("grafana-server", "grafana", "grafana.ini.j2", "/etc/grafana/grafana.ini", 3000, "grafana", "/var/lib/grafana"),
+    ServiceProfile("jenkins", "jenkins", "jenkins.xml.j2", "/etc/jenkins/jenkins.xml", 8080, "jenkins", "/var/lib/jenkins"),
+    ServiceProfile("elasticsearch", "elasticsearch", "elasticsearch.yml.j2", "/etc/elasticsearch/elasticsearch.yml", 9200, "elasticsearch", "/var/lib/elasticsearch"),
+    ServiceProfile("mongod", "mongodb-org", "mongod.conf.j2", "/etc/mongod.conf", 27017, "mongodb", "/var/lib/mongo"),
+    ServiceProfile("fail2ban", "fail2ban", "jail.local.j2", "/etc/fail2ban/jail.local", 0, "root", "/var/lib/fail2ban"),
+    ServiceProfile("chronyd", "chrony", "chrony.conf.j2", "/etc/chrony.conf", 123, "chrony", "/var/lib/chrony"),
+    ServiceProfile("named", "bind", "named.conf.j2", "/etc/named.conf", 53, "named", "/var/named"),
+    ServiceProfile("squid", "squid", "squid.conf.j2", "/etc/squid/squid.conf", 3128, "squid", "/var/spool/squid"),
+    ServiceProfile("vsftpd", "vsftpd", "vsftpd.conf.j2", "/etc/vsftpd/vsftpd.conf", 21, "ftp", "/var/ftp"),
+    ServiceProfile("keepalived", "keepalived", "keepalived.conf.j2", "/etc/keepalived/keepalived.conf", 0, "root", "/etc/keepalived"),
+    ServiceProfile("node_exporter", "node-exporter", "node_exporter.env.j2", "/etc/sysconfig/node_exporter", 9100, "prometheus", "/var/lib/node_exporter"),
+    ServiceProfile("tomcat", "tomcat", "server.xml.j2", "/etc/tomcat/server.xml", 8080, "tomcat", "/var/lib/tomcat"),
+    ServiceProfile("php-fpm", "php-fpm", "www.conf.j2", "/etc/php-fpm.d/www.conf", 9000, "php-fpm", "/var/lib/php"),
+    ServiceProfile("openvpn", "openvpn", "server.conf.j2", "/etc/openvpn/server.conf", 1194, "openvpn", "/etc/openvpn"),
+    ServiceProfile("zabbix-agent", "zabbix-agent", "zabbix_agentd.conf.j2", "/etc/zabbix/zabbix_agentd.conf", 10050, "zabbix", "/var/lib/zabbix"),
+    ServiceProfile("telegraf", "telegraf", "telegraf.conf.j2", "/etc/telegraf/telegraf.conf", 8125, "telegraf", "/var/lib/telegraf"),
+    ServiceProfile("consul", "consul", "consul.hcl.j2", "/etc/consul.d/consul.hcl", 8500, "consul", "/opt/consul"),
+    ServiceProfile("vault", "vault", "vault.hcl.j2", "/etc/vault.d/vault.hcl", 8200, "vault", "/opt/vault"),
+    ServiceProfile("etcd", "etcd", "etcd.conf.yml.j2", "/etc/etcd/etcd.conf.yml", 2379, "etcd", "/var/lib/etcd"),
+)
+
+
+UTILITY_PACKAGES: tuple[str, ...] = (
+    "git", "curl", "wget", "vim", "htop", "tmux", "unzip", "jq", "rsync",
+    "python3", "python3-pip", "nodejs", "npm", "java-11-openjdk", "golang",
+    "gcc", "make", "certbot", "net-tools", "lsof", "strace", "tcpdump",
+    "tree", "zip", "ca-certificates", "gnupg", "software-properties-common",
+)
+
+HOST_GROUPS: tuple[str, ...] = (
+    "all", "webservers", "dbservers", "appservers", "loadbalancers",
+    "monitoring", "workers", "masters", "localhost", "staging", "production",
+    "cache", "proxies", "build", "kubernetes_nodes",
+)
+
+USERS: tuple[str, ...] = (
+    "deploy", "webadmin", "appuser", "jenkins", "ansible", "backup",
+    "monitor", "devops", "operator", "svc_app",
+)
+
+GROUPS: tuple[str, ...] = ("wheel", "docker", "sudo", "www-data", "adm", "developers")
+
+REPO_URLS: tuple[str, ...] = (
+    "https://github.com/acme/webapp.git",
+    "https://github.com/acme/api-server.git",
+    "https://github.com/example/infra-tools.git",
+    "https://gitlab.com/opsteam/deploy-scripts.git",
+    "https://github.com/example/monitoring-stack.git",
+    "https://github.com/acme/frontend.git",
+)
+
+DOWNLOAD_URLS: tuple[str, ...] = (
+    "https://releases.example.com/app/app-1.4.2.tar.gz",
+    "https://dl.example.org/tools/tool-2.0.1.tar.gz",
+    "https://artifacts.example.com/builds/service-3.1.0.tgz",
+    "https://github.com/prometheus/node_exporter/releases/download/v1.6.0/node_exporter-1.6.0.linux-amd64.tar.gz",
+    "https://get.helm.sh/helm-v3.12.0-linux-amd64.tar.gz",
+)
+
+DEPLOY_DIRS: tuple[str, ...] = (
+    "/opt/app", "/srv/www", "/opt/tools", "/usr/local/app", "/opt/services",
+    "/var/lib/app", "/opt/deploy",
+)
+
+FILE_MODES: tuple[str, ...] = ("0644", "0600", "0755", "0750", "0640")
+
+TIMEZONES: tuple[str, ...] = (
+    "UTC", "Europe/London", "America/New_York", "Asia/Tokyo", "Europe/Berlin",
+)
+
+SYSCTL_SETTINGS: tuple[tuple[str, str], ...] = (
+    ("vm.swappiness", "10"),
+    ("net.ipv4.ip_forward", "1"),
+    ("fs.file-max", "100000"),
+    ("net.core.somaxconn", "1024"),
+    ("vm.max_map_count", "262144"),
+)
+
+CRON_JOBS: tuple[tuple[str, str], ...] = (
+    ("backup database", "/usr/local/bin/backup-db.sh"),
+    ("rotate logs", "/usr/sbin/logrotate /etc/logrotate.conf"),
+    ("cleanup temp files", "find /tmp -mtime +7 -delete"),
+    ("sync artifacts", "/usr/local/bin/sync-artifacts.sh"),
+    ("renew certificates", "certbot renew --quiet"),
+)
+
+DOCKER_IMAGES: tuple[str, ...] = (
+    "nginx:stable", "redis:7", "postgres:15", "grafana/grafana:latest",
+    "prom/prometheus:latest", "registry.example.com/acme/webapp:latest",
+)
+
+K8S_NAMESPACES: tuple[str, ...] = ("default", "kube-system", "monitoring", "apps", "ingress")
+
+NETWORK_HOSTNAMES: tuple[str, ...] = (
+    "core-sw-01", "edge-rtr-01", "dist-sw-02", "vyos-gw-01", "branch-rtr-03",
+)

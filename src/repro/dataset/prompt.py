@@ -1,0 +1,236 @@
+"""Input-prompt formulation: the paper's name-completion trick and the
+prefix-style ablation.
+
+§Input Prompt Formulation observes that an Ansible task's ``name:`` value
+*is* the natural-language prompt, so text-to-code generation re-formalizes
+into code **completion**: the model input is the context YAML followed by a
+``- name: <NL>`` line, and the model continues with the task body.
+Table 4's ``CodeGen-Multi-prefix`` row ablates this against the conventional
+"context code ... prompt ..." prefix format; both renderings live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import yamlio
+from repro.utils.text import indent_block
+from repro.yamlio.scalars import needs_quoting, quote_single
+
+COMPLETION = "completion"
+PREFIX = "prefix"
+
+# Generation type labels, exactly as the paper prints them.
+NL_TO_PB = "NL->PB"
+NL_TO_T = "NL->T"
+PB_NL_TO_T = "PB+NL->T"
+T_NL_TO_T = "T+NL->T"
+GENERATION_TYPES = (NL_TO_PB, NL_TO_T, PB_NL_TO_T, T_NL_TO_T)
+
+# Indentation of a task's "- " marker inside an emitted playbook:
+# play dash at column 0, play keys at 2, "tasks:" at 2, items at 4.
+PLAYBOOK_TASK_INDENT = 4
+
+
+@dataclass(frozen=True)
+class FinetuneSample:
+    """One training/evaluation sample.
+
+    Attributes:
+        generation_type: one of :data:`GENERATION_TYPES`.
+        nl_prompt: the natural-language intent (the ``name:`` value).
+        input_text: what the model is conditioned on (context + name line
+            for the completion format; marked-up prefix otherwise).
+        target_text: the expected continuation (task/playbook body at its
+            context indentation).
+        reference_snippet: standalone de-indented YAML (name line + body)
+            used by the evaluation metrics.
+        indent: column of the target's ``-`` marker inside the context.
+        source_id: originating corpus document.
+    """
+
+    generation_type: str
+    nl_prompt: str
+    input_text: str
+    target_text: str
+    reference_snippet: str
+    indent: int
+    source_id: str
+
+    @property
+    def training_text(self) -> str:
+        """Concatenated input+target (the causal-LM training string)."""
+        return self.input_text + self.target_text
+
+
+def render_name_value(nl: str) -> str:
+    """Render an NL prompt as a YAML-safe ``name:`` value."""
+    if needs_quoting(nl):
+        return quote_single(nl)
+    return nl
+
+
+def name_line(nl: str, indent: int) -> str:
+    """The ``- name: <NL>`` line at the given indentation."""
+    return " " * indent + "- name: " + render_name_value(nl) + "\n"
+
+
+def render_task_body(task_data: dict, indent: int) -> str:
+    """Emit a task's lines *after* its name line, indented for its context.
+
+    The task is emitted as a one-item list so the body aligns under the
+    ``- `` marker, then the leading ``- name: ...`` line is dropped.
+    """
+    rendered = yamlio.dumps([task_data], style=yamlio.EmitStyle(start_marker=False))
+    lines = rendered.split("\n")
+    if not lines or not lines[0].startswith("- name:"):
+        raise ValueError(f"task does not start with a name line: {lines[:1]!r}")
+    body = "\n".join(lines[1:])
+    if indent:
+        body = indent_block(body, indent)
+    return body.rstrip("\n") + "\n"
+
+
+def render_context_playbook(play_data: dict) -> str:
+    """Emit a partial playbook (one play, some tasks) as generation context."""
+    return yamlio.dumps([play_data])
+
+
+def render_context_tasks(tasks_data: list[dict]) -> str:
+    """Emit a partial role task list as generation context."""
+    return yamlio.dumps(tasks_data)
+
+
+def reference_snippet_for_task(nl: str, task_data: dict) -> str:
+    """Standalone snippet: the task as a one-item list at indent 0."""
+    return name_line(nl, 0) + render_task_body(task_data, 0)
+
+
+def build_task_sample(
+    generation_type: str,
+    nl: str,
+    context_text: str,
+    task_data: dict,
+    indent: int,
+    source_id: str,
+    format: str = COMPLETION,
+) -> FinetuneSample:
+    """Build a sample whose target is a single task."""
+    body = render_task_body(task_data, indent)
+    reference = reference_snippet_for_task(nl, task_data)
+    if format == COMPLETION:
+        input_text = context_text + name_line(nl, indent)
+    elif format == PREFIX:
+        input_text = _prefix_input(context_text, nl)
+    else:
+        raise ValueError(f"unknown prompt format {format!r}")
+    return FinetuneSample(
+        generation_type=generation_type,
+        nl_prompt=nl,
+        input_text=input_text,
+        target_text=body,
+        reference_snippet=reference,
+        indent=indent,
+        source_id=source_id,
+    )
+
+
+def combined_playbook_prompt(play_data: dict) -> str:
+    """NL→PB prompt: play name and task names combined (§Prompt Formulation:
+    "we combine the values of 'name' fields of the playbook and its
+    tasks")."""
+    parts = []
+    if play_data.get("name"):
+        parts.append(str(play_data["name"]))
+    for task in play_data.get("tasks") or []:
+        if isinstance(task, dict) and task.get("name"):
+            parts.append(str(task["name"]))
+    return " & ".join(parts)
+
+
+def build_playbook_sample(
+    play_data: dict,
+    source_id: str,
+    format: str = COMPLETION,
+) -> FinetuneSample:
+    """Build an NL→PB sample: the whole playbook from a combined prompt."""
+    nl = combined_playbook_prompt(play_data)
+    rendered = yamlio.dumps([play_data], style=yamlio.EmitStyle(start_marker=False))
+    lines = rendered.split("\n")
+    if not lines or not lines[0].startswith("- name:"):
+        raise ValueError("playbook's play must begin with a name line")
+    body = "\n".join(lines[1:]).rstrip("\n") + "\n"
+    reference = name_line(nl, 0) + body
+    if format == COMPLETION:
+        input_text = name_line(nl, 0)
+    elif format == PREFIX:
+        input_text = _prefix_input("", nl)
+    else:
+        raise ValueError(f"unknown prompt format {format!r}")
+    return FinetuneSample(
+        generation_type=NL_TO_PB,
+        nl_prompt=nl,
+        input_text=input_text,
+        target_text=body,
+        reference_snippet=reference,
+        indent=0,
+        source_id=source_id,
+    )
+
+
+def _prefix_input(context_text: str, nl: str) -> str:
+    """The conventional prefix-markup format used by the ablation baseline."""
+    pieces = []
+    if context_text.strip():
+        pieces.append("context code\n" + context_text.rstrip("\n") + "\n")
+    pieces.append("prompt\n" + nl + "\n")
+    return "".join(pieces)
+
+
+def dedent_prediction(prediction_body: str, indent: int) -> str:
+    """Shift a predicted body back to indent 0 for snippet reconstruction."""
+    if indent == 0:
+        return prediction_body
+    lines = prediction_body.split("\n")
+    adjusted = []
+    for line in lines:
+        if line.startswith(" " * indent):
+            adjusted.append(line[indent:])
+        else:
+            adjusted.append(line.lstrip(" ") if line.strip() else line)
+    return "\n".join(adjusted)
+
+
+def prediction_snippet(sample: FinetuneSample, prediction_body: str) -> str:
+    """Reconstruct a standalone snippet from a predicted body.
+
+    Prepends the known name line (it was part of the model *input*) and
+    de-indents the body to column 0, yielding YAML comparable to
+    :attr:`FinetuneSample.reference_snippet`.
+    """
+    body = dedent_prediction(prediction_body.rstrip("\n"), sample.indent)
+    return name_line(sample.nl_prompt, 0) + body + ("\n" if body and not body.endswith("\n") else "")
+
+
+__all__ = [
+    "COMPLETION",
+    "PREFIX",
+    "NL_TO_PB",
+    "NL_TO_T",
+    "PB_NL_TO_T",
+    "T_NL_TO_T",
+    "GENERATION_TYPES",
+    "PLAYBOOK_TASK_INDENT",
+    "FinetuneSample",
+    "name_line",
+    "render_name_value",
+    "render_task_body",
+    "render_context_playbook",
+    "render_context_tasks",
+    "reference_snippet_for_task",
+    "build_task_sample",
+    "build_playbook_sample",
+    "combined_playbook_prompt",
+    "dedent_prediction",
+    "prediction_snippet",
+]

@@ -1,0 +1,51 @@
+"""Train/validation/test splitting.
+
+The paper: "The Galaxy data files were randomly split into train (80%),
+validation (10%) and test (10%) sets."  Splitting happens at *file* level
+(before sample extraction) so related samples from one file never straddle
+splits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.corpus import Corpus
+from repro.errors import DatasetError
+from repro.utils.rng import SeededRng
+
+
+@dataclass
+class SplitCorpora:
+    """The three file-level splits."""
+
+    train: Corpus
+    validation: Corpus
+    test: Corpus
+
+    def sizes(self) -> dict[str, int]:
+        return {"train": len(self.train), "validation": len(self.validation), "test": len(self.test)}
+
+
+def split_corpus(
+    corpus: Corpus,
+    rng: SeededRng,
+    train_fraction: float = 0.8,
+    validation_fraction: float = 0.1,
+) -> SplitCorpora:
+    """Randomly split a corpus by file into train/validation/test."""
+    if train_fraction <= 0 or validation_fraction < 0:
+        raise DatasetError("split fractions must be positive")
+    if train_fraction + validation_fraction >= 1.0:
+        raise DatasetError(
+            f"train ({train_fraction}) + validation ({validation_fraction}) must leave room for test"
+        )
+    documents = rng.shuffled(corpus.documents)
+    n_total = len(documents)
+    n_train = int(n_total * train_fraction)
+    n_validation = int(n_total * validation_fraction)
+    return SplitCorpora(
+        train=Corpus(f"{corpus.name}-train", documents[:n_train]),
+        validation=Corpus(f"{corpus.name}-validation", documents[n_train:n_train + n_validation]),
+        test=Corpus(f"{corpus.name}-test", documents[n_train + n_validation:]),
+    )

@@ -1,0 +1,85 @@
+"""Corpus statistics: the token-accounting view of the dataset.
+
+The paper reports pretraining volume in tokens ("The Ansible-YAML and
+generic YAML files account for about 1.1 billion training tokens in
+total").  This module computes the same accounting for our corpora — per
+source, per type, characters and tokens — and renders a summary table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.corpus import Corpus
+from repro.tokenizer.bpe import BpeTokenizer
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """Aggregate statistics for one corpus."""
+
+    name: str
+    files: int
+    characters: int
+    tokens: int
+    mean_tokens_per_file: float
+
+    @property
+    def compression_ratio(self) -> float:
+        """Characters per token (the tokenizer's effectiveness)."""
+        return self.characters / self.tokens if self.tokens else 0.0
+
+
+def corpus_stats(corpus: Corpus, tokenizer: BpeTokenizer, sample_limit: int | None = None) -> CorpusStats:
+    """Compute stats, optionally on a deterministic prefix sample.
+
+    With ``sample_limit``, token counts are measured on the first N files
+    and extrapolated linearly — the same trick large-corpus papers use.
+    """
+    documents = corpus.documents
+    measured = documents if sample_limit is None else documents[:sample_limit]
+    characters_measured = sum(len(document.content) for document in measured)
+    tokens_measured = sum(
+        len(tokenizer.encode(document.content, allow_special=False)) for document in measured
+    )
+    total_characters = sum(len(document.content) for document in documents)
+    if measured and len(measured) < len(documents):
+        scale = total_characters / max(1, characters_measured)
+        tokens = int(tokens_measured * scale)
+    else:
+        tokens = tokens_measured
+    return CorpusStats(
+        name=corpus.name,
+        files=len(documents),
+        characters=total_characters,
+        tokens=tokens,
+        mean_tokens_per_file=tokens / len(documents) if documents else 0.0,
+    )
+
+
+def stats_by_source(corpus: Corpus, tokenizer: BpeTokenizer, sample_limit: int | None = 200) -> list[CorpusStats]:
+    """Per-source stats rows, ordered by descending token count."""
+    rows = []
+    for source in sorted(corpus.counts_by_source()):
+        rows.append(corpus_stats(corpus.by_source(source), tokenizer, sample_limit))
+    return sorted(rows, key=lambda stats: -stats.tokens)
+
+
+def render_stats_table(rows: list[CorpusStats], title: str = "Corpus statistics") -> str:
+    """ASCII table for a list of stats rows."""
+    return format_table(
+        ["Corpus", "Files", "Characters", "Tokens", "Tokens/File", "Chars/Token"],
+        [
+            [
+                stats.name,
+                stats.files,
+                stats.characters,
+                stats.tokens,
+                round(stats.mean_tokens_per_file, 1),
+                round(stats.compression_ratio, 2),
+            ]
+            for stats in rows
+        ],
+        title=title,
+    )

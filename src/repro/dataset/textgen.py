@@ -1,0 +1,102 @@
+"""Synthetic stand-ins for the Pile / BigQuery / BigPython pretraining sets.
+
+Table 2 distinguishes seven models by which pretraining sets they saw:
+The Pile (natural language + a sliver of code/YAML), BigQuery (multi-lingual
+source code), and BigPython (Python).  To reproduce the *relative* orderings
+of Table 3 — CodeGen-NL < CodeGen-Mono ≈ CodeGen-Multi < Wisdom — we need
+corpora with the same character: prose for the Pile, indentation-structured
+code for BigQuery/BigPython.  Volumes keep the paper's proportions (the Pile
+contains a small amount of YAML: ~25K Ansible and ~600K generic files out of
+hundreds of millions of documents).
+"""
+
+from __future__ import annotations
+
+from repro.utils.rng import SeededRng
+
+_SUBJECTS = ("the server", "a deployment", "the cluster", "an operator", "the pipeline", "a config file", "the network", "this module")
+_VERBS = ("manages", "updates", "provisions", "monitors", "restarts", "validates", "describes", "automates")
+_OBJECTS = ("remote hosts", "application state", "system packages", "network devices", "user accounts", "build artifacts", "log files", "security policies")
+_CLAUSES = (
+    "which reduces manual effort",
+    "so the change is idempotent",
+    "before the next release window",
+    "according to the site policy",
+    "as documented in the runbook",
+    "whenever the healthcheck fails",
+)
+
+
+def natural_sentence(rng: SeededRng) -> str:
+    sentence = f"{rng.choice(_SUBJECTS).capitalize()} {rng.choice(_VERBS)} {rng.choice(_OBJECTS)}"
+    if rng.bernoulli(0.5):
+        sentence += f", {rng.choice(_CLAUSES)}"
+    return sentence + "."
+
+
+def natural_paragraph(rng: SeededRng, n_sentences: int | None = None) -> str:
+    """A paragraph of IT-operations prose (Pile stand-in)."""
+    count = n_sentences or rng.randint(2, 5)
+    return " ".join(natural_sentence(rng) for _ in range(count))
+
+
+_PY_FUNCTIONS = ("deploy", "restart", "configure", "provision", "validate", "sync")
+_PY_ARGS = ("host", "service", "path", "config", "timeout", "retries")
+_VALUES = ("0", "1", "None", "True", "False", '"default"', "[]", "{}")
+
+
+def python_snippet(rng: SeededRng) -> str:
+    """A small Python function (BigPython / BigQuery stand-in)."""
+    function = rng.choice(_PY_FUNCTIONS)
+    argument = rng.choice(_PY_ARGS)
+    other = rng.choice(_PY_ARGS)
+    value = rng.choice(_VALUES)
+    lines = [
+        f"def {function}_{argument}({argument}, {other}={value}):",
+        f"    result = {{}}",
+        f"    for item in {argument}:",
+        f"        result[item] = {other}",
+        "    return result",
+    ]
+    if rng.bernoulli(0.4):
+        lines.insert(1, f'    """{natural_sentence(rng)}"""')
+    return "\n".join(lines)
+
+
+def javascript_snippet(rng: SeededRng) -> str:
+    function = rng.choice(_PY_FUNCTIONS)
+    argument = rng.choice(_PY_ARGS)
+    return "\n".join(
+        [
+            f"function {function}({argument}) {{",
+            f"  const result = [];",
+            f"  for (const item of {argument}) {{",
+            "    result.push(item);",
+            "  }",
+            "  return result;",
+            "}",
+        ]
+    )
+
+
+def java_snippet(rng: SeededRng) -> str:
+    klass = rng.choice(_PY_FUNCTIONS).capitalize()
+    field = rng.choice(_PY_ARGS)
+    return "\n".join(
+        [
+            f"public class {klass}Manager {{",
+            f"    private String {field};",
+            f"    public String get{field.capitalize()}() {{",
+            f"        return this.{field};",
+            "    }",
+            "}",
+        ]
+    )
+
+
+_CODE_GENERATORS = (python_snippet, javascript_snippet, java_snippet)
+
+
+def code_snippet(rng: SeededRng) -> str:
+    """A code file in one of several languages (BigQuery stand-in)."""
+    return rng.choice(_CODE_GENERATORS)(rng)

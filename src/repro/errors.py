@@ -1,0 +1,100 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller embedding the library can catch one type.  Sub-hierarchies mirror the
+package layout: YAML engine errors, Ansible model errors, dataset pipeline
+errors, tokenizer errors, and model/training errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class YamlError(ReproError):
+    """Base class for errors raised by the YAML engine (:mod:`repro.yamlio`)."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
+        super().__init__(message + location)
+
+
+class YamlScanError(YamlError):
+    """Lexical problem: bad indentation, unterminated quote, invalid escape."""
+
+
+class YamlParseError(YamlError):
+    """Structural problem: mixed node kinds, duplicate keys, bad nesting."""
+
+
+class YamlEmitError(YamlError):
+    """The value graph cannot be represented by the emitter."""
+
+
+class AnsibleError(ReproError):
+    """Base class for Ansible data-model errors (:mod:`repro.ansible`)."""
+
+
+class AnsibleSchemaError(AnsibleError):
+    """A playbook or task violates the strict Ansible schema.
+
+    Carries the list of individual violation messages in :attr:`violations`.
+    """
+
+    def __init__(self, message: str, violations: list[str] | None = None):
+        super().__init__(message)
+        self.violations = list(violations or [])
+
+
+class UnknownModuleError(AnsibleError):
+    """A task references a module absent from the module catalog."""
+
+    def __init__(self, module_name: str):
+        super().__init__(f"unknown Ansible module: {module_name!r}")
+        self.module_name = module_name
+
+
+class FreeFormParseError(AnsibleError):
+    """The legacy ``k1=v1 k2=v2`` module-argument string cannot be parsed."""
+
+
+class DatasetError(ReproError):
+    """Base class for dataset-pipeline errors (:mod:`repro.dataset`)."""
+
+
+class EmptyCorpusError(DatasetError):
+    """An operation that requires documents was given an empty corpus."""
+
+
+class TokenizerError(ReproError):
+    """Base class for tokenizer errors (:mod:`repro.tokenizer`)."""
+
+
+class VocabularyError(TokenizerError):
+    """A token id or token string is not present in the vocabulary."""
+
+
+class ModelError(ReproError):
+    """Base class for neural-network / model errors."""
+
+
+class ShapeError(ModelError):
+    """A tensor operation received operands with incompatible shapes."""
+
+
+class CheckpointError(ModelError):
+    """A model checkpoint could not be saved or restored."""
+
+
+class GenerationError(ModelError):
+    """Text generation failed (e.g. empty prompt after truncation)."""
+
+
+class ServingError(ReproError):
+    """Base class for serving-layer errors (:mod:`repro.serving`)."""

@@ -1,0 +1,25 @@
+"""Evaluation harness: generation, truncation, metric aggregation."""
+
+from repro.eval.harness import TextCompleter, breakdown_by_type, evaluate
+from repro.eval.robustness import (
+    PERTURBATIONS,
+    RobustnessRow,
+    robustness_report,
+    summarize,
+)
+from repro.eval.truncation import truncate_generation, truncate_to_first_task
+
+ANSIBLE_PRIMING = "Ansible\n"
+
+__all__ = [
+    "TextCompleter",
+    "breakdown_by_type",
+    "evaluate",
+    "PERTURBATIONS",
+    "RobustnessRow",
+    "robustness_report",
+    "summarize",
+    "truncate_generation",
+    "truncate_to_first_task",
+    "ANSIBLE_PRIMING",
+]

@@ -1,0 +1,211 @@
+"""Prompt-robustness analysis.
+
+The paper's Limitations section: "We also hope to do more analysis on the
+models sensitivity to prompts and robustness to changes in indentation,
+quotes and letter case."  This module implements that analysis: a family of
+semantics-preserving prompt perturbations, and a harness that measures how
+much each perturbation moves the evaluation metrics.
+
+A robust model's scores should barely move under these perturbations — the
+*robustness gap* (clean score minus perturbed score) is the quantity
+reported.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.dataset.prompt import FinetuneSample, name_line, render_name_value
+from repro.eval.harness import TextCompleter, evaluate
+from repro.metrics.report import EvalReport
+from repro.utils.rng import SeededRng
+
+
+def _replace_name_line(sample: FinetuneSample, new_nl: str) -> FinetuneSample:
+    """Rebuild the sample's input with a perturbed NL prompt.
+
+    Only the model *input* changes: the reference snippet and the recorded
+    ``nl_prompt`` keep the original wording, so snippet reconstruction (which
+    prepends the name line the model never generated) stays comparable and
+    the metric deltas measure body changes only.
+    """
+    old_line = name_line(sample.nl_prompt, sample.indent)
+    if not sample.input_text.endswith(old_line):
+        return sample
+    new_input = sample.input_text[: -len(old_line)] + name_line(new_nl, sample.indent)
+    return FinetuneSample(
+        generation_type=sample.generation_type,
+        nl_prompt=sample.nl_prompt,
+        input_text=new_input,
+        target_text=sample.target_text,
+        reference_snippet=sample.reference_snippet,
+        indent=sample.indent,
+        source_id=sample.source_id,
+    )
+
+
+# -- perturbations ------------------------------------------------------------
+
+
+def perturb_lowercase(sample: FinetuneSample, rng: SeededRng) -> FinetuneSample:
+    """Letter case: the whole prompt lower-cased."""
+    del rng
+    return _replace_name_line(sample, sample.nl_prompt.lower())
+
+
+def perturb_uppercase_first_words(sample: FinetuneSample, rng: SeededRng) -> FinetuneSample:
+    """Letter case: Title Case Every Word."""
+    del rng
+    return _replace_name_line(sample, sample.nl_prompt.title())
+
+
+def perturb_quotes(sample: FinetuneSample, rng: SeededRng) -> FinetuneSample:
+    """Quoting: wrap the name value in single quotes even when unneeded."""
+    del rng
+    value = render_name_value(sample.nl_prompt)
+    if value.startswith(("'", '"')):
+        return sample  # already quoted
+    old_line = name_line(sample.nl_prompt, sample.indent)
+    new_line = " " * sample.indent + "- name: '" + sample.nl_prompt + "'\n"
+    if not sample.input_text.endswith(old_line):
+        return sample
+    return FinetuneSample(
+        generation_type=sample.generation_type,
+        nl_prompt=sample.nl_prompt,
+        input_text=sample.input_text[: -len(old_line)] + new_line,
+        target_text=sample.target_text,
+        reference_snippet=sample.reference_snippet,
+        indent=sample.indent,
+        source_id=sample.source_id,
+    )
+
+
+def perturb_indentation(sample: FinetuneSample, rng: SeededRng) -> FinetuneSample:
+    """Indentation: shift the prompt line two spaces right.
+
+    Only meaningful for context-free samples (shifting one line inside a
+    playbook would make the YAML invalid); contextual samples pass through.
+    """
+    del rng
+    if sample.indent != 0 or sample.input_text.count("\n") != 1:
+        return sample
+    return FinetuneSample(
+        generation_type=sample.generation_type,
+        nl_prompt=sample.nl_prompt,
+        input_text="  " + sample.input_text,
+        target_text=sample.target_text,
+        reference_snippet=sample.reference_snippet,
+        indent=2,
+        source_id=sample.source_id,
+    )
+
+
+def perturb_trailing_whitespace(sample: FinetuneSample, rng: SeededRng) -> FinetuneSample:
+    """Whitespace: trailing spaces before the newline."""
+    del rng
+    if not sample.input_text.endswith("\n"):
+        return sample
+    return FinetuneSample(
+        generation_type=sample.generation_type,
+        nl_prompt=sample.nl_prompt,
+        input_text=sample.input_text[:-1] + "   \n",
+        target_text=sample.target_text,
+        reference_snippet=sample.reference_snippet,
+        indent=sample.indent,
+        source_id=sample.source_id,
+    )
+
+
+def perturb_synonym_swap(sample: FinetuneSample, rng: SeededRng) -> FinetuneSample:
+    """Wording: swap common verbs for synonyms the training data also uses."""
+    swaps = (
+        ("Install", "Set up"),
+        ("Ensure", "Make sure"),
+        ("Create", "Add"),
+        ("Start", "Bring up"),
+        ("Write", "Render"),
+    )
+    nl = sample.nl_prompt
+    for old, new in rng.shuffled(list(swaps)):
+        if old in nl:
+            return _replace_name_line(sample, nl.replace(old, new, 1))
+    return sample
+
+
+Perturbation = Callable[[FinetuneSample, SeededRng], FinetuneSample]
+
+PERTURBATIONS: dict[str, Perturbation] = {
+    "lowercase": perturb_lowercase,
+    "titlecase": perturb_uppercase_first_words,
+    "quotes": perturb_quotes,
+    "indentation": perturb_indentation,
+    "trailing-whitespace": perturb_trailing_whitespace,
+    "synonyms": perturb_synonym_swap,
+}
+
+
+@dataclass(frozen=True)
+class RobustnessRow:
+    """Clean-vs-perturbed scores for one perturbation."""
+
+    perturbation: str
+    clean_bleu: float
+    perturbed_bleu: float
+    clean_aware: float
+    perturbed_aware: float
+
+    @property
+    def bleu_gap(self) -> float:
+        return self.clean_bleu - self.perturbed_bleu
+
+    @property
+    def aware_gap(self) -> float:
+        return self.clean_aware - self.perturbed_aware
+
+
+def robustness_report(
+    completer: TextCompleter,
+    samples: list[FinetuneSample],
+    perturbations: dict[str, Perturbation] | None = None,
+    max_samples: int = 24,
+    max_new_tokens: int = 96,
+    seed: int = 0,
+) -> list[RobustnessRow]:
+    """Evaluate the model on clean and perturbed prompts.
+
+    Returns one row per perturbation with the clean baseline repeated for
+    reference (clean scores are computed once).
+    """
+    perturbations = perturbations or PERTURBATIONS
+    chosen = samples[:max_samples]
+    clean = evaluate(completer, chosen, max_new_tokens=max_new_tokens, label="clean")
+    rows = []
+    rng = SeededRng(seed)
+    for name, perturbation in perturbations.items():
+        perturbed_samples = [perturbation(sample, rng.child(name)) for sample in chosen]
+        perturbed = evaluate(
+            completer, perturbed_samples, max_new_tokens=max_new_tokens, label=name
+        )
+        rows.append(
+            RobustnessRow(
+                perturbation=name,
+                clean_bleu=round(clean.bleu, 2),
+                perturbed_bleu=round(perturbed.bleu, 2),
+                clean_aware=round(clean.ansible_aware, 2),
+                perturbed_aware=round(perturbed.ansible_aware, 2),
+            )
+        )
+    return rows
+
+
+def summarize(rows: list[RobustnessRow]) -> EvalReport | dict:
+    """Aggregate gaps into a small summary dict."""
+    if not rows:
+        return {"mean_bleu_gap": 0.0, "mean_aware_gap": 0.0, "worst": None}
+    worst = max(rows, key=lambda row: row.aware_gap)
+    return {
+        "mean_bleu_gap": round(sum(row.bleu_gap for row in rows) / len(rows), 2),
+        "mean_aware_gap": round(sum(row.aware_gap for row in rows) / len(rows), 2),
+        "worst": worst.perturbation,
+    }

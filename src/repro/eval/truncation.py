@@ -1,0 +1,45 @@
+"""Prediction truncation.
+
+The paper: "in the case of Ansible task generations, we truncated the models
+output predictions to keep only the first generated task.  For playbook
+generation (NL→PB), we did not apply any truncation."
+
+A generated body starts *inside* a task (after its ``- name:`` line at
+column ``indent``); the first generated task ends where a sibling item
+begins (a ``- `` line at or left of ``indent``) or where the text dedents
+out of the task entirely (a non-continuation line left of the body).
+"""
+
+from __future__ import annotations
+
+from repro.dataset.prompt import NL_TO_PB
+
+
+def truncate_to_first_task(body: str, indent: int) -> str:
+    """Keep only the lines belonging to the first generated task body."""
+    kept: list[str] = []
+    body_indent = indent + 2  # task keys sit two columns right of the dash
+    for line in body.split("\n"):
+        if not line.strip():
+            # Interior blank lines are kept; trailing ones are stripped below.
+            kept.append(line)
+            continue
+        line_indent = len(line) - len(line.lstrip(" "))
+        stripped = line.lstrip(" ")
+        if stripped.startswith("---"):
+            break
+        if stripped.startswith("- ") and line_indent <= indent:
+            break  # a sibling task begins
+        if line_indent < body_indent:
+            break  # dedented out of the task (e.g. a new play key)
+        kept.append(line)
+    while kept and not kept[-1].strip():
+        kept.pop()
+    return "\n".join(kept) + ("\n" if kept else "")
+
+
+def truncate_generation(body: str, indent: int, generation_type: str) -> str:
+    """Apply the paper's truncation policy for a generation type."""
+    if generation_type == NL_TO_PB:
+        return body.rstrip("\n") + "\n" if body.strip() else ""
+    return truncate_to_first_task(body, indent)

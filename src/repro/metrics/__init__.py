@@ -1,0 +1,67 @@
+"""Evaluation metrics: Exact Match, BLEU, Ansible Aware, Schema Correct.
+
+``Ansible Aware`` and ``Schema Correct`` are the paper's two novel
+YAML-specific metrics; Exact Match and BLEU are the standard baselines it
+reports alongside them.
+"""
+
+from repro.metrics.ansible_aware import (
+    ansible_aware,
+    average_ansible_aware,
+    play_score,
+    snippet_score,
+    task_score,
+)
+from repro.metrics.bleu import (
+    average_sentence_bleu,
+    corpus_bleu,
+    sentence_bleu,
+    tokenize,
+)
+from repro.metrics.exact_match import (
+    canonical_exact_match,
+    exact_match,
+    exact_match_rate,
+    normalize_text,
+)
+from repro.metrics.edit_distance import (
+    LineDiff,
+    correction_effort,
+    levenshtein,
+    line_diff,
+    mean_correction_effort,
+    token_edit_distance,
+)
+from repro.metrics.report import EvalReport, SampleScore
+from repro.metrics.schema_correct import (
+    is_schema_correct,
+    schema_correct_rate,
+    schema_violations,
+)
+
+__all__ = [
+    "ansible_aware",
+    "average_ansible_aware",
+    "play_score",
+    "snippet_score",
+    "task_score",
+    "average_sentence_bleu",
+    "corpus_bleu",
+    "sentence_bleu",
+    "tokenize",
+    "canonical_exact_match",
+    "exact_match",
+    "exact_match_rate",
+    "normalize_text",
+    "EvalReport",
+    "SampleScore",
+    "LineDiff",
+    "correction_effort",
+    "levenshtein",
+    "line_diff",
+    "mean_correction_effort",
+    "token_edit_distance",
+    "is_schema_correct",
+    "schema_correct_rate",
+    "schema_violations",
+]

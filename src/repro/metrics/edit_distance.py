@@ -1,0 +1,105 @@
+"""Edit-distance diagnostics.
+
+The paper motivates Ansible Aware by the user's view of a result: "how many
+changes must be made to correct it".  This module quantifies that directly:
+a token-level Levenshtein distance, the derived *correction effort* (edits
+per reference token), and a line-level diff summary — useful for error
+analysis alongside the headline metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.bleu import tokenize
+
+
+def levenshtein(reference: list[str], prediction: list[str]) -> int:
+    """Classic token-level Levenshtein distance (insert/delete/substitute)."""
+    if not reference:
+        return len(prediction)
+    if not prediction:
+        return len(reference)
+    previous = list(range(len(prediction) + 1))
+    for row_index, reference_token in enumerate(reference, start=1):
+        current = [row_index] + [0] * len(prediction)
+        for column_index, prediction_token in enumerate(prediction, start=1):
+            substitution = previous[column_index - 1] + (reference_token != prediction_token)
+            current[column_index] = min(
+                previous[column_index] + 1,      # deletion
+                current[column_index - 1] + 1,   # insertion
+                substitution,
+            )
+        previous = current
+    return previous[-1]
+
+
+def token_edit_distance(reference: str, prediction: str) -> int:
+    """Levenshtein distance over BLEU-style tokens."""
+    return levenshtein(tokenize(reference), tokenize(prediction))
+
+
+def correction_effort(reference: str, prediction: str) -> float:
+    """Edits needed per reference token, in [0, inf); 0 = already correct.
+
+    >>> correction_effort("a: 1", "a: 1")
+    0.0
+    """
+    reference_tokens = tokenize(reference)
+    if not reference_tokens:
+        return 0.0 if not tokenize(prediction) else float(len(tokenize(prediction)))
+    return levenshtein(reference_tokens, tokenize(prediction)) / len(reference_tokens)
+
+
+@dataclass(frozen=True)
+class LineDiff:
+    """Line-level comparison summary."""
+
+    matching_lines: int
+    missing_lines: int
+    extra_lines: int
+    changed_lines: int
+
+    @property
+    def total_reference_lines(self) -> int:
+        return self.matching_lines + self.missing_lines + self.changed_lines
+
+
+def line_diff(reference: str, prediction: str) -> LineDiff:
+    """Greedy line-level diff: exact-set matching then positional pairing.
+
+    Lines are compared after whitespace-stripping the right edge (indentation
+    is significant and kept).
+    """
+    reference_lines = [line.rstrip() for line in reference.rstrip("\n").split("\n")] if reference.strip() else []
+    prediction_lines = [line.rstrip() for line in prediction.rstrip("\n").split("\n")] if prediction.strip() else []
+
+    remaining = list(prediction_lines)
+    matching = 0
+    unmatched_reference: list[str] = []
+    for line in reference_lines:
+        if line in remaining:
+            remaining.remove(line)
+            matching += 1
+        else:
+            unmatched_reference.append(line)
+
+    changed = min(len(unmatched_reference), len(remaining))
+    missing = len(unmatched_reference) - changed
+    extra = len(remaining) - changed
+    return LineDiff(
+        matching_lines=matching,
+        missing_lines=missing,
+        extra_lines=extra,
+        changed_lines=changed,
+    )
+
+
+def mean_correction_effort(references: list[str], predictions: list[str]) -> float:
+    """Corpus mean of :func:`correction_effort`."""
+    if len(references) != len(predictions):
+        raise ValueError("references and predictions must have equal length")
+    if not references:
+        return 0.0
+    total = sum(correction_effort(ref, pred) for ref, pred in zip(references, predictions))
+    return total / len(references)

@@ -1,0 +1,96 @@
+"""Aggregation of the four metrics into the rows the paper's tables report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.ansible_aware import ansible_aware
+from repro.metrics.bleu import sentence_bleu
+from repro.metrics.exact_match import exact_match
+from repro.metrics.schema_correct import is_schema_correct
+
+
+@dataclass(frozen=True)
+class SampleScore:
+    """Per-sample metric record (all values already in table units)."""
+
+    schema_correct: bool
+    exact_match: bool
+    bleu: float
+    ansible_aware: float
+    generation_type: str = ""
+
+
+@dataclass
+class EvalReport:
+    """Aggregated evaluation result for one model / one table row.
+
+    All values are percentages / 0-100 scores matching the paper's tables:
+    ``schema_correct`` and ``exact_match`` are rates, ``bleu`` and
+    ``ansible_aware`` are mean per-sample scores.
+    """
+
+    label: str
+    samples: list[SampleScore] = field(default_factory=list)
+
+    def add(self, reference: str, prediction: str, generation_type: str = "") -> SampleScore:
+        """Score one (reference, prediction) pair and accumulate it."""
+        score = SampleScore(
+            schema_correct=is_schema_correct(prediction),
+            exact_match=exact_match(reference, prediction),
+            bleu=sentence_bleu(reference, prediction),
+            ansible_aware=ansible_aware(reference, prediction),
+            generation_type=generation_type,
+        )
+        self.samples.append(score)
+        return score
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def _mean(self, values: list[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def schema_correct(self) -> float:
+        return 100.0 * self._mean([1.0 if s.schema_correct else 0.0 for s in self.samples])
+
+    @property
+    def exact_match(self) -> float:
+        return 100.0 * self._mean([1.0 if s.exact_match else 0.0 for s in self.samples])
+
+    @property
+    def bleu(self) -> float:
+        return self._mean([s.bleu for s in self.samples])
+
+    @property
+    def ansible_aware(self) -> float:
+        return self._mean([s.ansible_aware for s in self.samples])
+
+    def subset(self, generation_type: str) -> "EvalReport":
+        """Report restricted to one generation type (for Table 5 rows)."""
+        filtered = EvalReport(label=f"{self.label}/{generation_type}")
+        filtered.samples = [s for s in self.samples if s.generation_type == generation_type]
+        return filtered
+
+    def generation_types(self) -> list[str]:
+        """Distinct generation types present, in first-seen order."""
+        seen: list[str] = []
+        for sample in self.samples:
+            if sample.generation_type and sample.generation_type not in seen:
+                seen.append(sample.generation_type)
+        return seen
+
+    def as_row(self) -> list[object]:
+        """Table row: label, count, Schema Correct, EM, BLEU, Ansible Aware."""
+        return [
+            self.label,
+            self.count,
+            round(self.schema_correct, 2),
+            round(self.exact_match, 2),
+            round(self.bleu, 2),
+            round(self.ansible_aware, 2),
+        ]
+
+    ROW_HEADERS = ("Model", "Count", "Schema Correct", "EM", "BLEU", "Ansible Aware")

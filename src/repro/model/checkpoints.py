@@ -1,0 +1,88 @@
+"""Checkpoint persistence: save/restore a :class:`WisdomModel` directory.
+
+Layout of a checkpoint directory::
+
+    config.json      architecture + labels
+    weights.npz      parameter arrays keyed by parameter name
+    vocab.json       tokenizer merges and special tokens
+
+The fine-tuning loop's "best checkpoint by validation BLEU" logic keeps
+in-memory snapshots via :func:`snapshot_weights` / :func:`restore_weights`
+to avoid disk churn.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.model.lm import WisdomModel
+from repro.nn.parameter import numpy_rng
+from repro.nn.transformer import DecoderLM, TransformerConfig
+from repro.tokenizer.bpe import BpeTokenizer
+
+
+def save_checkpoint(model: WisdomModel, directory: str | Path) -> Path:
+    """Write a checkpoint directory; returns its path."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    config = model.config
+    metadata = {
+        "name": model.name,
+        "size_label": model.size_label,
+        "context_window_label": model.context_window_label,
+        "architecture": {
+            "vocab_size": config.vocab_size,
+            "n_positions": config.n_positions,
+            "dim": config.dim,
+            "n_layers": config.n_layers,
+            "n_heads": config.n_heads,
+            "mlp_ratio": config.mlp_ratio,
+        },
+    }
+    (path / "config.json").write_text(json.dumps(metadata, indent=2))
+    (path / "vocab.json").write_text(model.tokenizer.to_json())
+    np.savez(path / "weights.npz", **model.network.state_dict())
+    return path
+
+
+def load_checkpoint(directory: str | Path) -> WisdomModel:
+    """Restore a :class:`WisdomModel` from a checkpoint directory."""
+    path = Path(directory)
+    config_file = path / "config.json"
+    if not config_file.exists():
+        raise CheckpointError(f"no checkpoint at {path}")
+    metadata = json.loads(config_file.read_text())
+    architecture = metadata["architecture"]
+    config = TransformerConfig(
+        vocab_size=architecture["vocab_size"],
+        n_positions=architecture["n_positions"],
+        dim=architecture["dim"],
+        n_layers=architecture["n_layers"],
+        n_heads=architecture["n_heads"],
+        mlp_ratio=architecture.get("mlp_ratio", 4),
+    )
+    network = DecoderLM(config, numpy_rng(0))
+    with np.load(path / "weights.npz") as archive:
+        network.load_state_dict({name: archive[name] for name in archive.files})
+    tokenizer = BpeTokenizer.from_json((path / "vocab.json").read_text())
+    return WisdomModel(
+        name=metadata["name"],
+        tokenizer=tokenizer,
+        network=network,
+        size_label=metadata.get("size_label", "350M"),
+        context_window_label=metadata.get("context_window_label", 1024),
+    )
+
+
+def snapshot_weights(network: DecoderLM) -> dict[str, np.ndarray]:
+    """Deep-copy the parameter arrays (for best-checkpoint tracking)."""
+    return {name: array.copy() for name, array in network.state_dict().items()}
+
+
+def restore_weights(network: DecoderLM, snapshot: dict[str, np.ndarray]) -> None:
+    """Load a snapshot produced by :func:`snapshot_weights`."""
+    network.load_state_dict(snapshot)

@@ -1,0 +1,103 @@
+"""Text-level language model: tokenizer + transformer + decoding policy.
+
+:class:`WisdomModel` is what the rest of the system (training loops,
+evaluation harness, serving layer) talks to — it accepts and returns *text*,
+hiding token ids, left-truncation and stop handling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GenerationError
+from repro.nn.sampling import generate_greedy, generate_sampled
+from repro.nn.transformer import DecoderLM, TransformerConfig
+from repro.tokenizer.bpe import BpeTokenizer
+from repro.utils.text import truncate_left
+
+
+class WisdomModel:
+    """A named, decodable language model over text.
+
+    Attributes:
+        name: display name used in reports ("Wisdom-Ansible-Multi", ...).
+        tokenizer: the byte-level BPE tokenizer.
+        network: the underlying transformer.
+        context_window_label: the paper-scale window this model stands in
+            for (512/1024/2048), carried for table rendering.
+        size_label: paper-scale parameter-count label ("350M", ...).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tokenizer: BpeTokenizer,
+        network: DecoderLM,
+        size_label: str = "350M",
+        context_window_label: int = 1024,
+    ):
+        self.name = name
+        self.tokenizer = tokenizer
+        self.network = network
+        self.size_label = size_label
+        self.context_window_label = context_window_label
+
+    @property
+    def config(self) -> TransformerConfig:
+        return self.network.config
+
+    @property
+    def n_parameters(self) -> int:
+        return self.network.n_parameters()
+
+    # -- generation -----------------------------------------------------------
+
+    def complete(
+        self,
+        prompt: str,
+        max_new_tokens: int = 96,
+        temperature: float | None = None,
+        top_k: int = 0,
+        seed: int = 0,
+    ) -> str:
+        """Continue ``prompt``; greedy when ``temperature`` is None.
+
+        The prompt is left-truncated to the context window (paper: "when the
+        input to the model is larger than the context window, it is
+        left-truncated").  Generation stops at the end-of-text token.
+        """
+        prompt_ids = self.tokenizer.encode(prompt)
+        budget = self.config.n_positions - 1
+        prompt_ids = truncate_left(prompt_ids, budget)
+        if not prompt_ids:
+            raise GenerationError("prompt is empty")
+        stop_ids = frozenset({self.tokenizer.end_of_text_id, self.tokenizer.separator_id})
+        if temperature is None:
+            result = generate_greedy(self.network, prompt_ids, max_new_tokens, stop_ids=stop_ids)
+        else:
+            result = generate_sampled(
+                self.network,
+                prompt_ids,
+                max_new_tokens,
+                rng=np.random.default_rng(seed),
+                temperature=temperature,
+                top_k=top_k,
+                stop_ids=stop_ids,
+            )
+        return self.tokenizer.decode(result.token_ids)
+
+    # -- scoring ---------------------------------------------------------------
+
+    def loss_on_text(self, text: str) -> float:
+        """Mean next-token cross-entropy of ``text`` (right-truncated to fit)."""
+        ids = self.tokenizer.encode(text)[: self.config.n_positions]
+        if len(ids) < 2:
+            raise GenerationError("text too short to score")
+        array = np.array([ids], dtype=np.int64)
+        targets = np.roll(array, -1, axis=1)
+        targets[:, -1] = -1
+        return self.network.evaluate_loss(array, targets)
+
+    def perplexity(self, text: str) -> float:
+        """exp(loss) on the text."""
+        return float(np.exp(self.loss_on_text(text)))

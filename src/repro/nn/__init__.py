@@ -1,0 +1,53 @@
+"""Numpy neural-network substrate: layers, transformer, optimizer, sampling."""
+
+from repro.nn.attention import CausalSelfAttention, KVCache
+from repro.nn.layers import (
+    Embedding,
+    Layer,
+    LayerNorm,
+    Linear,
+    cross_entropy,
+    gelu,
+    gelu_backward,
+    softmax,
+)
+from repro.nn.optim import Adam, CosineSchedule, LinearSchedule, clip_grad_norm
+from repro.nn.parameter import Parameter, numpy_rng
+from repro.nn.rotary import apply_rotary, apply_rotary_backward, rotary_tables
+from repro.nn.sampling import (
+    GenerationResult,
+    generate_beam,
+    generate_greedy,
+    generate_sampled,
+)
+from repro.nn.transformer import Block, DecoderLM, Mlp, TransformerConfig
+
+__all__ = [
+    "CausalSelfAttention",
+    "KVCache",
+    "Embedding",
+    "Layer",
+    "LayerNorm",
+    "Linear",
+    "cross_entropy",
+    "gelu",
+    "gelu_backward",
+    "softmax",
+    "Adam",
+    "CosineSchedule",
+    "LinearSchedule",
+    "clip_grad_norm",
+    "Parameter",
+    "numpy_rng",
+    "apply_rotary",
+    "apply_rotary_backward",
+    "rotary_tables",
+    "GenerationResult",
+    "generate_beam",
+    "generate_greedy",
+    "generate_sampled",
+    "Block",
+    "DecoderLM",
+    "Mlp",
+    "TransformerConfig",
+]

@@ -1,0 +1,162 @@
+"""Causal multi-head self-attention with rotary position embeddings.
+
+Matches the attention used by the CodeGen family: rotary-embedded queries
+and keys, scaled dot product, causal mask, learned output projection.  The
+layer supports an inference-time key/value cache so generation costs
+O(T) per new token instead of O(T^2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layers import Layer, Linear, softmax
+from repro.nn.rotary import apply_rotary, apply_rotary_backward, rotary_tables
+
+NEG_INF = np.float32(-1e9)
+
+
+class KVCache:
+    """Per-layer accumulated keys/values for incremental decoding."""
+
+    def __init__(self) -> None:
+        self.keys: np.ndarray | None = None
+        self.values: np.ndarray | None = None
+
+    @property
+    def length(self) -> int:
+        return 0 if self.keys is None else self.keys.shape[2]
+
+    def append(self, keys: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if self.keys is None:
+            self.keys, self.values = keys, values
+        else:
+            self.keys = np.concatenate([self.keys, keys], axis=2)
+            self.values = np.concatenate([self.values, values], axis=2)
+        return self.keys, self.values
+
+
+class CausalSelfAttention(Layer):
+    """Multi-head causal self-attention block."""
+
+    def __init__(self, name: str, dim: int, n_heads: int, n_positions: int, rng: np.random.Generator, std: float = 0.02):
+        if dim % n_heads != 0:
+            raise ShapeError(f"dim {dim} not divisible by n_heads {n_heads}")
+        self.dim = dim
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.n_positions = n_positions
+        self.query_proj = Linear(f"{name}.q", dim, dim, rng, std=std, bias=False)
+        self.key_proj = Linear(f"{name}.k", dim, dim, rng, std=std, bias=False)
+        self.value_proj = Linear(f"{name}.v", dim, dim, rng, std=std, bias=False)
+        self.out_proj = Linear(f"{name}.o", dim, dim, rng, std=std)
+        self._cos, self._sin = rotary_tables(n_positions, self.head_dim)
+        self._cache: dict[str, np.ndarray] | None = None
+
+    # -- shape helpers -----------------------------------------------------
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, length, _ = x.shape
+        return x.reshape(batch, length, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, _, length, _ = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, length, self.dim)
+
+    # -- training path -----------------------------------------------------
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        batch, length, _ = x.shape
+        if length > self.n_positions:
+            raise ShapeError(f"sequence length {length} exceeds n_positions {self.n_positions}")
+        queries = self._split_heads(self.query_proj.forward(x, training))
+        keys = self._split_heads(self.key_proj.forward(x, training))
+        values = self._split_heads(self.value_proj.forward(x, training))
+
+        cos = self._cos[:length][None, None]
+        sin = self._sin[:length][None, None]
+        rotated_queries = apply_rotary(queries, cos, sin)
+        rotated_keys = apply_rotary(keys, cos, sin)
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (rotated_queries @ rotated_keys.transpose(0, 1, 3, 2)) * scale
+        causal = np.triu(np.ones((length, length), dtype=bool), k=1)
+        scores = np.where(causal, NEG_INF, scores)
+        weights = softmax(scores, axis=-1)
+        context = weights @ values
+        merged = self._merge_heads(context)
+        out = self.out_proj.forward(merged, training)
+        if training:
+            self._cache = {
+                "rotated_queries": rotated_queries,
+                "rotated_keys": rotated_keys,
+                "values": values,
+                "weights": weights,
+                "cos": cos,
+                "sin": sin,
+            }
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("attention backward before forward")
+        cache = self._cache
+        grad_merged = self.out_proj.backward(grad_output)
+        batch, length, _ = grad_merged.shape
+        grad_context = grad_merged.reshape(batch, length, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+        weights = cache["weights"]
+        grad_weights = grad_context @ cache["values"].transpose(0, 1, 3, 2)
+        grad_values = weights.transpose(0, 1, 3, 2) @ grad_context
+
+        # softmax backward (per row)
+        weighted = (grad_weights * weights).sum(axis=-1, keepdims=True)
+        grad_scores = weights * (grad_weights - weighted)
+        scale = 1.0 / np.sqrt(self.head_dim)
+        grad_scores *= scale
+
+        grad_rotated_queries = grad_scores @ cache["rotated_keys"]
+        grad_rotated_keys = grad_scores.transpose(0, 1, 3, 2) @ cache["rotated_queries"]
+
+        grad_queries = apply_rotary_backward(grad_rotated_queries, cache["cos"], cache["sin"])
+        grad_keys = apply_rotary_backward(grad_rotated_keys, cache["cos"], cache["sin"])
+
+        grad_input = self.query_proj.backward(self._merge_heads(grad_queries))
+        grad_input += self.key_proj.backward(self._merge_heads(grad_keys))
+        grad_input += self.value_proj.backward(self._merge_heads(grad_values))
+        self._cache = None
+        return grad_input
+
+    # -- inference path -----------------------------------------------------
+
+    def forward_incremental(self, x: np.ndarray, kv_cache: KVCache) -> np.ndarray:
+        """Inference forward for the new suffix ``x``, reusing cached K/V.
+
+        ``x`` holds only positions not yet in the cache; returns the
+        attention output for those positions.
+        """
+        batch, new_length, _ = x.shape
+        offset = kv_cache.length
+        if offset + new_length > self.n_positions:
+            raise ShapeError(
+                f"cache {offset} + new {new_length} exceeds n_positions {self.n_positions}"
+            )
+        queries = self._split_heads(self.query_proj.forward(x, training=False))
+        keys = self._split_heads(self.key_proj.forward(x, training=False))
+        values = self._split_heads(self.value_proj.forward(x, training=False))
+
+        cos_new = self._cos[offset:offset + new_length][None, None]
+        sin_new = self._sin[offset:offset + new_length][None, None]
+        rotated_queries = apply_rotary(queries, cos_new, sin_new)
+        rotated_keys = apply_rotary(keys, cos_new, sin_new)
+
+        all_keys, all_values = kv_cache.append(rotated_keys, values)
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (rotated_queries @ all_keys.transpose(0, 1, 3, 2)) * scale
+        total = offset + new_length
+        causal = np.triu(np.ones((new_length, total), dtype=bool), k=offset + 1)
+        scores = np.where(causal, NEG_INF, scores)
+        weights = softmax(scores, axis=-1)
+        context = weights @ all_values
+        return self.out_proj.forward(self._merge_heads(context), training=False)

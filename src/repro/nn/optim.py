@@ -1,0 +1,113 @@
+"""Optimizers and learning-rate schedules.
+
+The paper trains with Adam-style optimization at lr 5e-5, a *linear*
+decreasing schedule for pre-training and a *cosine* decreasing schedule for
+fine-tuning; both schedules are provided.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+class Adam:
+    """Adam with optional decoupled weight decay (AdamW when decay > 0)."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        learning_rate: float = 5e-5,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        self.parameters = list(parameters)
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.step_count = 0
+        self._first_moment = [np.zeros_like(p.data) for p in self.parameters]
+        self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self, learning_rate: float | None = None) -> None:
+        """Apply one update using accumulated gradients."""
+        lr = self.learning_rate if learning_rate is None else learning_rate
+        self.step_count += 1
+        bias1 = 1.0 - self.beta1 ** self.step_count
+        bias2 = 1.0 - self.beta2 ** self.step_count
+        for index, parameter in enumerate(self.parameters):
+            grad = parameter.grad
+            m = self._first_moment[index]
+            v = self._second_moment[index]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            update = (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            if self.weight_decay > 0.0:
+                update = update + self.weight_decay * parameter.data
+            parameter.data -= lr * update
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+
+def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm.
+    """
+    total = 0.0
+    for parameter in parameters:
+        total += float((parameter.grad * parameter.grad).sum())
+    norm = math.sqrt(total)
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for parameter in parameters:
+            parameter.grad *= scale
+    return norm
+
+
+class LinearSchedule:
+    """Linear warmup then linear decay to ``final_fraction`` of peak lr."""
+
+    def __init__(self, peak_lr: float, total_steps: int, warmup_steps: int = 0, final_fraction: float = 0.0):
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.peak_lr = peak_lr
+        self.total_steps = total_steps
+        self.warmup_steps = warmup_steps
+        self.final_fraction = final_fraction
+
+    def lr_at(self, step: int) -> float:
+        if self.warmup_steps > 0 and step < self.warmup_steps:
+            return self.peak_lr * (step + 1) / self.warmup_steps
+        progress = min(1.0, (step - self.warmup_steps) / max(1, self.total_steps - self.warmup_steps))
+        return self.peak_lr * (1.0 - (1.0 - self.final_fraction) * progress)
+
+
+class CosineSchedule:
+    """Linear warmup then cosine decay to ``final_fraction`` of peak lr."""
+
+    def __init__(self, peak_lr: float, total_steps: int, warmup_steps: int = 0, final_fraction: float = 0.0):
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.peak_lr = peak_lr
+        self.total_steps = total_steps
+        self.warmup_steps = warmup_steps
+        self.final_fraction = final_fraction
+
+    def lr_at(self, step: int) -> float:
+        if self.warmup_steps > 0 and step < self.warmup_steps:
+            return self.peak_lr * (step + 1) / self.warmup_steps
+        progress = min(1.0, (step - self.warmup_steps) / max(1, self.total_steps - self.warmup_steps))
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.peak_lr * (self.final_fraction + (1.0 - self.final_fraction) * cosine)

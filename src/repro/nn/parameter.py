@@ -1,0 +1,54 @@
+"""Parameter container and initializers for the numpy neural network."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeededRng
+
+
+class Parameter:
+    """A trainable array with its accumulated gradient.
+
+    Layers own Parameters; the optimizer iterates over them.  ``grad`` is
+    lazily allocated and zeroed by :meth:`zero_grad`.
+    """
+
+    def __init__(self, name: str, data: np.ndarray):
+        self.name = name
+        self.data = data.astype(np.float32)
+        self.grad = np.zeros_like(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name}, shape={self.data.shape})"
+
+
+def normal_init(rng: np.random.Generator, shape: tuple[int, ...], std: float) -> np.ndarray:
+    """Gaussian init with the given standard deviation."""
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def zeros_init(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones_init(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)
+
+
+def numpy_rng(seed_source: SeededRng | int) -> np.random.Generator:
+    """Build a numpy Generator from a SeededRng or plain int seed."""
+    if isinstance(seed_source, SeededRng):
+        return np.random.default_rng(seed_source.seed)
+    return np.random.default_rng(int(seed_source))

@@ -1,0 +1,147 @@
+"""Decoding strategies over a :class:`repro.nn.transformer.DecoderLM`.
+
+The paper evaluates with greedy decoding ("all results presented thereafter
+were obtained using greedy decoding.  We would expect some improvement by
+using random sampling or beam search"); greedy, temperature/top-k sampling,
+and beam search are all provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GenerationError
+from repro.nn.transformer import DecoderLM
+
+
+@dataclass(frozen=True)
+class GenerationResult:
+    """Token ids produced after the prompt, plus the stop reason."""
+
+    token_ids: list[int]
+    stop_reason: str  # "stop_token" | "max_tokens" | "context_full"
+
+
+def _prepare_prompt(model: DecoderLM, prompt_ids: list[int], max_new_tokens: int) -> list[int]:
+    if max_new_tokens < 1:
+        raise GenerationError(f"max_new_tokens must be >= 1, got {max_new_tokens}")
+    window = model.config.n_positions
+    budgeted = window - 1
+    if len(prompt_ids) > budgeted:
+        # Left truncation, as in the paper's inference setup.
+        prompt_ids = prompt_ids[len(prompt_ids) - budgeted:]
+    if not prompt_ids:
+        raise GenerationError("prompt is empty after truncation")
+    return list(prompt_ids)
+
+
+def generate_greedy(
+    model: DecoderLM,
+    prompt_ids: list[int],
+    max_new_tokens: int,
+    stop_ids: frozenset[int] | set[int] = frozenset(),
+) -> GenerationResult:
+    """Greedy decoding with KV cache; stops at a stop token, the token
+    budget, or a full context window."""
+    prompt = _prepare_prompt(model, prompt_ids, max_new_tokens)
+    caches = model.new_cache()
+    logits = model.forward_incremental(np.array([prompt], dtype=np.int64), caches)
+    generated: list[int] = []
+    window = model.config.n_positions
+    for _ in range(max_new_tokens):
+        next_id = int(logits[0, -1].argmax())
+        if next_id in stop_ids:
+            return GenerationResult(generated, "stop_token")
+        generated.append(next_id)
+        if len(prompt) + len(generated) >= window:
+            return GenerationResult(generated, "context_full")
+        logits = model.forward_incremental(np.array([[next_id]], dtype=np.int64), caches)
+    return GenerationResult(generated, "max_tokens")
+
+
+def generate_sampled(
+    model: DecoderLM,
+    prompt_ids: list[int],
+    max_new_tokens: int,
+    rng: np.random.Generator,
+    temperature: float = 1.0,
+    top_k: int = 0,
+    stop_ids: frozenset[int] | set[int] = frozenset(),
+) -> GenerationResult:
+    """Temperature / top-k sampling with KV cache."""
+    if temperature <= 0.0:
+        raise GenerationError("temperature must be positive; use generate_greedy for argmax")
+    prompt = _prepare_prompt(model, prompt_ids, max_new_tokens)
+    caches = model.new_cache()
+    logits = model.forward_incremental(np.array([prompt], dtype=np.int64), caches)
+    generated: list[int] = []
+    window = model.config.n_positions
+    for _ in range(max_new_tokens):
+        scores = logits[0, -1].astype(np.float64) / temperature
+        if top_k > 0 and top_k < scores.shape[0]:
+            cutoff = np.partition(scores, -top_k)[-top_k]
+            scores = np.where(scores < cutoff, -np.inf, scores)
+        scores -= scores.max()
+        probabilities = np.exp(scores)
+        probabilities /= probabilities.sum()
+        next_id = int(rng.choice(scores.shape[0], p=probabilities))
+        if next_id in stop_ids:
+            return GenerationResult(generated, "stop_token")
+        generated.append(next_id)
+        if len(prompt) + len(generated) >= window:
+            return GenerationResult(generated, "context_full")
+        logits = model.forward_incremental(np.array([[next_id]], dtype=np.int64), caches)
+    return GenerationResult(generated, "max_tokens")
+
+
+def generate_beam(
+    model: DecoderLM,
+    prompt_ids: list[int],
+    max_new_tokens: int,
+    beam_width: int = 3,
+    stop_ids: frozenset[int] | set[int] = frozenset(),
+    length_penalty: float = 0.0,
+) -> GenerationResult:
+    """Beam search (no cache sharing across beams; intended for small beams).
+
+    Scores are mean-adjusted by ``length_penalty`` (0 = pure log-prob sum).
+    """
+    prompt = _prepare_prompt(model, prompt_ids, max_new_tokens)
+    window = model.config.n_positions
+    beams: list[tuple[float, list[int], bool]] = [(0.0, [], False)]
+    for _ in range(max_new_tokens):
+        candidates: list[tuple[float, list[int], bool]] = []
+        for score, tokens, finished in beams:
+            if finished:
+                candidates.append((score, tokens, True))
+                continue
+            sequence = prompt + tokens
+            if len(sequence) >= window:
+                candidates.append((score, tokens, True))
+                continue
+            logits = model.forward(np.array([sequence], dtype=np.int64), training=False)
+            row = logits[0, -1].astype(np.float64)
+            row -= row.max()
+            log_probabilities = row - np.log(np.exp(row).sum())
+            top = np.argsort(log_probabilities)[::-1][:beam_width]
+            for token_id in top:
+                token_id = int(token_id)
+                new_score = score + float(log_probabilities[token_id])
+                if token_id in stop_ids:
+                    candidates.append((new_score, tokens, True))
+                else:
+                    candidates.append((new_score, tokens + [token_id], False))
+        def adjusted(entry: tuple[float, list[int], bool]) -> float:
+            score, tokens, _ = entry
+            denominator = max(1, len(tokens)) ** length_penalty
+            return score / denominator
+        candidates.sort(key=adjusted, reverse=True)
+        beams = candidates[:beam_width]
+        if all(finished for _, _, finished in beams):
+            break
+    best_score, best_tokens, best_finished = beams[0]
+    del best_score
+    reason = "stop_token" if best_finished else "max_tokens"
+    return GenerationResult(best_tokens, reason)

@@ -1,0 +1,59 @@
+"""HTTP client for the prediction service (the "REST client" of the demo)."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.errors import ServingError
+
+
+class PredictionClient:
+    """Talks to a :class:`repro.serving.service.RestServer`."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        url = self.base_url + path
+        data = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request = urllib.request.Request(
+            url,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                body = json.loads(error.read().decode("utf-8"))
+                message = body.get("error", str(error))
+            except (ValueError, json.JSONDecodeError):
+                message = str(error)
+            raise ServingError(f"{method} {path} failed: {message}") from error
+        except urllib.error.URLError as error:
+            raise ServingError(f"cannot reach service at {url}: {error}") from error
+
+    def complete(self, prompt: str, max_new_tokens: int = 96) -> str:
+        """TextCompleter-compatible completion via HTTP."""
+        result = self._request(
+            "POST", "/v1/completions", {"prompt": prompt, "max_new_tokens": max_new_tokens}
+        )
+        return result["completion"]
+
+    def predict(self, prompt: str, max_new_tokens: int | None = None) -> dict:
+        """Full prediction payload (completion + latency + cache flag)."""
+        payload: dict = {"prompt": prompt}
+        if max_new_tokens is not None:
+            payload["max_new_tokens"] = max_new_tokens
+        return self._request("POST", "/v1/completions", payload)
+
+    def health(self) -> dict:
+        return self._request("GET", "/v1/health")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")

@@ -1,0 +1,92 @@
+"""Editor-plugin simulation.
+
+Reproduces the paper's VS Code plugin flow: "when a user writes the prompt
+for the task, example '- name: install nginx on RHEL', and hits enter, we
+invoke the API to carry out the prediction and then take the results and
+paste it back on the editor.  The user can either hit tab and accept the
+suggestion, or escape key to reject the suggestion."
+
+:class:`EditorSession` models the buffer + keystroke protocol against any
+prediction backend (in-process service or HTTP client).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ServingError
+
+TAB = "tab"
+ESCAPE = "escape"
+
+
+@dataclass
+class Suggestion:
+    """A pending inline suggestion shown to the user."""
+
+    text: str
+    latency_ms: float
+    cached: bool
+
+
+@dataclass
+class EditorSession:
+    """A minimal Ansible-file editing session with AI suggestions.
+
+    Attributes:
+        backend: object with ``predict(prompt) -> dict`` (a
+            :class:`PredictionService` or :class:`PredictionClient`).
+        buffer: current file content.
+        accepted / rejected: per-session acceptance accounting.
+    """
+
+    backend: object
+    buffer: str = ""
+    accepted: int = 0
+    rejected: int = 0
+    _pending: Suggestion | None = field(default=None, repr=False)
+
+    def type_text(self, text: str) -> None:
+        """User types raw text (no trigger)."""
+        self.buffer += text
+
+    def press_enter(self) -> Suggestion:
+        """User hits enter after a ``- name:`` prompt line: trigger the API.
+
+        The whole buffer is the model context; the returned suggestion is
+        held pending until tab/escape.
+        """
+        if self._pending is not None:
+            raise ServingError("a suggestion is already pending; press tab or escape")
+        if not self.buffer.rstrip("\n").split("\n")[-1].lstrip().startswith("- name:"):
+            raise ServingError("enter pressed on a line that is not a '- name:' prompt")
+        self.buffer += "\n"
+        result = self.backend.predict(self.buffer)
+        self._pending = Suggestion(
+            text=result["completion"],
+            latency_ms=result.get("latency_ms", 0.0),
+            cached=result.get("cached", False),
+        )
+        return self._pending
+
+    def press(self, key: str) -> str:
+        """Resolve the pending suggestion with tab (accept) or escape."""
+        if self._pending is None:
+            raise ServingError("no pending suggestion")
+        suggestion = self._pending
+        self._pending = None
+        if key == TAB:
+            self.buffer += suggestion.text
+            if not self.buffer.endswith("\n"):
+                self.buffer += "\n"
+            self.accepted += 1
+        elif key == ESCAPE:
+            self.rejected += 1
+        else:
+            raise ServingError(f"unknown key {key!r}; use 'tab' or 'escape'")
+        return self.buffer
+
+    @property
+    def acceptance_rate(self) -> float:
+        total = self.accepted + self.rejected
+        return self.accepted / total if total else 0.0

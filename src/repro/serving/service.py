@@ -1,0 +1,148 @@
+"""Prediction service: the GRPC/REST interface of the paper's demo.
+
+"We expose a GRPC and REST API based interface to model predictions so that
+inference can be called out using GRPC and REST clients."  Here the REST
+flavour is implemented over the standard library's HTTP server; the same
+:class:`PredictionService` object can also be called in-process (which is
+what the editor-plugin simulation does).
+
+Endpoints::
+
+    POST /v1/completions   {"prompt": "...", "max_new_tokens": 96}
+                        -> {"completion": "...", "latency_ms": ..., "cached": ...}
+    GET  /v1/health        -> {"status": "ok", "model": "..."}
+    GET  /v1/stats         -> request counts, cache hit rate, latency stats
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ServingError
+from repro.serving.cache import LruCache
+
+
+class PredictionService:
+    """Wraps any TextCompleter with caching and latency accounting."""
+
+    def __init__(self, completer, cache_capacity: int = 256, max_new_tokens: int = 96):
+        self.completer = completer
+        self.cache = LruCache(cache_capacity)
+        self.max_new_tokens = max_new_tokens
+        self.request_count = 0
+        self.total_latency_ms = 0.0
+        self._lock = threading.Lock()
+
+    def predict(self, prompt: str, max_new_tokens: int | None = None) -> dict:
+        """One prediction, served from cache when possible."""
+        if not isinstance(prompt, str) or not prompt.strip():
+            raise ServingError("prompt must be a non-empty string")
+        budget = max_new_tokens or self.max_new_tokens
+        started = time.perf_counter()
+        with self._lock:
+            cached = self.cache.get(prompt)
+            if cached is not None:
+                latency_ms = (time.perf_counter() - started) * 1000.0
+                self.request_count += 1
+                self.total_latency_ms += latency_ms
+                return {"completion": cached, "latency_ms": latency_ms, "cached": True}
+        completion = self.completer.complete(prompt, max_new_tokens=budget)
+        latency_ms = (time.perf_counter() - started) * 1000.0
+        with self._lock:
+            self.cache.put(prompt, completion)
+            self.request_count += 1
+            self.total_latency_ms += latency_ms
+        return {"completion": completion, "latency_ms": latency_ms, "cached": False}
+
+    def health(self) -> dict:
+        return {"status": "ok", "model": getattr(self.completer, "name", "unknown")}
+
+    def stats(self) -> dict:
+        with self._lock:
+            mean_latency = self.total_latency_ms / self.request_count if self.request_count else 0.0
+            return {
+                "requests": self.request_count,
+                "cache_hit_rate": self.cache.hit_rate,
+                "mean_latency_ms": mean_latency,
+            }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    service: PredictionService  # set by the server factory
+
+    def log_message(self, format: str, *args) -> None:  # silence default logging
+        del format, args
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:
+        if self.path == "/v1/health":
+            self._send_json(self.service.health())
+        elif self.path == "/v1/stats":
+            self._send_json(self.service.stats())
+        else:
+            self._send_json({"error": f"unknown path {self.path}"}, status=404)
+
+    def do_POST(self) -> None:
+        if self.path != "/v1/completions":
+            self._send_json({"error": f"unknown path {self.path}"}, status=404)
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            result = self.service.predict(
+                payload.get("prompt", ""),
+                payload.get("max_new_tokens"),
+            )
+            self._send_json(result)
+        except ServingError as error:
+            self._send_json({"error": str(error)}, status=400)
+        except (ValueError, json.JSONDecodeError) as error:
+            self._send_json({"error": f"bad request: {error}"}, status=400)
+
+
+class RestServer:
+    """A small threaded HTTP server around a :class:`PredictionService`."""
+
+    def __init__(self, service: PredictionService, host: str = "127.0.0.1", port: int = 0):
+        handler = type("BoundHandler", (_Handler,), {"service": service})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address[0], self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "RestServer":
+        if self._thread is not None:
+            raise ServingError("server already started")
+        self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "RestServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,16 @@
+"""Byte-level BPE tokenizer (the CodeGen tokenizer's role in the paper)."""
+
+from repro.tokenizer.bpe import BpeTokenizer, pretokenize
+from repro.tokenizer.special import END_OF_TEXT, PAD, SEPARATOR, SPECIAL_TOKENS
+from repro.tokenizer.vocab import N_BYTES, Vocabulary
+
+__all__ = [
+    "BpeTokenizer",
+    "pretokenize",
+    "END_OF_TEXT",
+    "PAD",
+    "SEPARATOR",
+    "SPECIAL_TOKENS",
+    "N_BYTES",
+    "Vocabulary",
+]

@@ -1,0 +1,215 @@
+"""Byte-level byte-pair-encoding tokenizer, trained from the corpus.
+
+Plays the role the CodeGen/GPT-2 tokenizer plays in the paper.  Byte-level
+means there is no out-of-vocabulary input: every byte is a base token and
+merges only ever *compress* the sequence.  The pre-tokenizer keeps runs of
+spaces together, which matters for YAML where indentation is structure —
+two-space and four-space indents become single tokens early in training.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+
+from repro.errors import TokenizerError
+from repro.tokenizer.special import END_OF_TEXT, PAD, SEPARATOR, SPECIAL_TOKENS
+from repro.tokenizer.vocab import N_BYTES, Vocabulary
+
+# Chunks: newline runs, space runs, identifier-ish words, digit runs, other
+# punctuation runs.  Merges never cross chunk boundaries (as in GPT-2).
+_PRETOKEN_RE = re.compile(rb"\n+|[ ]+|[A-Za-z_]+|[0-9]+|[^\sA-Za-z0-9]+|[^\n ]+")
+
+
+def pretokenize(data: bytes) -> list[bytes]:
+    """Split raw bytes into merge-isolated chunks."""
+    return _PRETOKEN_RE.findall(data)
+
+
+class BpeTokenizer:
+    """Encoder/decoder over a :class:`Vocabulary`.
+
+    Build one either by :meth:`train`-ing on corpus texts or from a
+    serialized vocabulary via :meth:`from_json`.
+    """
+
+    def __init__(self, vocabulary: Vocabulary):
+        self.vocabulary = vocabulary
+        self._cache: dict[bytes, list[int]] = {}
+        self._special_pattern = re.compile(
+            "(" + "|".join(re.escape(token) for token in vocabulary.special_tokens) + ")"
+        )
+        self._byte_to_id = {bytes([i]): i for i in range(N_BYTES)}
+        self._bytes_to_id: dict[bytes, int] = dict(self._byte_to_id)
+        for pair in vocabulary.merges:
+            merged = pair[0] + pair[1]
+            self._bytes_to_id[merged] = vocabulary.id_of_merge(pair)
+
+    # -- training ----------------------------------------------------------
+
+    @classmethod
+    def train(cls, texts: list[str], vocab_size: int, special_tokens: tuple[str, ...] = SPECIAL_TOKENS) -> "BpeTokenizer":
+        """Learn a BPE vocabulary of ``vocab_size`` tokens from ``texts``.
+
+        ``vocab_size`` counts bytes + specials + merges; it must exceed
+        ``256 + len(special_tokens)``.
+        """
+        floor = N_BYTES + len(special_tokens)
+        if vocab_size <= floor:
+            raise TokenizerError(f"vocab_size must exceed {floor}, got {vocab_size}")
+        chunk_counts: Counter[bytes] = Counter()
+        for text in texts:
+            chunk_counts.update(pretokenize(text.encode("utf-8")))
+
+        # Each distinct chunk is a sequence of single-byte symbols.
+        words: list[list[bytes]] = []
+        counts: list[int] = []
+        for chunk, count in chunk_counts.items():
+            words.append([bytes([b]) for b in chunk])
+            counts.append(count)
+
+        vocabulary = Vocabulary(special_tokens=special_tokens)
+        n_merges = vocab_size - floor
+        pair_counts: Counter[tuple[bytes, bytes]] = Counter()
+        pair_to_words: dict[tuple[bytes, bytes], set[int]] = {}
+        for word_index, word in enumerate(words):
+            count = counts[word_index]
+            for pair in zip(word, word[1:]):
+                pair_counts[pair] += count
+                pair_to_words.setdefault(pair, set()).add(word_index)
+
+        for _ in range(n_merges):
+            if not pair_counts:
+                break
+            best_pair, best_count = max(pair_counts.items(), key=lambda item: (item[1], item[0]))
+            if best_count < 2:
+                break
+            vocabulary.add_merge(*best_pair)
+            merged = best_pair[0] + best_pair[1]
+            affected = pair_to_words.pop(best_pair, set())
+            pair_counts.pop(best_pair, None)
+            for word_index in affected:
+                word = words[word_index]
+                count = counts[word_index]
+                # Remove old pair contributions of this word.
+                for pair in zip(word, word[1:]):
+                    if pair in pair_counts:
+                        pair_counts[pair] -= count
+                        if pair_counts[pair] <= 0:
+                            del pair_counts[pair]
+                        members = pair_to_words.get(pair)
+                        if members is not None:
+                            members.discard(word_index)
+                # Apply the merge inside the word.
+                new_word: list[bytes] = []
+                position = 0
+                while position < len(word):
+                    if (
+                        position + 1 < len(word)
+                        and word[position] == best_pair[0]
+                        and word[position + 1] == best_pair[1]
+                    ):
+                        new_word.append(merged)
+                        position += 2
+                    else:
+                        new_word.append(word[position])
+                        position += 1
+                words[word_index] = new_word
+                # Re-add pair contributions.
+                for pair in zip(new_word, new_word[1:]):
+                    pair_counts[pair] += count
+                    pair_to_words.setdefault(pair, set()).add(word_index)
+        return cls(vocabulary)
+
+    # -- encoding ----------------------------------------------------------
+
+    def _encode_chunk(self, chunk: bytes) -> list[int]:
+        cached = self._cache.get(chunk)
+        if cached is not None:
+            return cached
+        symbols = [bytes([b]) for b in chunk]
+        while len(symbols) > 1:
+            ranked = [
+                (rank, index)
+                for index, pair in enumerate(zip(symbols, symbols[1:]))
+                if (rank := self.vocabulary.merge_rank(pair)) is not None
+            ]
+            if not ranked:
+                break
+            best_rank, _ = min(ranked)
+            # Apply all occurrences of the best-ranked merge, left to right.
+            target_pair = self.vocabulary.merges[best_rank]
+            new_symbols: list[bytes] = []
+            position = 0
+            while position < len(symbols):
+                if (
+                    position + 1 < len(symbols)
+                    and symbols[position] == target_pair[0]
+                    and symbols[position + 1] == target_pair[1]
+                ):
+                    new_symbols.append(target_pair[0] + target_pair[1])
+                    position += 2
+                else:
+                    new_symbols.append(symbols[position])
+                    position += 1
+            symbols = new_symbols
+        ids = [self._bytes_to_id[symbol] for symbol in symbols]
+        if len(self._cache) < 100_000:
+            self._cache[chunk] = ids
+        return ids
+
+    def encode(self, text: str, allow_special: bool = True) -> list[int]:
+        """Encode text to token ids.
+
+        With ``allow_special`` (default), occurrences of special-token
+        strings map to their reserved ids; otherwise they are encoded as
+        plain bytes.
+        """
+        ids: list[int] = []
+        if allow_special:
+            pieces = self._special_pattern.split(text)
+        else:
+            pieces = [text]
+        for piece in pieces:
+            if not piece:
+                continue
+            if allow_special and piece in self.vocabulary.special_tokens:
+                ids.append(self.vocabulary.special_id(piece))
+                continue
+            for chunk in pretokenize(piece.encode("utf-8")):
+                ids.extend(self._encode_chunk(chunk))
+        return ids
+
+    def decode(self, ids: list[int], skip_special: bool = True) -> str:
+        """Decode token ids back to text."""
+        pieces: list[bytes] = []
+        for token_id in ids:
+            if skip_special and self.vocabulary.is_special(token_id):
+                continue
+            pieces.append(self.vocabulary.bytes_of(token_id))
+        return b"".join(pieces).decode("utf-8", errors="replace")
+
+    # -- convenience ----------------------------------------------------------
+
+    @property
+    def vocab_size(self) -> int:
+        return self.vocabulary.size
+
+    @property
+    def separator_id(self) -> int:
+        return self.vocabulary.special_id(SEPARATOR)
+
+    @property
+    def end_of_text_id(self) -> int:
+        return self.vocabulary.special_id(END_OF_TEXT)
+
+    @property
+    def pad_id(self) -> int:
+        return self.vocabulary.special_id(PAD)
+
+    def to_json(self) -> str:
+        return self.vocabulary.to_json()
+
+    @classmethod
+    def from_json(cls, payload: str) -> "BpeTokenizer":
+        return cls(Vocabulary.from_json(payload))

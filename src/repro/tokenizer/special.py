@@ -1,0 +1,16 @@
+"""Special tokens shared by the tokenizer, packing, and the model.
+
+The paper's pretraining pipeline "packed [YAML files] to fill up a context
+window of 1024, and ... used a special separator token to separate the
+files"; :data:`SEPARATOR` is that token.  :data:`END_OF_TEXT` terminates a
+generation (the fine-tuning samples end with it, so the model learns to
+stop), and :data:`PAD` fills ragged batches.
+"""
+
+from __future__ import annotations
+
+SEPARATOR = "<|sep|>"
+END_OF_TEXT = "<|endoftext|>"
+PAD = "<|pad|>"
+
+SPECIAL_TOKENS: tuple[str, ...] = (SEPARATOR, END_OF_TEXT, PAD)

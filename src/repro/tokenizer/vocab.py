@@ -1,0 +1,93 @@
+"""Vocabulary container for the byte-level BPE tokenizer.
+
+Token ids are laid out as::
+
+    [0, 256)                    the 256 single bytes
+    [256, 256 + n_special)      special tokens (separator, EOT, pad)
+    [256 + n_special, ...)      learned BPE merge tokens, in merge order
+
+This layout makes the mapping stable: adding merges never renumbers bytes
+or specials, so checkpoints trained with a smaller vocabulary remain
+decodable.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import VocabularyError
+from repro.tokenizer.special import SPECIAL_TOKENS
+
+N_BYTES = 256
+
+
+class Vocabulary:
+    """Bidirectional token-bytes ↔ id mapping."""
+
+    def __init__(self, merges: list[tuple[bytes, bytes]] | None = None, special_tokens: tuple[str, ...] = SPECIAL_TOKENS):
+        self.special_tokens = tuple(special_tokens)
+        self.merges: list[tuple[bytes, bytes]] = list(merges or [])
+        self._token_bytes: list[bytes] = [bytes([i]) for i in range(N_BYTES)]
+        self._token_bytes.extend(token.encode("utf-8") for token in self.special_tokens)
+        self._special_ids = {
+            token: N_BYTES + index for index, token in enumerate(self.special_tokens)
+        }
+        self._merge_ranks: dict[tuple[bytes, bytes], int] = {}
+        for left, right in self.merges:
+            self._register_merge(left, right)
+
+    def _register_merge(self, left: bytes, right: bytes) -> int:
+        token_id = len(self._token_bytes)
+        self._token_bytes.append(left + right)
+        self._merge_ranks[(left, right)] = len(self._merge_ranks)
+        return token_id
+
+    def add_merge(self, left: bytes, right: bytes) -> int:
+        """Append a merge rule; returns the new token's id."""
+        if (left, right) in self._merge_ranks:
+            raise VocabularyError(f"duplicate merge {(left, right)!r}")
+        self.merges.append((left, right))
+        return self._register_merge(left, right)
+
+    def __len__(self) -> int:
+        return len(self._token_bytes)
+
+    @property
+    def size(self) -> int:
+        return len(self._token_bytes)
+
+    def merge_rank(self, pair: tuple[bytes, bytes]) -> int | None:
+        """Rank of a merge pair (lower = applied earlier), None if absent."""
+        return self._merge_ranks.get(pair)
+
+    def id_of_merge(self, pair: tuple[bytes, bytes]) -> int:
+        rank = self._merge_ranks[pair]
+        return N_BYTES + len(self.special_tokens) + rank
+
+    def special_id(self, token: str) -> int:
+        if token not in self._special_ids:
+            raise VocabularyError(f"unknown special token {token!r}")
+        return self._special_ids[token]
+
+    def bytes_of(self, token_id: int) -> bytes:
+        if not 0 <= token_id < len(self._token_bytes):
+            raise VocabularyError(f"token id {token_id} out of range (vocab size {len(self._token_bytes)})")
+        return self._token_bytes[token_id]
+
+    def is_special(self, token_id: int) -> bool:
+        return N_BYTES <= token_id < N_BYTES + len(self.special_tokens)
+
+    def to_json(self) -> str:
+        """Serialize merges and specials (bytes hex-encoded)."""
+        return json.dumps(
+            {
+                "special_tokens": list(self.special_tokens),
+                "merges": [[left.hex(), right.hex()] for left, right in self.merges],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "Vocabulary":
+        data = json.loads(payload)
+        merges = [(bytes.fromhex(left), bytes.fromhex(right)) for left, right in data["merges"]]
+        return cls(merges=merges, special_tokens=tuple(data["special_tokens"]))

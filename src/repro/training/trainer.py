@@ -1,0 +1,86 @@
+"""Shared training-loop machinery: batching, history, the step loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.transformer import DecoderLM
+
+
+@dataclass
+class TrainingHistory:
+    """Losses and learning rates recorded during a run."""
+
+    step_losses: list[float] = field(default_factory=list)
+    epoch_losses: list[float] = field(default_factory=list)
+    validation_losses: list[float] = field(default_factory=list)
+    learning_rates: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+    def improved(self) -> bool:
+        """Did the last epoch improve on the first?"""
+        return len(self.epoch_losses) >= 2 and self.epoch_losses[-1] < self.epoch_losses[0]
+
+
+def iterate_batches(rows: np.ndarray, targets: np.ndarray, batch_size: int, rng: np.random.Generator):
+    """Yield shuffled (ids, targets) batches for one epoch."""
+    order = rng.permutation(rows.shape[0])
+    for start in range(0, rows.shape[0], batch_size):
+        chosen = order[start:start + batch_size]
+        yield rows[chosen], targets[chosen]
+
+
+def run_epoch(
+    model: DecoderLM,
+    optimizer: Adam,
+    rows: np.ndarray,
+    targets: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator,
+    schedule=None,
+    step_offset: int = 0,
+    max_grad_norm: float = 1.0,
+    history: TrainingHistory | None = None,
+) -> tuple[float, int]:
+    """Train one epoch; returns (mean loss, steps executed)."""
+    losses: list[float] = []
+    step = step_offset
+    for batch_ids, batch_targets in iterate_batches(rows, targets, batch_size, rng):
+        model.zero_grad()
+        loss = model.loss_and_backward(batch_ids, batch_targets)
+        clip_grad_norm(model.parameters(), max_grad_norm)
+        learning_rate = schedule.lr_at(step) if schedule is not None else None
+        optimizer.step(learning_rate)
+        losses.append(loss)
+        if history is not None:
+            history.step_losses.append(loss)
+            if learning_rate is not None:
+                history.learning_rates.append(learning_rate)
+        step += 1
+    mean_loss = float(np.mean(losses)) if losses else float("nan")
+    if history is not None:
+        history.epoch_losses.append(mean_loss)
+    return mean_loss, step - step_offset
+
+
+def pad_sequences(sequences: list[list[int]], pad_id: int, window: int) -> tuple[np.ndarray, np.ndarray]:
+    """Left-truncate to ``window`` and right-pad into (ids, targets).
+
+    Targets are the ids shifted left by one; pad positions (and the final
+    position) are ignored via index -1.
+    """
+    clipped = [sequence[-window:] if len(sequence) > window else sequence for sequence in sequences]
+    length = max(len(sequence) for sequence in clipped)
+    ids = np.full((len(clipped), length), pad_id, dtype=np.int64)
+    for row, sequence in enumerate(clipped):
+        ids[row, : len(sequence)] = sequence
+    targets = np.roll(ids, -1, axis=1)
+    targets[:, -1] = -1
+    targets = np.where(targets == pad_id, -1, targets)
+    return ids, targets

@@ -1,0 +1,54 @@
+"""ASCII table rendering for benchmark and report output.
+
+The benchmark harness prints the same rows as the paper's tables; this module
+provides the single formatting helper all of them use, so output stays
+uniform.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table.
+
+    Floats are formatted with ``precision`` decimal places; every other value
+    is rendered with :func:`str`.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+-----
+    1 | 2.50
+    """
+    formatted_rows = [[_cell(value, precision) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in formatted_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_line(headers))
+    lines.append(separator)
+    lines.extend(render_line(row) for row in formatted_rows)
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""A from-scratch YAML engine covering the subset used by Ansible content.
+
+Public API:
+
+* :func:`loads` / :func:`loads_all` — parse one document / a stream.
+* :func:`dumps` / :func:`dumps_all` — serialize with Ansible-style formatting.
+* :func:`is_valid` — predicate used by the dataset pipeline's validity filter.
+* :func:`normalize` — canonicalize a YAML document's formatting by a
+  parse→emit round trip (the paper's "standardized the formatting" step).
+
+The engine intentionally rejects anchors, aliases, tags and merge keys;
+files using them are filtered out of the corpus exactly like files PyYAML
+cannot load were filtered out in the paper's pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.errors import YamlEmitError, YamlError, YamlParseError, YamlScanError
+from repro.yamlio.emitter import DEFAULT_STYLE, EmitStyle, emit, emit_all
+from repro.yamlio.parser import parse, parse_all
+
+
+def loads(text: str) -> object:
+    """Parse a single-document YAML string into Python values."""
+    return parse(text)
+
+
+def loads_all(text: str) -> list[object]:
+    """Parse a multi-document YAML stream into a list of values."""
+    return parse_all(text)
+
+
+def dumps(value: object, style: EmitStyle | None = None) -> str:
+    """Serialize a value to Ansible-style YAML (with ``---`` marker by default)."""
+    return emit(value, style)
+
+
+def dumps_all(documents: list[object], style: EmitStyle | None = None) -> str:
+    """Serialize several documents to one stream."""
+    return emit_all(documents, style)
+
+
+def is_valid(text: str) -> bool:
+    """True when ``text`` parses under the engine's YAML subset."""
+    try:
+        parse_all(text)
+    except YamlError:
+        return False
+    return True
+
+
+def normalize(text: str, style: EmitStyle | None = None) -> str:
+    """Round-trip a document through parse→emit to canonicalize formatting."""
+    return emit(parse(text), style)
+
+
+__all__ = [
+    "loads",
+    "loads_all",
+    "dumps",
+    "dumps_all",
+    "is_valid",
+    "normalize",
+    "EmitStyle",
+    "DEFAULT_STYLE",
+    "emit",
+    "emit_all",
+    "parse",
+    "parse_all",
+    "YamlError",
+    "YamlScanError",
+    "YamlParseError",
+    "YamlEmitError",
+]

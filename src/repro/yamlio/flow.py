@@ -1,0 +1,194 @@
+"""Parser for YAML *flow* collections: ``[a, b]`` and ``{k: v}``.
+
+Ansible files mix block style with inline flow collections, most often for
+short lists (``groups: [wheel, docker]``) and loop literals.  This module
+parses a complete flow expression from a string; the block parser delegates
+to it whenever a value starts with ``[`` or ``{``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import YamlParseError
+from repro.yamlio.scalars import resolve_scalar, unquote_double, unquote_single
+
+
+class _FlowReader:
+    """Character cursor over a flow expression."""
+
+    def __init__(self, text: str, line_number: int):
+        self.text = text
+        self.position = 0
+        self.line_number = line_number
+
+    def error(self, message: str) -> YamlParseError:
+        return YamlParseError(message, line=self.line_number, column=self.position + 1)
+
+    def peek(self) -> str:
+        if self.position >= len(self.text):
+            return ""
+        return self.text[self.position]
+
+    def advance(self) -> str:
+        ch = self.peek()
+        self.position += 1
+        return ch
+
+    def skip_spaces(self) -> None:
+        while self.peek() in (" ", "\t") and self.peek():
+            self.position += 1
+
+    def at_end(self) -> bool:
+        return self.position >= len(self.text)
+
+
+def parse_flow(text: str, line_number: int = 0) -> object:
+    """Parse a complete flow expression, requiring all input be consumed.
+
+    >>> parse_flow("[1, 2, three]")
+    [1, 2, 'three']
+    >>> parse_flow("{name: web, port: 80}")
+    {'name': 'web', 'port': 80}
+    """
+    reader = _FlowReader(text.strip(), line_number)
+    value = _parse_value(reader)
+    reader.skip_spaces()
+    if not reader.at_end():
+        raise reader.error(f"trailing characters after flow expression: {reader.text[reader.position:]!r}")
+    return value
+
+
+def is_flow_start(text: str) -> bool:
+    """True when a value string begins a flow collection."""
+    return text.startswith("[") or text.startswith("{")
+
+
+def _parse_value(reader: _FlowReader) -> object:
+    reader.skip_spaces()
+    ch = reader.peek()
+    if ch == "[":
+        return _parse_sequence(reader)
+    if ch == "{":
+        return _parse_mapping(reader)
+    if ch == "'":
+        return _parse_single_quoted(reader)
+    if ch == '"':
+        return _parse_double_quoted(reader)
+    return _parse_plain(reader)
+
+
+def _parse_sequence(reader: _FlowReader) -> list[object]:
+    assert reader.advance() == "["
+    items: list[object] = []
+    reader.skip_spaces()
+    if reader.peek() == "]":
+        reader.advance()
+        return items
+    while True:
+        items.append(_parse_value(reader))
+        reader.skip_spaces()
+        ch = reader.advance()
+        if ch == "]":
+            return items
+        if ch != ",":
+            raise reader.error(f"expected ',' or ']' in flow sequence, got {ch!r}")
+        reader.skip_spaces()
+        if reader.peek() == "]":  # tolerate trailing comma
+            reader.advance()
+            return items
+
+
+def _parse_mapping(reader: _FlowReader) -> dict[str, object]:
+    assert reader.advance() == "{"
+    mapping: dict[str, object] = {}
+    reader.skip_spaces()
+    if reader.peek() == "}":
+        reader.advance()
+        return mapping
+    while True:
+        key = _parse_value(reader)
+        if not isinstance(key, (str, int, float, bool)) and key is not None:
+            raise reader.error("flow mapping key must be a scalar")
+        reader.skip_spaces()
+        if reader.peek() == ":":
+            reader.advance()
+            value = _parse_value(reader)
+        else:
+            value = None
+        mapping[str(key) if not isinstance(key, str) else key] = value
+        reader.skip_spaces()
+        ch = reader.advance()
+        if ch == "}":
+            return mapping
+        if ch != ",":
+            raise reader.error(f"expected ',' or '}}' in flow mapping, got {ch!r}")
+        reader.skip_spaces()
+        if reader.peek() == "}":
+            reader.advance()
+            return mapping
+
+
+def _parse_single_quoted(reader: _FlowReader) -> str:
+    assert reader.advance() == "'"
+    start = reader.position
+    body_parts: list[str] = []
+    while True:
+        if reader.at_end():
+            raise reader.error("unterminated single-quoted scalar in flow context")
+        ch = reader.advance()
+        if ch == "'":
+            if reader.peek() == "'":
+                body_parts.append("'")
+                reader.advance()
+            else:
+                break
+        else:
+            body_parts.append(ch)
+    del start
+    return "".join(body_parts)
+
+
+def _parse_double_quoted(reader: _FlowReader) -> str:
+    assert reader.advance() == '"'
+    body_parts: list[str] = []
+    while True:
+        if reader.at_end():
+            raise reader.error("unterminated double-quoted scalar in flow context")
+        ch = reader.advance()
+        if ch == '"':
+            break
+        if ch == "\\":
+            body_parts.append(ch)
+            body_parts.append(reader.advance())
+        else:
+            body_parts.append(ch)
+    return unquote_double("".join(body_parts))
+
+
+_PLAIN_TERMINATORS = {",", "]", "}", ""}
+
+
+def _parse_plain(reader: _FlowReader) -> object:
+    start = reader.position
+    depth_guard = 0
+    while not reader.at_end():
+        ch = reader.peek()
+        if ch in _PLAIN_TERMINATORS:
+            break
+        if ch == ":" and reader.position + 1 < len(reader.text) and reader.text[reader.position + 1] == " ":
+            break
+        if ch == ":" and reader.position + 1 >= len(reader.text):
+            break
+        reader.advance()
+        depth_guard += 1
+        if depth_guard > 1_000_000:
+            raise reader.error("flow scalar too long")
+    text = reader.text[start:reader.position].strip()
+    if text == "":
+        raise reader.error("empty plain scalar in flow context")
+    return resolve_scalar(text)
+
+
+__all__ = ["parse_flow", "is_flow_start"]
+
+# Re-export for the parser's convenience when handling quoted block scalars.
+_ = (unquote_single,)

@@ -1,0 +1,349 @@
+"""Block-structure parser for the YAML engine.
+
+Consumes :class:`repro.yamlio.scanner.Line` records and produces plain Python
+values (``dict`` / ``list`` / scalars).  The supported subset is the one
+Ansible content actually uses:
+
+* block mappings and block sequences (including compact ``- key: value``
+  items and sequences indented at the same level as their mapping key);
+* flow sequences/mappings as values (delegated to :mod:`repro.yamlio.flow`);
+* plain, single-quoted and double-quoted scalars;
+* literal (``|``) and folded (``>``) block scalars with chomping
+  indicators and explicit indentation indicators;
+* multiple documents separated by ``---`` / terminated by ``...``.
+
+Anchors, aliases, tags and merge keys are outside the subset and raise
+:class:`repro.errors.YamlParseError` — the dataset pipeline filters such
+files out, mirroring the paper's "checked for valid YAML" step.
+"""
+
+from __future__ import annotations
+
+from repro.errors import YamlParseError
+from repro.yamlio import flow
+from repro.yamlio.scalars import resolve_scalar, unquote_double, unquote_single
+from repro.yamlio.scanner import Line, scan_lines, split_key_value
+
+_LITERAL_HEADERS = ("|", ">")
+_UNSUPPORTED_PREFIXES = ("&", "*", "!!", "<<:")
+
+
+def _is_sequence_item(content: str) -> bool:
+    return content == "-" or content.startswith("- ")
+
+
+def _is_literal_header(text: str) -> bool:
+    if not text or text[0] not in _LITERAL_HEADERS:
+        return False
+    body = text[1:]
+    # indicators: chomping (+/-) and explicit indentation digit, any order.
+    return all(ch in "+-0123456789" for ch in body) and len(body) <= 2
+
+
+class _Parser:
+    def __init__(self, lines: list[Line], raw_lines: list[str]):
+        self._lines = lines
+        self._raw_lines = raw_lines
+        self._position = 0
+
+    # -- cursor ---------------------------------------------------------
+
+    def _peek(self) -> Line | None:
+        if self._position >= len(self._lines):
+            return None
+        return self._lines[self._position]
+
+    def _advance(self) -> Line:
+        line = self._lines[self._position]
+        self._position += 1
+        return line
+
+    def _push_back(self, line: Line) -> None:
+        self._lines.insert(self._position, line)
+
+    def at_end(self) -> bool:
+        return self._position >= len(self._lines)
+
+    # -- entry ----------------------------------------------------------
+
+    def parse_document(self) -> object:
+        first = self._peek()
+        if first is None:
+            return None
+        value = self._parse_block(first.indent)
+        leftover = self._peek()
+        if leftover is not None:
+            raise YamlParseError(
+                f"unexpected content after document node: {leftover.content!r}",
+                line=leftover.number,
+            )
+        return value
+
+    # -- block nodes ------------------------------------------------------
+
+    def _parse_block(self, min_indent: int) -> object:
+        line = self._peek()
+        if line is None or line.indent < min_indent:
+            return None
+        self._reject_unsupported(line)
+        if _is_sequence_item(line.content):
+            return self._parse_sequence(line.indent)
+        if split_key_value(line.content, line.number) is not None:
+            return self._parse_mapping(line.indent)
+        self._advance()
+        return self._parse_value_text(line.content, line)
+
+    def _reject_unsupported(self, line: Line) -> None:
+        for prefix in _UNSUPPORTED_PREFIXES:
+            if line.content.startswith(prefix):
+                raise YamlParseError(
+                    f"unsupported YAML feature ({prefix!r}) outside the Ansible subset",
+                    line=line.number,
+                )
+
+    def _parse_sequence(self, indent: int) -> list[object]:
+        items: list[object] = []
+        while True:
+            line = self._peek()
+            if line is None or line.indent != indent or not _is_sequence_item(line.content):
+                self._check_dangling(indent, allow_sequence_sibling=False)
+                return items
+            self._advance()
+            if line.content == "-":
+                next_line = self._peek()
+                if next_line is not None and next_line.indent > indent:
+                    items.append(self._parse_block(indent + 1))
+                else:
+                    items.append(None)
+                continue
+            rest = line.content[2:].lstrip()
+            offset = len(line.content) - len(rest)
+            items.append(self._parse_inline(rest, indent + offset, line))
+
+    def _parse_inline(self, text: str, indent: int, origin: Line) -> object:
+        """Parse a node whose first fragment sits mid-line (after ``- ``)."""
+        if _is_sequence_item(text):
+            self._push_back(Line(origin.number, indent, text, origin.raw))
+            return self._parse_sequence(indent)
+        if _is_literal_header(text):
+            # Block-scalar content need only be indented past the *dash*
+            # line, not past the virtual item column.
+            return self._parse_literal_block(text, origin.indent, origin)
+        key_value = split_key_value(text, origin.number)
+        if key_value is not None:
+            self._push_back(Line(origin.number, indent, text, origin.raw))
+            return self._parse_mapping(indent)
+        return self._parse_value_text(text, origin)
+
+    def _parse_mapping(self, indent: int) -> dict[object, object]:
+        mapping: dict[object, object] = {}
+        while True:
+            line = self._peek()
+            if line is None or line.indent != indent:
+                self._check_dangling(indent, allow_sequence_sibling=True)
+                return mapping
+            if _is_sequence_item(line.content):
+                return mapping
+            key_value = split_key_value(line.content, line.number)
+            if key_value is None:
+                raise YamlParseError(
+                    f"expected 'key: value' in block mapping, got {line.content!r}",
+                    line=line.number,
+                )
+            self._advance()
+            key_text, value_text = key_value
+            key = self._parse_key(key_text, line)
+            if key in mapping:
+                raise YamlParseError(f"duplicate mapping key {key!r}", line=line.number)
+            mapping[key] = self._parse_mapping_value(value_text, indent, line)
+
+    def _parse_mapping_value(self, value_text: str, indent: int, line: Line) -> object:
+        if value_text == "":
+            next_line = self._peek()
+            if next_line is not None and next_line.indent > indent:
+                return self._parse_block(indent + 1)
+            if (
+                next_line is not None
+                and next_line.indent == indent
+                and _is_sequence_item(next_line.content)
+            ):
+                # Sequence indented at the key's own level — the style used
+                # throughout ansible-core documentation.
+                return self._parse_sequence(indent)
+            return None
+        if _is_literal_header(value_text):
+            return self._parse_literal_block(value_text, indent, line)
+        return self._parse_value_text(value_text, line)
+
+    def _check_dangling(self, indent: int, allow_sequence_sibling: bool) -> None:
+        """Raise on an orphan line indented deeper than any open block."""
+        line = self._peek()
+        if line is not None and line.indent > indent:
+            raise YamlParseError(
+                f"unexpected indentation ({line.indent} spaces): {line.content!r}",
+                line=line.number,
+            )
+        del allow_sequence_sibling
+
+    # -- leaves ---------------------------------------------------------
+
+    def _parse_key(self, key_text: str, line: Line) -> object:
+        if key_text.startswith("'") and key_text.endswith("'") and len(key_text) >= 2:
+            return unquote_single(key_text[1:-1])
+        if key_text.startswith('"') and key_text.endswith('"') and len(key_text) >= 2:
+            return unquote_double(key_text[1:-1])
+        if key_text.startswith("?"):
+            raise YamlParseError("complex mapping keys are not supported", line=line.number)
+        resolved = resolve_scalar(key_text)
+        if isinstance(resolved, float):
+            raise YamlParseError("float mapping keys are not supported", line=line.number)
+        return resolved
+
+    def _parse_value_text(self, text: str, line: Line) -> object:
+        if flow.is_flow_start(text):
+            return flow.parse_flow(text, line.number)
+        if text.startswith("'"):
+            if not (text.endswith("'") and len(text) >= 2) or text == "'":
+                raise YamlParseError("unterminated single-quoted scalar", line=line.number)
+            return unquote_single(text[1:-1])
+        if text.startswith('"'):
+            if not (text.endswith('"') and len(text) >= 2) or text == '"':
+                raise YamlParseError("unterminated double-quoted scalar", line=line.number)
+            try:
+                return unquote_double(text[1:-1])
+            except ValueError as exc:
+                raise YamlParseError(str(exc), line=line.number) from exc
+        for prefix in _UNSUPPORTED_PREFIXES:
+            if text.startswith(prefix):
+                raise YamlParseError(
+                    f"unsupported YAML feature ({prefix!r}) outside the Ansible subset",
+                    line=line.number,
+                )
+        return resolve_scalar(text)
+
+    # -- literal / folded blocks -----------------------------------------
+
+    def _parse_literal_block(self, header: str, parent_indent: int, origin: Line) -> str:
+        style = header[0]
+        chomping = ""
+        explicit_indent: int | None = None
+        for indicator in header[1:]:
+            if indicator in "+-":
+                chomping = indicator
+            else:
+                explicit_indent = int(indicator)
+                if explicit_indent == 0:
+                    raise YamlParseError("explicit indentation indicator must be 1-9", line=origin.number)
+
+        raw_block: list[str] = []
+        raw_index = origin.number  # raw_lines is 0-based; origin.number is 1-based
+        block_indent: int | None = (
+            parent_indent + explicit_indent if explicit_indent is not None else None
+        )
+        while raw_index < len(self._raw_lines):
+            raw = self._raw_lines[raw_index]
+            stripped = raw.strip()
+            indent = len(raw) - len(raw.lstrip(" "))
+            if stripped == "":
+                raw_block.append("")
+                raw_index += 1
+                continue
+            if block_indent is None:
+                if indent <= parent_indent:
+                    break
+                block_indent = indent
+            if indent < block_indent:
+                break
+            raw_block.append(raw[block_indent:])
+            raw_index += 1
+
+        # Skip the consumed scanner lines.
+        while not self.at_end() and self._lines[self._position].number <= raw_index:
+            self._position += 1
+
+        text = "\n".join(raw_block)
+        if style == ">":
+            text = _fold(raw_block)
+        return _apply_chomping(text, chomping)
+
+
+def _fold(block_lines: list[str]) -> str:
+    """Fold a ``>`` block: joins lines with spaces, blank lines become newlines."""
+    paragraphs: list[list[str]] = [[]]
+    for line in block_lines:
+        if line == "":
+            paragraphs.append([])
+        elif line.startswith(" "):
+            # more-indented lines keep their newlines
+            paragraphs[-1].append("\n" + line)
+        else:
+            paragraphs[-1].append(line)
+    folded_paragraphs = []
+    for paragraph in paragraphs:
+        pieces: list[str] = []
+        for fragment in paragraph:
+            if fragment.startswith("\n"):
+                pieces.append(fragment)
+            elif pieces:
+                pieces.append(" " + fragment)
+            else:
+                pieces.append(fragment)
+        folded_paragraphs.append("".join(pieces))
+    return "\n".join(folded_paragraphs)
+
+
+def _apply_chomping(text: str, chomping: str) -> str:
+    stripped = text.rstrip("\n")
+    if chomping == "-":
+        return stripped
+    if chomping == "+":
+        return text + "\n"
+    return stripped + "\n" if stripped else ""
+
+
+def _split_documents(lines: list[Line]) -> list[list[Line]]:
+    documents: list[list[Line]] = []
+    current: list[Line] = []
+    saw_marker = False
+    for line in lines:
+        if line.indent == 0 and (line.content == "---" or line.content.startswith("--- ")):
+            if current or saw_marker:
+                documents.append(current)
+            current = []
+            saw_marker = True
+            remainder = line.content[3:].strip()
+            if remainder:
+                current.append(Line(line.number, 0, remainder, line.raw))
+            continue
+        if line.indent == 0 and line.content == "...":
+            documents.append(current)
+            current = []
+            saw_marker = False
+            continue
+        current.append(line)
+    if current or not documents:
+        documents.append(current)
+    return documents
+
+
+def parse(text: str) -> object:
+    """Parse a single-document YAML string into Python values.
+
+    Multi-document input raises :class:`YamlParseError`; use
+    :func:`parse_all` for streams.
+    """
+    documents = parse_all(text)
+    if len(documents) != 1:
+        raise YamlParseError(f"expected a single document, found {len(documents)}")
+    return documents[0]
+
+
+def parse_all(text: str) -> list[object]:
+    """Parse a YAML stream into a list of document values."""
+    raw_lines = text.replace("\r\n", "\n").replace("\r", "\n").split("\n")
+    lines = scan_lines(text)
+    documents = []
+    for document_lines in _split_documents(lines):
+        parser = _Parser(list(document_lines), raw_lines)
+        documents.append(parser.parse_document())
+    return documents

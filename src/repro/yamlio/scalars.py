@@ -1,0 +1,230 @@
+"""Scalar resolution and representation for the YAML engine.
+
+YAML plain scalars are untyped text; *resolution* maps them onto Python
+values (bool/int/float/None/str) following the YAML 1.1 core schema that
+Ansible relies on (including the ``yes``/``no``/``on``/``off`` booleans).
+*Representation* is the inverse used by the emitter: deciding how a Python
+scalar must be written so that it round-trips.
+"""
+
+from __future__ import annotations
+
+import re
+
+# YAML 1.1 boolean words, as accepted by Ansible's YAML parser.
+TRUE_WORDS = frozenset({"true", "True", "TRUE", "yes", "Yes", "YES", "on", "On", "ON"})
+FALSE_WORDS = frozenset({"false", "False", "FALSE", "no", "No", "NO", "off", "Off", "OFF"})
+NULL_WORDS = frozenset({"null", "Null", "NULL", "~", ""})
+
+_INT_RE = re.compile(r"^[-+]?(0b[01_]+|0o?[0-7_]+|0x[0-9a-fA-F_]+|[0-9][0-9_]*)$")
+_FLOAT_RE = re.compile(
+    r"^[-+]?("
+    r"[0-9][0-9_]*\.[0-9_]*([eE][-+]?[0-9]+)?"
+    r"|\.[0-9_]+([eE][-+]?[0-9]+)?"
+    r"|[0-9][0-9_]*[eE][-+]?[0-9]+"
+    r"|\.inf|\.Inf|\.INF"
+    r"|\.nan|\.NaN|\.NAN"
+    r")$"
+)
+
+
+def resolve_scalar(text: str) -> object:
+    """Map a plain (unquoted) scalar string onto a Python value.
+
+    >>> resolve_scalar("yes"), resolve_scalar("3"), resolve_scalar("~")
+    (True, 3, None)
+    >>> resolve_scalar("hello")
+    'hello'
+    """
+    if text in NULL_WORDS:
+        return None
+    if text in TRUE_WORDS:
+        return True
+    if text in FALSE_WORDS:
+        return False
+    if _INT_RE.match(text):
+        cleaned = text.replace("_", "")
+        sign = 1
+        if cleaned[0] in "+-":
+            sign = -1 if cleaned[0] == "-" else 1
+            cleaned = cleaned[1:]
+        if cleaned.startswith("0b"):
+            return sign * int(cleaned[2:], 2)
+        if cleaned.startswith("0x"):
+            return sign * int(cleaned[2:], 16)
+        if cleaned.startswith("0o"):
+            return sign * int(cleaned[2:], 8)
+        if cleaned.startswith("0") and len(cleaned) > 1:
+            # YAML 1.1 legacy octal (e.g. file modes like 0644).
+            try:
+                return sign * int(cleaned, 8)
+            except ValueError:
+                return text
+        return sign * int(cleaned, 10)
+    if _FLOAT_RE.match(text):
+        lowered = text.lower().replace("_", "")
+        if lowered.endswith(".inf"):
+            return float("-inf") if lowered.startswith("-") else float("inf")
+        if lowered.endswith(".nan"):
+            return float("nan")
+        return float(lowered)
+    return text
+
+
+# Characters that force quoting when they start a plain scalar.
+_UNSAFE_FIRST = set("!&*?|>%@`\"'#,[]{}")
+# Substrings that force quoting anywhere in a plain scalar.
+_UNSAFE_ANYWHERE = (": ", " #")
+
+
+def needs_quoting(text: str) -> bool:
+    """Return True when a Python string cannot be emitted as a plain scalar.
+
+    A string needs quotes when writing it plain would either change its value
+    on re-parse (it looks like a bool/int/float/null) or be syntactically
+    invalid / ambiguous (special leading characters, ``: `` or `` #``
+    sequences, leading/trailing whitespace, flow indicator collisions).
+    """
+    if text == "":
+        return True
+    if text != text.strip():
+        return True
+    if text in TRUE_WORDS or text in FALSE_WORDS or text in NULL_WORDS:
+        return True
+    if resolve_scalar(text) is not text and not isinstance(resolve_scalar(text), str):
+        return True
+    first = text[0]
+    if first in _UNSAFE_FIRST:
+        return True
+    if first == "-" and (len(text) == 1 or text[1] == " "):
+        return True
+    if text.startswith(("- ", "? ", ": ")) or text in {"-", "?", ":"}:
+        return True
+    for marker in _UNSAFE_ANYWHERE:
+        if marker in text:
+            return True
+    if text.endswith(":"):
+        return True
+    if "\n" in text or "\t" in text:
+        return True
+    if "'" in text or '"' in text:
+        # The line scanner treats quote characters as quote openers, so
+        # plain scalars containing them must themselves be quoted.
+        return True
+    if any(ord(ch) < 0x20 or 0x7F <= ord(ch) <= 0xA0 for ch in text):
+        # C0/C1 control characters and friends are not printable YAML.
+        return True
+    return False
+
+
+def represent_scalar(value: object) -> str:
+    """Render a Python scalar as YAML text (single line, quoting as needed)."""
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return ".nan"
+        if value == float("inf"):
+            return ".inf"
+        if value == float("-inf"):
+            return "-.inf"
+        rendered = repr(value)
+        return rendered
+    if isinstance(value, str):
+        if needs_quoting(value):
+            return quote_double(value) if _prefers_double(value) else quote_single(value)
+        return value
+    raise TypeError(f"not a scalar: {type(value).__name__}")
+
+
+def _prefers_double(text: str) -> bool:
+    """Double quotes are required for control characters and newlines."""
+    if any(ch in text for ch in ("\n", "\t", "\\", "\x00")):
+        return True
+    return any(ord(ch) < 0x20 or 0x7F <= ord(ch) <= 0xA0 for ch in text)
+
+
+def quote_single(text: str) -> str:
+    """Single-quoted YAML scalar; embedded quotes double up."""
+    return "'" + text.replace("'", "''") + "'"
+
+
+_DOUBLE_ESCAPES = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "\n": "\\n",
+    "\t": "\\t",
+    "\r": "\\r",
+    "\x00": "\\0",
+}
+
+
+def quote_double(text: str) -> str:
+    """Double-quoted YAML scalar with escape sequences."""
+    out = []
+    for ch in text:
+        if ch in _DOUBLE_ESCAPES:
+            out.append(_DOUBLE_ESCAPES[ch])
+        elif ord(ch) < 0x20 or 0x7F <= ord(ch) <= 0xA0:
+            out.append(f"\\x{ord(ch):02x}")
+        else:
+            out.append(ch)
+    return '"' + "".join(out) + '"'
+
+
+_SINGLE_UNESCAPE_RE = re.compile(r"''")
+
+
+def unquote_single(body: str) -> str:
+    """Decode the *body* (without surrounding quotes) of a single-quoted scalar."""
+    return _SINGLE_UNESCAPE_RE.sub("'", body)
+
+
+_DOUBLE_UNESCAPES = {
+    "0": "\x00",
+    "a": "\a",
+    "b": "\b",
+    "t": "\t",
+    "n": "\n",
+    "v": "\v",
+    "f": "\f",
+    "r": "\r",
+    "e": "\x1b",
+    '"': '"',
+    "\\": "\\",
+    "/": "/",
+    " ": " ",
+}
+
+
+def unquote_double(body: str) -> str:
+    """Decode the *body* (without surrounding quotes) of a double-quoted scalar."""
+    out: list[str] = []
+    index = 0
+    while index < len(body):
+        ch = body[index]
+        if ch != "\\":
+            out.append(ch)
+            index += 1
+            continue
+        if index + 1 >= len(body):
+            raise ValueError("dangling escape at end of double-quoted scalar")
+        code = body[index + 1]
+        if code in _DOUBLE_UNESCAPES:
+            out.append(_DOUBLE_UNESCAPES[code])
+            index += 2
+        elif code == "x" and index + 3 < len(body) + 1:
+            out.append(chr(int(body[index + 2:index + 4], 16)))
+            index += 4
+        elif code == "u":
+            out.append(chr(int(body[index + 2:index + 6], 16)))
+            index += 6
+        else:
+            raise ValueError(f"unknown escape sequence \\{code}")
+    return "".join(out)

@@ -1,0 +1,145 @@
+"""Line scanner for the YAML engine.
+
+The block-structure subset of YAML that Ansible files use is line-oriented,
+so the scanner's job is to turn raw text into a list of :class:`Line`
+records — indentation level plus comment-stripped content — while handling
+the two places where a line's meaning is *not* purely lexical:
+
+* comments must not be stripped inside quoted scalars or flow collections;
+* a ``key: value`` split must respect quotes and flow nesting.
+
+The parser (:mod:`repro.yamlio.parser`) consumes these records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import YamlScanError
+
+
+@dataclass(frozen=True)
+class Line:
+    """One meaningful source line.
+
+    Attributes:
+        number: 1-based line number in the original text.
+        indent: count of leading spaces.
+        content: the comment-stripped, right-stripped payload.
+        raw: the original line, untouched (used for literal blocks).
+    """
+
+    number: int
+    indent: int
+    content: str
+    raw: str
+
+
+def strip_comment(text: str, line_number: int = 0) -> str:
+    """Remove a trailing ``#`` comment, respecting quotes and flow context.
+
+    A ``#`` begins a comment only when it is at the start of the payload or
+    preceded by whitespace, and not inside a quoted scalar.
+
+    >>> strip_comment("name: web  # comment")
+    'name: web'
+    >>> strip_comment("msg: 'a # b'")
+    "msg: 'a # b'"
+    """
+    in_single = False
+    in_double = False
+    index = 0
+    while index < len(text):
+        ch = text[index]
+        if in_single:
+            if ch == "'":
+                # '' is an escaped quote inside single-quoted scalars.
+                if index + 1 < len(text) and text[index + 1] == "'":
+                    index += 1
+                else:
+                    in_single = False
+        elif in_double:
+            if ch == "\\":
+                index += 1
+            elif ch == '"':
+                in_double = False
+        elif ch == "'":
+            in_single = True
+        elif ch == '"':
+            in_double = True
+        elif ch == "#" and (index == 0 or text[index - 1] in " \t"):
+            return text[:index].rstrip()
+        index += 1
+    if in_single or in_double:
+        raise YamlScanError("unterminated quoted scalar", line=line_number)
+    return text.rstrip()
+
+
+def scan_lines(text: str) -> list[Line]:
+    """Scan text into :class:`Line` records, dropping blanks and pure comments.
+
+    Tabs in indentation are rejected (YAML forbids them); tab characters
+    elsewhere are preserved.
+    """
+    records: list[Line] = []
+    for number, raw in enumerate(text.split("\n"), start=1):
+        stripped_leading = raw.lstrip(" ")
+        indent = len(raw) - len(stripped_leading)
+        if stripped_leading.startswith("\t"):
+            raise YamlScanError("tab character used for indentation", line=number)
+        if not stripped_leading.strip():
+            continue
+        if stripped_leading.lstrip().startswith("#"):
+            continue
+        content = strip_comment(stripped_leading, line_number=number)
+        if not content:
+            continue
+        records.append(Line(number=number, indent=indent, content=content, raw=raw))
+    return records
+
+
+def split_key_value(content: str, line_number: int = 0) -> tuple[str, str] | None:
+    """Split ``key: value`` at the first colon that acts as a separator.
+
+    Returns ``None`` when the line holds no mapping separator (it is then a
+    plain scalar or sequence text).  The separating colon must be followed by
+    a space or end the line, and must sit outside quotes and outside flow
+    brackets.
+
+    >>> split_key_value("name: install nginx")
+    ('name', 'install nginx')
+    >>> split_key_value("url: http://host:80/x") is None
+    True
+    """
+    in_single = False
+    in_double = False
+    depth = 0
+    index = 0
+    while index < len(content):
+        ch = content[index]
+        if in_single:
+            if ch == "'":
+                if index + 1 < len(content) and content[index + 1] == "'":
+                    index += 1
+                else:
+                    in_single = False
+        elif in_double:
+            if ch == "\\":
+                index += 1
+            elif ch == '"':
+                in_double = False
+        elif ch == "'":
+            in_single = True
+        elif ch == '"':
+            in_double = True
+        elif ch in "[{":
+            depth += 1
+        elif ch in "]}":
+            depth = max(0, depth - 1)
+        elif ch == ":" and depth == 0:
+            if index + 1 >= len(content) or content[index + 1] in " \t":
+                key = content[:index].strip()
+                value = content[index + 1:].strip()
+                return key, value
+        index += 1
+    return None

@@ -1,0 +1,77 @@
+"""Shared fixtures: tiny corpora, tokenizers and models reused across tests.
+
+Everything here is deliberately small — the definitive training runs live in
+benchmarks/, while tests only need enough signal to exercise code paths and
+invariants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset import build_finetune_dataset, build_galaxy_corpus, split_corpus
+from repro.nn.parameter import numpy_rng
+from repro.nn.transformer import DecoderLM, TransformerConfig
+from repro.tokenizer.bpe import BpeTokenizer
+from repro.utils.rng import SeededRng
+
+FIG1_PLAYBOOK = """---
+- hosts: servers
+  tasks:
+    - name: Install SSH server
+      ansible.builtin.apt:
+        name: openssh-server
+        state: present
+    - name: Start SSH server
+      ansible.builtin.service:
+        name: ssh
+        state: started
+"""
+
+
+@pytest.fixture(scope="session")
+def rng() -> SeededRng:
+    return SeededRng(1234)
+
+
+@pytest.fixture(scope="session")
+def galaxy_corpus():
+    return build_galaxy_corpus(SeededRng(99).child("galaxy"), scale=0.001)
+
+
+@pytest.fixture(scope="session")
+def finetune_dataset(galaxy_corpus):
+    splits = split_corpus(galaxy_corpus, SeededRng(99).child("split"))
+    return build_finetune_dataset(splits.train, splits.validation, splits.test)
+
+
+@pytest.fixture(scope="session")
+def tiny_tokenizer(galaxy_corpus) -> BpeTokenizer:
+    return BpeTokenizer.train(galaxy_corpus.texts()[:60], vocab_size=420)
+
+
+@pytest.fixture(scope="session")
+def tiny_config(tiny_tokenizer) -> TransformerConfig:
+    return TransformerConfig(
+        vocab_size=tiny_tokenizer.vocab_size,
+        n_positions=64,
+        dim=32,
+        n_layers=2,
+        n_heads=4,
+    )
+
+
+@pytest.fixture()
+def tiny_network(tiny_config) -> DecoderLM:
+    return DecoderLM(tiny_config, numpy_rng(0))
+
+
+@pytest.fixture(scope="session")
+def fig1_text() -> str:
+    return FIG1_PLAYBOOK
+
+
+@pytest.fixture()
+def np_rng() -> np.random.Generator:
+    return np.random.default_rng(0)

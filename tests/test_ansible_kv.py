@@ -1,0 +1,98 @@
+"""Tests for repro.ansible.kv (legacy k=v argument parsing)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ansible.kv import RAW_PARAMS_KEY, looks_like_kv, parse_kv, render_kv
+from repro.errors import FreeFormParseError
+
+
+class TestParseKv:
+    def test_basic(self):
+        assert parse_kv("name=nginx state=present") == {"name": "nginx", "state": "present"}
+
+    def test_types_resolved(self):
+        assert parse_kv("update_cache=yes retries=3") == {"update_cache": True, "retries": 3}
+
+    def test_quoted_value_with_spaces(self):
+        assert parse_kv('line="PermitRootLogin no" path=/etc/ssh/sshd_config') == {
+            "line": "PermitRootLogin no",
+            "path": "/etc/ssh/sshd_config",
+        }
+
+    def test_single_quoted(self):
+        assert parse_kv("msg='hello world'") == {"msg": "hello world"}
+
+    def test_value_containing_equals(self):
+        assert parse_kv("line=PermitRootLogin=no") == {"line": "PermitRootLogin=no"}
+
+    def test_free_form_leading_text(self):
+        assert parse_kv("echo hello chdir=/tmp", free_form=True) == {
+            RAW_PARAMS_KEY: "echo hello",
+            "chdir": "/tmp",
+        }
+
+    def test_free_form_pure_command(self):
+        assert parse_kv("systemctl daemon-reload", free_form=True) == {
+            RAW_PARAMS_KEY: "systemctl daemon-reload"
+        }
+
+    def test_non_kv_token_rejected_when_not_free_form(self):
+        with pytest.raises(FreeFormParseError):
+            parse_kv("echo hello chdir=/tmp", free_form=False)
+
+    def test_unterminated_quote_rejected(self):
+        with pytest.raises(FreeFormParseError):
+            parse_kv("msg='open")
+
+    def test_empty(self):
+        assert parse_kv("") == {}
+
+
+class TestRenderKv:
+    def test_basic(self):
+        assert render_kv({"name": "nginx", "state": "present"}) == "name=nginx state=present"
+
+    def test_bool_rendered_as_yes_no(self):
+        assert render_kv({"update_cache": True, "force": False}) == "update_cache=yes force=no"
+
+    def test_spaces_quoted(self):
+        assert render_kv({"line": "a b"}) == 'line="a b"'
+
+    def test_raw_params_lead(self):
+        assert render_kv({RAW_PARAMS_KEY: "echo hi", "chdir": "/tmp"}) == "echo hi chdir=/tmp"
+
+    @given(
+        st.dictionaries(
+            st.from_regex(r"[a-h][a-h_]{0,7}", fullmatch=True),
+            st.one_of(
+                st.text(alphabet="abcdef/._-", min_size=1, max_size=10),
+                st.booleans(),
+                st.integers(min_value=0, max_value=999),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_roundtrip(self, arguments):
+        rendered = render_kv(arguments)
+        parsed = parse_kv(rendered)
+        # Booleans render as yes/no which resolve back to booleans; values
+        # compare after scalar resolution.
+        assert parsed == arguments
+
+
+class TestLooksLikeKv:
+    def test_positive(self):
+        assert looks_like_kv("name=nginx state=present")
+
+    def test_free_form_with_kv(self):
+        assert looks_like_kv("echo hi chdir=/tmp")
+
+    def test_plain_command(self):
+        assert not looks_like_kv("systemctl daemon-reload")
+
+    def test_unterminated_quote(self):
+        assert not looks_like_kv("msg='open")

@@ -1,0 +1,129 @@
+"""Tests for repro.baselines (retrieval, n-gram, Codex simulator)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.codex_sim import CodexSimulator, RECALL_THRESHOLD
+from repro.baselines.ngram import NgramLM
+from repro.baselines.retrieval import RetrievalBaseline, jaccard
+from repro.dataset.finetune import extract_samples
+from repro.tokenizer.bpe import BpeTokenizer
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard(frozenset({"a"}), frozenset({"a"})) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard(frozenset({"a"}), frozenset({"b"})) == 0.0
+
+    def test_both_empty(self):
+        assert jaccard(frozenset(), frozenset()) == 1.0
+
+    def test_partial(self):
+        assert jaccard(frozenset({"a", "b"}), frozenset({"b", "c"})) == pytest.approx(1 / 3)
+
+
+class TestRetrievalBaseline:
+    def test_exact_recall(self):
+        baseline = RetrievalBaseline()
+        baseline.index("- name: Install nginx\n", "  apt:\n    name: nginx\n")
+        baseline.index("- name: Start redis\n", "  service:\n    name: redis\n")
+        assert "nginx" in baseline.complete("- name: Install nginx\n")
+        assert "redis" in baseline.complete("- name: Start redis\n")
+
+    def test_nearest_score(self):
+        baseline = RetrievalBaseline()
+        baseline.index("- name: Install nginx\n", "X")
+        score, completion = baseline.nearest("- name: Install nginx\n")
+        assert score == 1.0 and completion == "X"
+
+    def test_empty_store(self):
+        baseline = RetrievalBaseline()
+        assert baseline.complete("anything") == ""
+        assert baseline.nearest("anything") == (0.0, "")
+
+    def test_index_samples(self, finetune_dataset):
+        baseline = RetrievalBaseline()
+        baseline.index_samples(finetune_dataset.train[:10])
+        assert len(baseline) == 10
+
+    def test_fingerprint_uses_prompt_tail(self):
+        baseline = RetrievalBaseline()
+        long_context = "\n".join(f"line {i}" for i in range(100))
+        baseline.index(long_context + "\n- name: target task\n", "FOUND")
+        score, completion = baseline.nearest("other prefix\n- name: target task\n")
+        assert completion == "FOUND"
+        assert score > 0
+
+
+@pytest.fixture(scope="module")
+def shared_tokenizer(galaxy_corpus):
+    return BpeTokenizer.train(galaxy_corpus.texts()[:40], vocab_size=400)
+
+
+class TestNgram:
+    def test_order_validation(self, shared_tokenizer):
+        with pytest.raises(ValueError):
+            NgramLM(shared_tokenizer, order=1)
+
+    def test_memorizes_repeated_text(self, shared_tokenizer):
+        model = NgramLM(shared_tokenizer, order=4).fit(["abc abc abc abc"] * 5)
+        out = model.complete("abc abc ", max_new_tokens=8)
+        assert "abc" in out
+
+    def test_untrained_returns_empty(self, shared_tokenizer):
+        model = NgramLM(shared_tokenizer, order=3)
+        assert model.complete("anything") == ""
+
+    def test_next_token_backoff(self, shared_tokenizer):
+        model = NgramLM(shared_tokenizer, order=3).fit(["x y z"] * 3)
+        # unseen context backs off to unigram (most frequent token)
+        assert model.next_token([999999 % shared_tokenizer.vocab_size]) is not None
+
+    def test_stops_at_eot(self, shared_tokenizer):
+        model = NgramLM(shared_tokenizer, order=3).fit(["short"])
+        out = model.complete("short", max_new_tokens=50)
+        assert len(out) < 400
+
+
+class TestCodexSimulator:
+    def test_contaminated_recall_gives_exact_match(self, galaxy_corpus, shared_tokenizer, rng):
+        codex = CodexSimulator(shared_tokenizer, recall_fidelity=1.0)
+        codex.fit(galaxy_corpus, galaxy_corpus, contamination=1.0, rng=rng.child("codex"))
+        samples = extract_samples(galaxy_corpus)[:5]
+        hits = sum(codex.complete(s.input_text) == s.target_text for s in samples)
+        assert hits >= 3  # byte-for-byte recall on leaked content
+
+    def test_recall_fidelity_degrades_exactness(self, galaxy_corpus, shared_tokenizer, rng):
+        """Imperfect memory: lower fidelity means fewer verbatim recalls."""
+        samples = extract_samples(galaxy_corpus)[:20]
+        perfect = CodexSimulator(shared_tokenizer, recall_fidelity=1.0)
+        perfect.fit(galaxy_corpus, galaxy_corpus, contamination=1.0, rng=rng.child("c1"))
+        lossy = CodexSimulator(shared_tokenizer, recall_fidelity=0.0)
+        lossy.fit(galaxy_corpus, galaxy_corpus, contamination=1.0, rng=rng.child("c1"))
+        perfect_hits = sum(perfect.complete(s.input_text) == s.target_text for s in samples)
+        lossy_hits = sum(lossy.complete(s.input_text) == s.target_text for s in samples)
+        assert lossy_hits < perfect_hits
+
+    def test_no_contamination_lowers_recall(self, galaxy_corpus, shared_tokenizer, rng):
+        samples = extract_samples(galaxy_corpus)
+        half = len(samples) // 2
+        codex = CodexSimulator(shared_tokenizer).fit_samples(samples[:half])
+        unseen = samples[half:half + 5]
+        exact = sum(codex.complete(s.input_text) == s.target_text for s in unseen)
+        assert exact <= 4  # mostly not byte-exact on unseen prompts
+
+    def test_fallback_on_unrelated_prompt(self, galaxy_corpus, shared_tokenizer):
+        codex = CodexSimulator(shared_tokenizer).fit(galaxy_corpus)
+        out = codex.complete("- name: zzz qqq completely unrelated vvv\n")
+        assert isinstance(out, str)
+
+    def test_threshold_constant_sane(self):
+        assert 0.0 < RECALL_THRESHOLD < 1.0
+
+    def test_name_and_labels(self, shared_tokenizer):
+        codex = CodexSimulator(shared_tokenizer)
+        assert codex.size_label == "175B"
+        assert codex.context_window_label == 2048

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import yamlio
+from repro.cli import build_parser, main
+from repro.model import save_checkpoint
+from repro.model.lm import WisdomModel
+from repro.nn.parameter import numpy_rng
+from repro.nn.transformer import DecoderLM
+
+
+@pytest.fixture(scope="module")
+def checkpoint_dir(tmp_path_factory, tiny_tokenizer, tiny_config):
+    model = WisdomModel("cli-model", tiny_tokenizer, DecoderLM(tiny_config, numpy_rng(0)))
+    path = tmp_path_factory.mktemp("cli") / "model"
+    save_checkpoint(model, path)
+    return str(path)
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for command in ("train", "generate", "evaluate", "serve", "score", "synthesize"):
+            args = None
+            try:
+                args = parser.parse_args([command, "--help"])
+            except SystemExit as exit_info:
+                assert exit_info.code == 0
+            assert args is None
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestGenerate:
+    def test_generate_prints_prompt_and_completion(self, checkpoint_dir, capsys):
+        code = main(["generate", "--model", checkpoint_dir, "--prompt", "Install nginx", "--max-new-tokens", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("- name: Install nginx\n")
+
+    def test_generate_accepts_full_name_line(self, checkpoint_dir, capsys):
+        main(["generate", "--model", checkpoint_dir, "--prompt", "- name: do it", "--max-new-tokens", "4"])
+        out = capsys.readouterr().out
+        assert out.startswith("- name: do it\n")
+
+
+class TestScore:
+    def test_score_outputs_json(self, tmp_path, capsys):
+        reference = tmp_path / "ref.yml"
+        prediction = tmp_path / "pred.yml"
+        text = "- name: t\n  ansible.builtin.debug:\n    msg: hi\n"
+        reference.write_text(text)
+        prediction.write_text(text)
+        code = main(["score", "--reference", str(reference), "--prediction", str(prediction)])
+        assert code == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["exact_match"] is True
+        assert result["bleu"] == 100.0
+        assert result["schema_correct"] is True
+
+
+class TestSynthesize:
+    def test_synthesize_emits_valid_yaml(self, capsys):
+        code = main(["synthesize", "--count", "2", "--kind", "tasks", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        documents = yamlio.loads_all(out)
+        assert len(documents) == 2
+        assert all(isinstance(document, list) for document in documents)
+
+    def test_synthesize_playbook(self, capsys):
+        main(["synthesize", "--kind", "playbook", "--seed", "2"])
+        out = capsys.readouterr().out
+        document = yamlio.loads(out)
+        assert "hosts" in document[0]

@@ -1,0 +1,87 @@
+"""Tests for repro.dataset.generic_yaml and repro.dataset.textgen."""
+
+from __future__ import annotations
+
+from repro import yamlio
+from repro.dataset.generic_yaml import (
+    app_config,
+    ci_workflow,
+    docker_compose,
+    generic_yaml_value,
+    k8s_deployment,
+    k8s_service,
+)
+from repro.dataset.textgen import (
+    code_snippet,
+    java_snippet,
+    javascript_snippet,
+    natural_paragraph,
+    natural_sentence,
+    python_snippet,
+)
+from repro.utils.rng import SeededRng
+
+
+class TestGenericYaml:
+    def test_k8s_deployment_shape(self):
+        value = k8s_deployment(SeededRng(0))
+        assert value["kind"] == "Deployment"
+        assert value["spec"]["template"]["spec"]["containers"]
+
+    def test_k8s_service_shape(self):
+        value = k8s_service(SeededRng(0))
+        assert value["kind"] == "Service"
+
+    def test_docker_compose_services(self):
+        value = docker_compose(SeededRng(1))
+        assert value["services"]
+
+    def test_ci_workflow_steps(self):
+        value = ci_workflow(SeededRng(2))
+        assert value["jobs"]["build"]["steps"]
+
+    def test_app_config_keys(self):
+        value = app_config(SeededRng(3))
+        assert {"server", "logging", "features"} <= set(value)
+
+    def test_all_emittable_and_parseable(self):
+        rng = SeededRng(7)
+        for _ in range(25):
+            value = generic_yaml_value(rng)
+            assert yamlio.loads(yamlio.dumps(value)) == value
+
+    def test_not_ansible_shaped(self):
+        """Generic YAML must not be mistaken for Ansible content."""
+        from repro.ansible import classify_snippet
+
+        rng = SeededRng(9)
+        for _ in range(25):
+            assert classify_snippet(generic_yaml_value(rng)) == "other"
+
+    def test_deterministic(self):
+        assert generic_yaml_value(SeededRng(4)) == generic_yaml_value(SeededRng(4))
+
+
+class TestTextgen:
+    def test_sentence_ends_with_period(self):
+        assert natural_sentence(SeededRng(0)).endswith(".")
+
+    def test_paragraph_sentence_count(self):
+        text = natural_paragraph(SeededRng(0), n_sentences=3)
+        assert text.count(".") >= 3
+
+    def test_python_snippet_is_indented_code(self):
+        text = python_snippet(SeededRng(1))
+        assert text.startswith("def ")
+        assert "\n    " in text
+
+    def test_javascript_snippet(self):
+        assert javascript_snippet(SeededRng(2)).startswith("function ")
+
+    def test_java_snippet(self):
+        assert java_snippet(SeededRng(3)).startswith("public class ")
+
+    def test_code_snippet_mixes_languages(self):
+        rng = SeededRng(5)
+        starts = {code_snippet(rng).split(" ")[0] for _ in range(30)}
+        assert len(starts) >= 2

@@ -1,0 +1,80 @@
+"""Tests for repro.dataset.packing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset.corpus import Corpus, Document
+from repro.dataset.packing import next_token_targets, pack_documents, token_stream
+from repro.errors import EmptyCorpusError
+from repro.tokenizer.bpe import BpeTokenizer
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    return BpeTokenizer.train(["alpha beta gamma delta\n" * 5], vocab_size=300)
+
+
+def corpus_of(texts):
+    return Corpus("c", [Document(str(i), "s", "ansible", t) for i, t in enumerate(texts)])
+
+
+class TestTokenStream:
+    def test_separator_between_files(self, tokenizer):
+        corpus = corpus_of(["alpha", "beta"])
+        stream = token_stream(corpus, tokenizer)
+        assert stream.count(tokenizer.separator_id) == 2
+        # separator follows each document
+        assert stream[-1] == tokenizer.separator_id
+
+    def test_special_text_in_document_not_special_id(self, tokenizer):
+        corpus = corpus_of(["<|sep|>"])
+        stream = token_stream(corpus, tokenizer)
+        assert stream.count(tokenizer.separator_id) == 1  # only the appended one
+
+
+class TestPackDocuments:
+    def test_window_shape(self, tokenizer):
+        corpus = corpus_of(["alpha beta gamma delta " * 10] * 4)
+        rows = pack_documents(corpus, tokenizer, window=16)
+        assert rows.shape[1] == 16
+        assert rows.dtype == np.int64
+
+    def test_drop_last_default(self, tokenizer):
+        corpus = corpus_of(["alpha beta gamma delta " * 10] * 4)
+        stream_length = len(token_stream(corpus, tokenizer))
+        rows = pack_documents(corpus, tokenizer, window=16)
+        assert rows.size == (stream_length // 16) * 16
+
+    def test_keep_last_pads(self, tokenizer):
+        corpus = corpus_of(["alpha beta gamma delta " * 10] * 4)
+        rows = pack_documents(corpus, tokenizer, window=16, drop_last=False)
+        assert tokenizer.pad_id in rows[-1]
+
+    def test_too_small_corpus_rejected(self, tokenizer):
+        with pytest.raises(EmptyCorpusError):
+            pack_documents(corpus_of(["alpha"]), tokenizer, window=512)
+
+    def test_content_preserved(self, tokenizer):
+        corpus = corpus_of(["alpha beta gamma delta " * 10])
+        rows = pack_documents(corpus, tokenizer, window=8)
+        decoded = tokenizer.decode([token for row in rows for token in row])
+        assert decoded.startswith("alpha beta gamma")
+
+
+class TestNextTokenTargets:
+    def test_shift(self):
+        rows = np.array([[1, 2, 3, 4]])
+        targets = next_token_targets(rows)
+        assert targets.tolist() == [[2, 3, 4, -1]]
+
+    def test_pad_targets_ignored(self):
+        rows = np.array([[1, 2, 9, 9]])
+        targets = next_token_targets(rows, pad_id=9)
+        assert targets.tolist() == [[2, -1, -1, -1]]
+
+    def test_custom_ignore_index(self):
+        rows = np.array([[1, 2]])
+        targets = next_token_targets(rows, ignore_index=-100)
+        assert targets.tolist() == [[2, -100]]

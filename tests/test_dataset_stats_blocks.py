@@ -1,0 +1,76 @@
+"""Tests for corpus statistics and block synthesis."""
+
+from __future__ import annotations
+
+from repro import ansible, yamlio
+from repro.dataset.stats import corpus_stats, render_stats_table, stats_by_source
+from repro.dataset.synthesis import AnsibleSynthesizer
+from repro.utils.rng import SeededRng
+
+
+class TestCorpusStats:
+    def test_full_count(self, galaxy_corpus, tiny_tokenizer):
+        stats = corpus_stats(galaxy_corpus, tiny_tokenizer)
+        assert stats.files == len(galaxy_corpus)
+        assert stats.characters == galaxy_corpus.total_characters()
+        assert stats.tokens > 0
+        assert stats.compression_ratio > 1.0  # BPE compresses
+
+    def test_sampled_extrapolation_close(self, galaxy_corpus, tiny_tokenizer):
+        exact = corpus_stats(galaxy_corpus, tiny_tokenizer)
+        sampled = corpus_stats(galaxy_corpus, tiny_tokenizer, sample_limit=len(galaxy_corpus) // 2)
+        assert abs(sampled.tokens - exact.tokens) / exact.tokens < 0.25
+
+    def test_stats_by_source_sorted(self, galaxy_corpus, tiny_tokenizer):
+        rows = stats_by_source(galaxy_corpus, tiny_tokenizer)
+        tokens = [row.tokens for row in rows]
+        assert tokens == sorted(tokens, reverse=True)
+
+    def test_render_table(self, galaxy_corpus, tiny_tokenizer):
+        rows = [corpus_stats(galaxy_corpus, tiny_tokenizer, sample_limit=20)]
+        table = render_stats_table(rows)
+        assert "Tokens" in table and "Chars/Token" in table
+
+    def test_empty_corpus(self, tiny_tokenizer):
+        from repro.dataset.corpus import Corpus
+
+        stats = corpus_stats(Corpus("empty"), tiny_tokenizer)
+        assert stats.files == 0 and stats.tokens == 0
+        assert stats.compression_ratio == 0.0
+
+
+class TestBlockSynthesis:
+    """The paper's future-work item: Ansible Blocks."""
+
+    def test_block_structure(self):
+        synthesizer = AnsibleSynthesizer(SeededRng(3))
+        generated = synthesizer.task_list_with_block()
+        assert generated.kind == "tasks"
+        head, block_entry = generated.data
+        assert "block" in block_entry
+        assert "rescue" in block_entry
+        assert "block" not in head
+
+    def test_block_is_valid_yaml_and_schema(self):
+        synthesizer = AnsibleSynthesizer(SeededRng(4))
+        for _ in range(10):
+            generated = synthesizer.task_list_with_block()
+            text = yamlio.dumps(generated.data)
+            data = yamlio.loads(text)
+            # Lenient: blocks themselves are fine; strict may flag style noise.
+            violations = ansible.validate(data, level=ansible.LENIENT)
+            block_violations = [v for v in violations if "block" in v.rule]
+            assert block_violations == []
+
+    def test_block_flat_tasks(self):
+        synthesizer = AnsibleSynthesizer(SeededRng(5))
+        generated = synthesizer.task_list_with_block()
+        task_list = ansible.TaskList.from_data(generated.data)
+        names = [task.name for task in task_list.flat_tasks()]
+        assert "Report failure" in names
+        assert len(names) >= 3
+
+    def test_deterministic(self):
+        a = AnsibleSynthesizer(SeededRng(6)).task_list_with_block()
+        b = AnsibleSynthesizer(SeededRng(6)).task_list_with_block()
+        assert a.data == b.data

@@ -1,0 +1,112 @@
+"""Tests for repro.eval (truncation + harness)."""
+
+from __future__ import annotations
+
+from repro.dataset.prompt import NL_TO_PB, NL_TO_T, T_NL_TO_T, build_task_sample
+from repro.eval.harness import breakdown_by_type, evaluate
+from repro.eval.truncation import truncate_generation, truncate_to_first_task
+
+TASK = {"name": "Install nginx", "ansible.builtin.apt": {"name": "nginx", "state": "present"}}
+
+BODY = "  ansible.builtin.apt:\n    name: nginx\n    state: present\n"
+
+
+class TestTruncateToFirstTask:
+    def test_single_task_untouched(self):
+        assert truncate_to_first_task(BODY, 0) == BODY
+
+    def test_second_task_removed(self):
+        overflow = BODY + "- name: Another task\n  ansible.builtin.debug:\n    msg: x\n"
+        assert truncate_to_first_task(overflow, 0) == BODY
+
+    def test_dedent_out_of_task_stops(self):
+        indented_body = "      ansible.builtin.apt:\n        name: nginx\n"
+        overflow = indented_body + "  handlers:\n    - name: h\n"
+        assert truncate_to_first_task(overflow, 4) == indented_body
+
+    def test_document_marker_stops(self):
+        overflow = BODY + "---\n- name: new doc\n"
+        assert truncate_to_first_task(overflow, 0) == BODY
+
+    def test_interior_blank_lines_kept(self):
+        body = "  ansible.builtin.apt:\n\n    name: nginx\n"
+        assert truncate_to_first_task(body, 0) == body
+
+    def test_trailing_blanks_stripped(self):
+        assert truncate_to_first_task(BODY + "\n\n", 0) == BODY
+
+    def test_empty(self):
+        assert truncate_to_first_task("", 0) == ""
+
+
+class TestTruncateGeneration:
+    def test_task_types_truncate(self):
+        overflow = BODY + "- name: extra\n  ansible.builtin.debug:\n    msg: x\n"
+        assert truncate_generation(overflow, 0, NL_TO_T) == BODY
+
+    def test_playbook_type_untruncated(self):
+        text = "  hosts: all\n  tasks:\n    - name: a\n      ansible.builtin.debug:\n        msg: x\n"
+        assert truncate_generation(text, 0, NL_TO_PB) == text
+
+    def test_empty_playbook_generation(self):
+        assert truncate_generation("   \n", 0, NL_TO_PB) == ""
+
+
+class _EchoCompleter:
+    """Returns the stored mapping from prompt to completion."""
+
+    name = "echo"
+
+    def __init__(self, answers):
+        self.answers = answers
+        self.prompts = []
+
+    def complete(self, prompt, max_new_tokens=96):
+        self.prompts.append(prompt)
+        return self.answers.get(prompt, "")
+
+
+class TestEvaluate:
+    def make_sample(self, generation_type=NL_TO_T):
+        return build_task_sample(generation_type, "Install nginx", "", TASK, 0, "src")
+
+    def test_perfect_completion_scores_perfect(self):
+        sample = self.make_sample()
+        completer = _EchoCompleter({sample.input_text: sample.target_text})
+        report = evaluate(completer, [sample])
+        assert report.exact_match == 100.0
+        assert report.schema_correct == 100.0
+        assert report.ansible_aware == 100.0
+
+    def test_empty_completion_scores_zero_em(self):
+        sample = self.make_sample()
+        completer = _EchoCompleter({})
+        report = evaluate(completer, [sample])
+        assert report.exact_match == 0.0
+
+    def test_context_priming_applied_to_contextless_types(self):
+        sample = self.make_sample(NL_TO_T)
+        completer = _EchoCompleter({})
+        evaluate(completer, [sample], context_priming="Ansible\n")
+        assert completer.prompts[0].startswith("Ansible\n")
+
+    def test_context_priming_not_applied_to_contextual_types(self):
+        sample = build_task_sample(T_NL_TO_T, "Install nginx", "- name: prev\n  ansible.builtin.debug:\n    msg: x\n", TASK, 0, "src")
+        completer = _EchoCompleter({})
+        evaluate(completer, [sample], context_priming="Ansible\n")
+        assert not completer.prompts[0].startswith("Ansible\n")
+
+    def test_max_samples(self):
+        samples = [self.make_sample() for _ in range(5)]
+        completer = _EchoCompleter({})
+        report = evaluate(completer, samples, max_samples=2)
+        assert report.count == 2
+
+    def test_breakdown_by_type(self):
+        samples = [self.make_sample(NL_TO_T), self.make_sample(T_NL_TO_T)]
+        completer = _EchoCompleter({samples[0].input_text: samples[0].target_text})
+        report = evaluate(completer, samples)
+        reports = breakdown_by_type(report)
+        labels = [r.label for r in reports]
+        assert len(reports) == 3  # combined + 2 types
+        assert any(NL_TO_T in label for label in labels[1:])

@@ -1,0 +1,102 @@
+"""Failure-injection tests: corrupted inputs must fail loudly, not quietly."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError, ReproError, ServingError, YamlError
+from repro.model.checkpoints import load_checkpoint, save_checkpoint
+from repro.model.lm import WisdomModel
+from repro.nn.parameter import numpy_rng
+from repro.nn.transformer import DecoderLM
+
+
+@pytest.fixture()
+def saved_model(tiny_tokenizer, tiny_config, tmp_path):
+    model = WisdomModel("victim", tiny_tokenizer, DecoderLM(tiny_config, numpy_rng(0)))
+    path = tmp_path / "ckpt"
+    save_checkpoint(model, path)
+    return path
+
+
+class TestCorruptedCheckpoints:
+    def test_missing_weights_file(self, saved_model):
+        (saved_model / "weights.npz").unlink()
+        with pytest.raises((CheckpointError, FileNotFoundError)):
+            load_checkpoint(saved_model)
+
+    def test_truncated_weights_file(self, saved_model):
+        weights = saved_model / "weights.npz"
+        weights.write_bytes(weights.read_bytes()[:100])
+        with pytest.raises(Exception):
+            load_checkpoint(saved_model)
+
+    def test_tampered_architecture(self, saved_model):
+        config_file = saved_model / "config.json"
+        metadata = json.loads(config_file.read_text())
+        metadata["architecture"]["dim"] = 128  # no longer matches weights
+        config_file.write_text(json.dumps(metadata))
+        with pytest.raises(ReproError):
+            load_checkpoint(saved_model)
+
+    def test_corrupt_vocab_json(self, saved_model):
+        (saved_model / "vocab.json").write_text("{not json")
+        with pytest.raises((ValueError, json.JSONDecodeError)):
+            load_checkpoint(saved_model)
+
+
+class TestMalformedModelInput:
+    def test_unknown_token_id_rejected(self, tiny_tokenizer, tiny_config):
+        model = DecoderLM(tiny_config, numpy_rng(0))
+        bad = np.array([[tiny_config.vocab_size + 5]], dtype=np.int64)
+        with pytest.raises(ReproError):
+            model.forward(bad, training=False)
+
+    def test_yaml_error_hierarchy(self):
+        """Every YAML failure is catchable as both YamlError and ReproError."""
+        from repro import yamlio
+
+        with pytest.raises(YamlError):
+            yamlio.loads("a: [unclosed")
+        with pytest.raises(ReproError):
+            yamlio.loads("a: &anchor 1")
+
+
+class TestServiceBadRequests:
+    def test_service_rejects_non_string(self):
+        from repro.serving import PredictionService
+
+        class Stub:
+            name = "stub"
+
+            def complete(self, prompt, max_new_tokens=96):
+                return "x"
+
+        service = PredictionService(Stub())
+        with pytest.raises(ServingError):
+            service.predict(12345)  # type: ignore[arg-type]
+
+    def test_http_malformed_json(self):
+        import urllib.request
+
+        from repro.serving import PredictionService, RestServer
+
+        class Stub:
+            name = "stub"
+
+            def complete(self, prompt, max_new_tokens=96):
+                return "x"
+
+        with RestServer(PredictionService(Stub())) as server:
+            request = urllib.request.Request(
+                server.url + "/v1/completions",
+                data=b"{broken",
+                method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as error_info:
+                urllib.request.urlopen(request, timeout=5)
+            assert error_info.value.code == 400

@@ -1,0 +1,98 @@
+"""Tests for repro.metrics.edit_distance."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.edit_distance import (
+    correction_effort,
+    levenshtein,
+    line_diff,
+    mean_correction_effort,
+    token_edit_distance,
+)
+
+
+class TestLevenshtein:
+    def test_identity(self):
+        assert levenshtein(["a", "b"], ["a", "b"]) == 0
+
+    def test_empty_cases(self):
+        assert levenshtein([], ["a", "b"]) == 2
+        assert levenshtein(["a"], []) == 1
+        assert levenshtein([], []) == 0
+
+    def test_substitution(self):
+        assert levenshtein(["a", "b", "c"], ["a", "x", "c"]) == 1
+
+    def test_insertion_deletion(self):
+        assert levenshtein(["a", "c"], ["a", "b", "c"]) == 1
+        assert levenshtein(["a", "b", "c"], ["a", "c"]) == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.sampled_from("abc"), max_size=8), st.lists(st.sampled_from("abc"), max_size=8))
+    def test_metric_properties(self, a, b):
+        distance = levenshtein(a, b)
+        assert distance == levenshtein(b, a)  # symmetry
+        assert distance >= abs(len(a) - len(b))  # lower bound
+        assert distance <= max(len(a), len(b))  # upper bound
+        assert (distance == 0) == (a == b)
+
+
+class TestCorrectionEffort:
+    def test_zero_for_correct(self):
+        assert correction_effort("a: 1", "a: 1") == 0.0
+
+    def test_scaled_by_reference_length(self):
+        reference = "name: nginx state: present"
+        effort = correction_effort(reference, reference.replace("nginx", "httpd"))
+        assert 0.0 < effort < 0.5
+
+    def test_empty_reference(self):
+        assert correction_effort("", "") == 0.0
+        assert correction_effort("", "a b") == 2.0
+
+    def test_token_edit_distance_on_yaml(self):
+        ref = "- name: t\n  apt:\n    name: nginx\n"
+        pred = ref.replace("nginx", "httpd")
+        assert token_edit_distance(ref, pred) == 1
+
+    def test_mean(self):
+        assert mean_correction_effort(["a", "a"], ["a", "b"]) == pytest.approx(
+            correction_effort("a", "b") / 2
+        )
+
+    def test_mean_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_correction_effort(["a"], [])
+
+
+class TestLineDiff:
+    def test_identical(self):
+        diff = line_diff("a\nb\n", "a\nb\n")
+        assert diff.matching_lines == 2
+        assert diff.missing_lines == diff.extra_lines == diff.changed_lines == 0
+
+    def test_missing_line(self):
+        diff = line_diff("a\nb\nc\n", "a\nc\n")
+        assert diff.matching_lines == 2
+        assert diff.missing_lines == 1
+
+    def test_extra_line(self):
+        diff = line_diff("a\n", "a\nb\n")
+        assert diff.extra_lines == 1
+
+    def test_changed_line_pairs_unmatched(self):
+        diff = line_diff("a\nb\n", "a\nx\n")
+        assert diff.changed_lines == 1
+        assert diff.missing_lines == 0 and diff.extra_lines == 0
+
+    def test_empty_prediction(self):
+        diff = line_diff("a\nb\n", "")
+        assert diff.missing_lines == 2
+        assert diff.total_reference_lines == 2
+
+    def test_indentation_significant(self):
+        diff = line_diff("  a: 1\n", "a: 1\n")
+        assert diff.matching_lines == 0

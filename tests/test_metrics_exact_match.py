@@ -1,0 +1,69 @@
+"""Tests for repro.metrics.exact_match."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.exact_match import (
+    canonical_exact_match,
+    exact_match,
+    exact_match_rate,
+    normalize_text,
+)
+
+
+class TestNormalizeText:
+    def test_trailing_spaces_stripped(self):
+        assert normalize_text("a  \nb\t\n") == "a\nb"
+
+    def test_surrounding_blank_lines_stripped(self):
+        assert normalize_text("\n\na\n\n") == "a"
+
+    def test_crlf(self):
+        assert normalize_text("a\r\nb") == "a\nb"
+
+    def test_interior_blank_lines_kept(self):
+        assert normalize_text("a\n\nb") == "a\n\nb"
+
+
+class TestExactMatch:
+    def test_identical(self):
+        assert exact_match("- a: 1\n", "- a: 1\n")
+
+    def test_whitespace_insensitive_at_edges(self):
+        assert exact_match("- a: 1", "- a: 1  \n\n")
+
+    def test_indentation_differences_matter(self):
+        assert not exact_match("a:\n  b: 1\n", "a:\n    b: 1\n")
+
+    def test_content_difference(self):
+        assert not exact_match("a: 1", "a: 2")
+
+
+class TestCanonicalExactMatch:
+    def test_formatting_insensitive(self):
+        assert canonical_exact_match("a:   1\n", "a: 1\n")
+
+    def test_quoting_insensitive(self):
+        assert canonical_exact_match("a: 'x'\n", "a: x\n")
+
+    def test_unparseable_prediction(self):
+        assert not canonical_exact_match("a: 1\n", "a: [unclosed\n")
+
+    def test_unparseable_both_textual_fallback(self):
+        assert canonical_exact_match("a: [unclosed", "a: [unclosed")
+
+    def test_different_values(self):
+        assert not canonical_exact_match("a: 1\n", "a: 2\n")
+
+
+class TestExactMatchRate:
+    def test_rate(self):
+        assert exact_match_rate(["a", "b"], ["a", "c"]) == 50.0
+
+    def test_empty(self):
+        assert exact_match_rate([], []) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            exact_match_rate(["a"], [])

@@ -1,0 +1,51 @@
+"""Tests for repro.metrics.report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.report import EvalReport
+
+GOOD = "- name: t\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n"
+OTHER = "- name: t\n  ansible.builtin.debug:\n    msg: hi\n"
+
+
+class TestEvalReport:
+    def test_empty_report(self):
+        report = EvalReport("m")
+        assert report.count == 0
+        assert report.bleu == 0.0
+        assert report.as_row() == ["m", 0, 0.0, 0.0, 0.0, 0.0]
+
+    def test_perfect_sample(self):
+        report = EvalReport("m")
+        score = report.add(GOOD, GOOD, "NL->T")
+        assert score.exact_match and score.schema_correct
+        assert report.exact_match == 100.0
+        assert report.bleu == pytest.approx(100.0)
+        assert report.ansible_aware == pytest.approx(100.0)
+
+    def test_mixed_samples(self):
+        report = EvalReport("m")
+        report.add(GOOD, GOOD, "NL->T")
+        report.add(GOOD, OTHER, "T+NL->T")
+        assert report.exact_match == 50.0
+        assert 0.0 < report.bleu < 100.0
+
+    def test_subset_by_type(self):
+        report = EvalReport("m")
+        report.add(GOOD, GOOD, "NL->T")
+        report.add(GOOD, OTHER, "T+NL->T")
+        subset = report.subset("NL->T")
+        assert subset.count == 1
+        assert subset.exact_match == 100.0
+
+    def test_generation_types_order(self):
+        report = EvalReport("m")
+        report.add(GOOD, GOOD, "T+NL->T")
+        report.add(GOOD, GOOD, "NL->T")
+        report.add(GOOD, GOOD, "T+NL->T")
+        assert report.generation_types() == ["T+NL->T", "NL->T"]
+
+    def test_row_headers_match_paper_columns(self):
+        assert EvalReport.ROW_HEADERS == ("Model", "Count", "Schema Correct", "EM", "BLEU", "Ansible Aware")

@@ -1,0 +1,164 @@
+"""Tests for repro.model: config presets, WisdomModel, checkpoints, zoo cards,
+throughput."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GenerationError
+from repro.model.checkpoints import load_checkpoint, restore_weights, save_checkpoint, snapshot_weights
+from repro.model.config import CONTEXT_WINDOWS, SIZE_2_7B, SIZE_350M, SIZE_6B, transformer_config
+from repro.model.lm import WisdomModel
+from repro.model.throughput import measure_throughput, speedup
+from repro.model.zoo import (
+    CARDS_BY_NAME,
+    DATASET_COLUMNS,
+    MODEL_CARDS,
+    PretrainingCorpora,
+    table2_rows,
+)
+from repro.nn.parameter import numpy_rng
+from repro.nn.transformer import DecoderLM
+
+
+class TestConfigPresets:
+    def test_sizes_ordered(self):
+        def params(preset):
+            return preset.dim * preset.dim * preset.n_layers
+
+        assert params(SIZE_350M) < params(SIZE_2_7B) < params(SIZE_6B)
+
+    def test_context_window_mapping(self):
+        config = transformer_config(100, "350M", context_window=1024)
+        assert config.n_positions == CONTEXT_WINDOWS[1024]
+
+    def test_context_windows_ordered(self):
+        assert CONTEXT_WINDOWS[512] < CONTEXT_WINDOWS[1024] < CONTEXT_WINDOWS[2048]
+
+    def test_unmapped_window_verbatim(self):
+        config = transformer_config(100, "350M", context_window=48)
+        assert config.n_positions == 48
+
+    def test_preset_object_accepted(self):
+        config = transformer_config(100, SIZE_2_7B)
+        assert config.dim == SIZE_2_7B.dim
+
+
+@pytest.fixture()
+def wisdom_model(tiny_tokenizer, tiny_config):
+    return WisdomModel("test-model", tiny_tokenizer, DecoderLM(tiny_config, numpy_rng(0)))
+
+
+class TestWisdomModel:
+    def test_complete_returns_text(self, wisdom_model):
+        out = wisdom_model.complete("- name: Install nginx\n", max_new_tokens=8)
+        assert isinstance(out, str)
+
+    def test_empty_prompt_rejected(self, wisdom_model):
+        with pytest.raises(GenerationError):
+            wisdom_model.complete("")
+
+    def test_long_prompt_left_truncated(self, wisdom_model):
+        long_prompt = "- name: install\n" * 100
+        out = wisdom_model.complete(long_prompt, max_new_tokens=4)
+        assert isinstance(out, str)
+
+    def test_loss_and_perplexity(self, wisdom_model):
+        loss = wisdom_model.loss_on_text("- name: Install nginx\n  apt:\n    name: nginx\n")
+        assert loss > 0
+        assert wisdom_model.perplexity("- name: Install nginx\n") == pytest.approx(
+            np.exp(wisdom_model.loss_on_text("- name: Install nginx\n")), rel=1e-5
+        )
+
+    def test_loss_too_short(self, wisdom_model):
+        with pytest.raises(GenerationError):
+            wisdom_model.loss_on_text("")
+
+    def test_sampled_completion_deterministic_by_seed(self, wisdom_model):
+        a = wisdom_model.complete("- name: x\n", max_new_tokens=6, temperature=1.0, seed=3)
+        b = wisdom_model.complete("- name: x\n", max_new_tokens=6, temperature=1.0, seed=3)
+        assert a == b
+
+
+class TestCheckpoints:
+    def test_save_load_roundtrip(self, wisdom_model, tmp_path):
+        prompt = "- name: Install nginx\n"
+        expected = wisdom_model.complete(prompt, max_new_tokens=6)
+        save_checkpoint(wisdom_model, tmp_path / "ckpt")
+        restored = load_checkpoint(tmp_path / "ckpt")
+        assert restored.name == wisdom_model.name
+        assert restored.complete(prompt, max_new_tokens=6) == expected
+
+    def test_missing_checkpoint(self, tmp_path):
+        from repro.errors import CheckpointError
+
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "nope")
+
+    def test_snapshot_restore(self, wisdom_model):
+        snapshot = snapshot_weights(wisdom_model.network)
+        parameter = wisdom_model.network.parameters()[0]
+        parameter.data += 1.0
+        restore_weights(wisdom_model.network, snapshot)
+        assert np.allclose(parameter.data, snapshot[parameter.name])
+
+    def test_snapshot_is_a_copy(self, wisdom_model):
+        snapshot = snapshot_weights(wisdom_model.network)
+        parameter = wisdom_model.network.parameters()[0]
+        parameter.data += 1.0
+        assert not np.allclose(snapshot[parameter.name], parameter.data)
+
+
+class TestZooCards:
+    def test_seven_cards(self):
+        assert len(MODEL_CARDS) == 7
+
+    def test_table2_matrix_matches_paper(self):
+        rows = {row[0]: row[1:] for row in table2_rows()}
+        # columns: pile, bigquery, bigpython, ansible_yaml, generic_yaml
+        assert rows["CodeGen-NL"] == ["x", "", "", "", ""]
+        assert rows["CodeGen-Multi"] == ["x", "x", "", "", ""]
+        assert rows["CodeGen-Mono"] == ["x", "x", "x", "", ""]
+        assert rows["Wisdom-Ansible"] == ["", "", "", "x", ""]
+        assert rows["Wisdom-Yaml"] == ["", "", "", "x", "x"]
+        assert rows["Wisdom-Ansible-Multi"] == ["x", "x", "", "x", ""]
+        assert rows["Wisdom-Yaml-Multi"] == ["x", "x", "", "x", "x"]
+
+    def test_warm_start_bases(self):
+        assert CARDS_BY_NAME["Wisdom-Ansible-Multi"].initialized_from == "CodeGen-Multi"
+        assert CARDS_BY_NAME["Wisdom-Yaml-Multi"].initialized_from == "CodeGen-Multi"
+        assert CARDS_BY_NAME["Wisdom-Ansible"].initialized_from is None
+
+    def test_dataset_columns_count(self):
+        assert len(DATASET_COLUMNS) == 5
+
+    def test_for_card_warm_start_excludes_base_data(self, galaxy_corpus):
+        from repro.dataset.corpus import Corpus, Document
+
+        def mini(name):
+            return Corpus(name, [Document(f"{name}/0", name, "x", f"content {name}")])
+
+        corpora = PretrainingCorpora(
+            pile=mini("pile"),
+            bigquery=mini("bq"),
+            bigpython=mini("bp"),
+            ansible=mini("ans"),
+            generic=mini("gen"),
+        )
+        card = CARDS_BY_NAME["Wisdom-Ansible-Multi"]
+        cold = corpora.for_card(card, warm_start=False)
+        warm = corpora.for_card(card, warm_start=True)
+        assert len(cold) == 3  # pile + bigquery + ansible
+        assert len(warm) == 1  # only the ansible extension
+
+
+class TestThroughput:
+    def test_measure(self, wisdom_model):
+        result = measure_throughput(wisdom_model.network, prompt_length=4, new_tokens=6, runs=2)
+        assert result.tokens_per_second > 0
+        assert result.total_tokens >= 2
+
+    def test_speedup_ratio(self, wisdom_model):
+        result = measure_throughput(wisdom_model.network, prompt_length=4, new_tokens=4, runs=1)
+        assert speedup(result, result) == pytest.approx(1.0)

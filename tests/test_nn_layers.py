@@ -1,0 +1,190 @@
+"""Tests for repro.nn.layers — each backward pass checked against finite
+differences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.layers import (
+    Embedding,
+    LayerNorm,
+    Linear,
+    cross_entropy,
+    gelu,
+    gelu_backward,
+    softmax,
+)
+
+
+def numerical_grad(f, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    out = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        up = f()
+        flat[index] = original - eps
+        down = f()
+        flat[index] = original
+        out[index] = (up - down) / (2 * eps)
+    return grad
+
+
+class TestLinear:
+    def test_forward_shape(self, np_rng):
+        layer = Linear("l", 4, 6, np_rng)
+        out = layer.forward(np.ones((2, 3, 4), dtype=np.float32))
+        assert out.shape == (2, 3, 6)
+
+    def test_shape_mismatch(self, np_rng):
+        layer = Linear("l", 4, 6, np_rng)
+        with pytest.raises(ShapeError):
+            layer.forward(np.ones((2, 5), dtype=np.float32))
+
+    def test_backward_before_forward(self, np_rng):
+        layer = Linear("l", 4, 6, np_rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((2, 6), dtype=np.float32))
+
+    def test_gradients_match_numerical(self, np_rng):
+        layer = Linear("l", 3, 2, np_rng)
+        x = np_rng.normal(size=(4, 3)).astype(np.float32)
+
+        def loss():
+            return float((layer.forward(x.copy(), training=False) ** 2).sum() / 2)
+
+        layer.zero_grad()
+        out = layer.forward(x)
+        grad_x = layer.backward(out)  # d/dy of sum(y^2)/2 is y
+        expected_w = numerical_grad(loss, layer.weight.data)
+        expected_b = numerical_grad(loss, layer.bias.data)
+        assert np.allclose(layer.weight.grad, expected_w, atol=2e-2)
+        assert np.allclose(layer.bias.grad, expected_b, atol=2e-2)
+        assert grad_x.shape == x.shape
+
+    def test_no_bias(self, np_rng):
+        layer = Linear("l", 3, 2, np_rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+
+class TestEmbedding:
+    def test_lookup(self, np_rng):
+        layer = Embedding("e", 10, 4, np_rng)
+        out = layer.forward(np.array([[1, 2], [3, 1]]))
+        assert out.shape == (2, 2, 4)
+        assert np.allclose(out[0, 0], layer.weight.data[1])
+
+    def test_out_of_range(self, np_rng):
+        layer = Embedding("e", 10, 4, np_rng)
+        with pytest.raises(ShapeError):
+            layer.forward(np.array([[10]]))
+
+    def test_backward_accumulates_duplicates(self, np_rng):
+        layer = Embedding("e", 5, 3, np_rng)
+        ids = np.array([[1, 1, 2]])
+        layer.zero_grad()
+        layer.forward(ids)
+        grad = np.ones((1, 3, 3), dtype=np.float32)
+        layer.backward(grad)
+        assert np.allclose(layer.weight.grad[1], 2.0)
+        assert np.allclose(layer.weight.grad[2], 1.0)
+        assert np.allclose(layer.weight.grad[0], 0.0)
+
+
+class TestLayerNorm:
+    def test_normalizes(self, np_rng):
+        layer = LayerNorm("ln", 8)
+        x = np_rng.normal(loc=5.0, scale=3.0, size=(2, 8)).astype(np.float32)
+        out = layer.forward(x)
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gradients_match_numerical(self, np_rng):
+        layer = LayerNorm("ln", 4)
+        x = np_rng.normal(size=(3, 4)).astype(np.float32)
+        target = np_rng.normal(size=(3, 4)).astype(np.float32)
+
+        def loss():
+            out = layer.forward(x, training=False)
+            return float(((out - target) ** 2).sum() / 2)
+
+        layer.zero_grad()
+        out = layer.forward(x)
+        grad_x = layer.backward(out - target)
+        assert np.allclose(layer.gamma.grad, numerical_grad(loss, layer.gamma.data), atol=2e-2)
+        assert np.allclose(layer.beta.grad, numerical_grad(loss, layer.beta.data), atol=2e-2)
+        assert np.allclose(grad_x, numerical_grad(loss, x), atol=2e-2)
+
+
+class TestGelu:
+    def test_known_values(self):
+        assert gelu(np.array([0.0]))[0] == pytest.approx(0.0)
+        assert gelu(np.array([100.0]))[0] == pytest.approx(100.0)
+        assert gelu(np.array([-100.0]))[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_derivative_matches_numerical(self):
+        x = np.linspace(-3, 3, 13).astype(np.float64)
+        eps = 1e-5
+        numerical = (gelu(x + eps) - gelu(x - eps)) / (2 * eps)
+        analytic = gelu_backward(x, np.ones_like(x))
+        assert np.allclose(analytic, numerical, atol=1e-6)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, np_rng):
+        out = softmax(np_rng.normal(size=(4, 7)))
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_shift_invariant(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(softmax(x), softmax(x + 100.0))
+
+    def test_extreme_values_stable(self):
+        out = softmax(np.array([[1e9, 0.0, -1e9]]))
+        assert np.isfinite(out).all()
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((1, 3, 4), -20.0, dtype=np.float32)
+        targets = np.array([[0, 1, 2]])
+        for position, target in enumerate([0, 1, 2]):
+            logits[0, position, target] = 20.0
+        loss, grad = cross_entropy(logits, targets)
+        assert loss < 1e-5
+        assert grad.shape == logits.shape
+
+    def test_uniform_logits_log_vocab(self):
+        logits = np.zeros((1, 2, 8), dtype=np.float32)
+        loss, _ = cross_entropy(logits, np.array([[3, 5]]))
+        assert loss == pytest.approx(np.log(8), rel=1e-4)
+
+    def test_ignore_index(self):
+        logits = np.zeros((1, 3, 4), dtype=np.float32)
+        loss_all, grad_all = cross_entropy(logits, np.array([[1, 1, 1]]))
+        loss_some, grad_some = cross_entropy(logits, np.array([[1, -1, -1]]))
+        assert loss_all == pytest.approx(loss_some)
+        assert np.allclose(grad_some[0, 1], 0.0)
+        assert np.allclose(grad_some[0, 2], 0.0)
+
+    def test_all_ignored(self):
+        logits = np.zeros((1, 2, 4), dtype=np.float32)
+        loss, grad = cross_entropy(logits, np.array([[-1, -1]]))
+        assert loss == 0.0
+        assert np.allclose(grad, 0.0)
+
+    def test_gradient_matches_numerical(self, np_rng):
+        logits = np_rng.normal(size=(1, 2, 5)).astype(np.float64)
+        targets = np.array([[1, 3]])
+        _, grad = cross_entropy(logits, targets)
+
+        def loss_fn():
+            value, _ = cross_entropy(logits, targets)
+            return value
+
+        numerical = numerical_grad(loss_fn, logits, eps=1e-5)
+        assert np.allclose(grad, numerical, atol=1e-5)

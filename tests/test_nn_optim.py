@@ -1,0 +1,105 @@
+"""Tests for repro.nn.optim."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import Adam, CosineSchedule, LinearSchedule, clip_grad_norm
+from repro.nn.parameter import Parameter
+
+
+def quadratic_parameter() -> Parameter:
+    return Parameter("w", np.array([5.0, -3.0], dtype=np.float32))
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        parameter = quadratic_parameter()
+        optimizer = Adam([parameter], learning_rate=0.1)
+        for _ in range(300):
+            parameter.zero_grad()
+            parameter.grad += parameter.data  # gradient of ||w||^2 / 2
+            optimizer.step()
+        assert np.abs(parameter.data).max() < 1e-2
+
+    def test_lr_override_per_step(self):
+        parameter = quadratic_parameter()
+        optimizer = Adam([parameter], learning_rate=1.0)
+        parameter.grad += parameter.data
+        before = parameter.data.copy()
+        optimizer.step(learning_rate=0.0)
+        assert np.array_equal(parameter.data, before)
+
+    def test_weight_decay_pulls_to_zero(self):
+        parameter = Parameter("w", np.array([1.0], dtype=np.float32))
+        optimizer = Adam([parameter], learning_rate=0.05, weight_decay=0.5)
+        for _ in range(200):
+            parameter.zero_grad()  # zero task gradient; only decay acts
+            optimizer.step()
+        assert abs(float(parameter.data[0])) < 0.1
+
+    def test_zero_grad_helper(self):
+        parameter = quadratic_parameter()
+        parameter.grad += 1.0
+        Adam([parameter]).zero_grad()
+        assert np.allclose(parameter.grad, 0.0)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        parameter = Parameter("w", np.zeros(3, dtype=np.float32))
+        parameter.grad[:] = [0.1, 0.1, 0.1]
+        before = parameter.grad.copy()
+        norm = clip_grad_norm([parameter], max_norm=10.0)
+        assert np.array_equal(parameter.grad, before)
+        assert norm == pytest.approx(np.sqrt(0.03))
+
+    def test_clips_to_max(self):
+        parameter = Parameter("w", np.zeros(2, dtype=np.float32))
+        parameter.grad[:] = [30.0, 40.0]
+        clip_grad_norm([parameter], max_norm=5.0)
+        assert np.linalg.norm(parameter.grad) == pytest.approx(5.0, rel=1e-5)
+
+    def test_zero_grads_safe(self):
+        parameter = Parameter("w", np.zeros(2, dtype=np.float32))
+        assert clip_grad_norm([parameter], 1.0) == 0.0
+
+
+class TestSchedules:
+    def test_linear_decreases(self):
+        schedule = LinearSchedule(peak_lr=1.0, total_steps=10)
+        lrs = [schedule.lr_at(step) for step in range(11)]
+        assert lrs[0] == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+        assert lrs[10] == pytest.approx(0.0)
+
+    def test_linear_warmup(self):
+        schedule = LinearSchedule(peak_lr=1.0, total_steps=20, warmup_steps=5)
+        assert schedule.lr_at(0) == pytest.approx(0.2)
+        assert schedule.lr_at(4) == pytest.approx(1.0)
+
+    def test_linear_final_fraction(self):
+        schedule = LinearSchedule(peak_lr=1.0, total_steps=10, final_fraction=0.1)
+        assert schedule.lr_at(10) == pytest.approx(0.1)
+
+    def test_cosine_shape(self):
+        schedule = CosineSchedule(peak_lr=1.0, total_steps=100)
+        assert schedule.lr_at(0) == pytest.approx(1.0)
+        assert schedule.lr_at(50) == pytest.approx(0.5, abs=0.02)
+        assert schedule.lr_at(100) == pytest.approx(0.0, abs=1e-6)
+
+    def test_cosine_monotone_after_warmup(self):
+        schedule = CosineSchedule(peak_lr=1.0, total_steps=50, warmup_steps=5)
+        lrs = [schedule.lr_at(step) for step in range(5, 51)]
+        assert all(a >= b - 1e-9 for a, b in zip(lrs, lrs[1:]))
+
+    def test_invalid_total_steps(self):
+        with pytest.raises(ValueError):
+            LinearSchedule(1.0, 0)
+        with pytest.raises(ValueError):
+            CosineSchedule(1.0, -5)
+
+    def test_beyond_total_steps_clamped(self):
+        schedule = CosineSchedule(peak_lr=1.0, total_steps=10, final_fraction=0.2)
+        assert schedule.lr_at(1000) == pytest.approx(0.2)

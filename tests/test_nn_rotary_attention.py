@@ -1,0 +1,137 @@
+"""Tests for rotary embeddings and causal self-attention."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.attention import CausalSelfAttention, KVCache
+from repro.nn.rotary import apply_rotary, apply_rotary_backward, rotary_tables
+
+
+class TestRotaryTables:
+    def test_shapes(self):
+        cos, sin = rotary_tables(16, 8)
+        assert cos.shape == (16, 4) and sin.shape == (16, 4)
+
+    def test_position_zero_identity(self):
+        cos, sin = rotary_tables(4, 8)
+        assert np.allclose(cos[0], 1.0)
+        assert np.allclose(sin[0], 0.0)
+
+    def test_odd_head_dim_rejected(self):
+        with pytest.raises(ValueError):
+            rotary_tables(4, 7)
+
+
+class TestApplyRotary:
+    def test_norm_preserved(self, np_rng):
+        """Rotations preserve vector norms."""
+        x = np_rng.normal(size=(2, 3, 5, 8)).astype(np.float32)
+        cos, sin = rotary_tables(5, 8)
+        rotated = apply_rotary(x, cos[None, None], sin[None, None])
+        assert np.allclose(
+            np.linalg.norm(rotated, axis=-1), np.linalg.norm(x, axis=-1), atol=1e-5
+        )
+
+    def test_backward_is_inverse_rotation(self, np_rng):
+        x = np_rng.normal(size=(1, 2, 4, 8)).astype(np.float32)
+        cos, sin = rotary_tables(4, 8)
+        rotated = apply_rotary(x, cos[None, None], sin[None, None])
+        recovered = apply_rotary_backward(rotated, cos[None, None], sin[None, None])
+        assert np.allclose(recovered, x, atol=1e-5)
+
+    def test_relative_position_property(self, np_rng):
+        """q_m . k_n depends only on (m - n): shifting both by one position
+        leaves the rotated dot product unchanged."""
+        q = np_rng.normal(size=(8,)).astype(np.float64)
+        k = np_rng.normal(size=(8,)).astype(np.float64)
+        cos, sin = rotary_tables(10, 8)
+
+        def rotated_dot(m, n):
+            qm = apply_rotary(q[None, None, None, :], cos[m][None, None, None], sin[m][None, None, None])
+            kn = apply_rotary(k[None, None, None, :], cos[n][None, None, None], sin[n][None, None, None])
+            return float((qm * kn).sum())
+
+        assert rotated_dot(3, 1) == pytest.approx(rotated_dot(5, 3), abs=1e-4)
+        assert rotated_dot(3, 1) != pytest.approx(rotated_dot(4, 1), abs=1e-3)
+
+
+class TestCausalSelfAttention:
+    def make(self, np_rng, dim=16, heads=4, positions=12):
+        return CausalSelfAttention("attn", dim, heads, positions, np_rng)
+
+    def test_output_shape(self, np_rng):
+        attention = self.make(np_rng)
+        out = attention.forward(np_rng.normal(size=(2, 6, 16)).astype(np.float32))
+        assert out.shape == (2, 6, 16)
+
+    def test_bad_head_split(self, np_rng):
+        with pytest.raises(ShapeError):
+            CausalSelfAttention("a", 10, 4, 8, np_rng)
+
+    def test_sequence_too_long(self, np_rng):
+        attention = self.make(np_rng, positions=4)
+        with pytest.raises(ShapeError):
+            attention.forward(np.zeros((1, 5, 16), dtype=np.float32))
+
+    def test_causality(self, np_rng):
+        """Changing a future token must not change past outputs."""
+        attention = self.make(np_rng)
+        x = np_rng.normal(size=(1, 6, 16)).astype(np.float32)
+        base = attention.forward(x, training=False)
+        perturbed = x.copy()
+        perturbed[0, 5] += 10.0
+        out = attention.forward(perturbed, training=False)
+        assert np.allclose(out[0, :5], base[0, :5], atol=1e-5)
+        assert not np.allclose(out[0, 5], base[0, 5], atol=1e-3)
+
+    def test_gradient_check(self, np_rng):
+        attention = self.make(np_rng, dim=8, heads=2, positions=6)
+        x = np_rng.normal(size=(1, 4, 8)).astype(np.float32)
+        target = np_rng.normal(size=(1, 4, 8)).astype(np.float32)
+
+        def loss():
+            out = attention.forward(x, training=False)
+            return float(((out - target) ** 2).sum() / 2)
+
+        attention.zero_grad()
+        out = attention.forward(x)
+        attention.backward(out - target)
+        parameter = attention.query_proj.weight
+        eps = 1e-3
+        for i, j in [(0, 0), (3, 5), (7, 2)]:
+            original = parameter.data[i, j]
+            parameter.data[i, j] = original + eps
+            up = loss()
+            parameter.data[i, j] = original - eps
+            down = loss()
+            parameter.data[i, j] = original
+            numerical = (up - down) / (2 * eps)
+            assert parameter.grad[i, j] == pytest.approx(numerical, abs=2e-3)
+
+    def test_incremental_matches_full(self, np_rng):
+        attention = self.make(np_rng)
+        x = np_rng.normal(size=(1, 8, 16)).astype(np.float32)
+        full = attention.forward(x, training=False)
+        cache = KVCache()
+        part1 = attention.forward_incremental(x[:, :3], cache)
+        part2 = attention.forward_incremental(x[:, 3:6], cache)
+        part3 = attention.forward_incremental(x[:, 6:], cache)
+        stitched = np.concatenate([part1, part2, part3], axis=1)
+        assert np.allclose(stitched, full, atol=1e-4)
+
+    def test_cache_overflow(self, np_rng):
+        attention = self.make(np_rng, positions=4)
+        cache = KVCache()
+        attention.forward_incremental(np.zeros((1, 3, 16), dtype=np.float32), cache)
+        with pytest.raises(ShapeError):
+            attention.forward_incremental(np.zeros((1, 2, 16), dtype=np.float32), cache)
+
+    def test_kv_cache_length(self, np_rng):
+        cache = KVCache()
+        assert cache.length == 0
+        attention = self.make(np_rng)
+        attention.forward_incremental(np.zeros((1, 5, 16), dtype=np.float32), cache)
+        assert cache.length == 5

@@ -1,0 +1,129 @@
+"""The paper's own figures as integration tests.
+
+Fig. 1 (the SSH playbook) and Fig. 2 (the four generation types built from
+the VyOS network playbook and the apache role) must flow through the whole
+stack: parse, validate, classify, extract samples, score.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ansible, yamlio
+from repro.dataset.corpus import Document
+from repro.dataset.finetune import extract_from_playbook, extract_from_task_list
+from repro.dataset.prompt import NL_TO_PB, NL_TO_T, PB_NL_TO_T, T_NL_TO_T
+from repro.metrics import ansible_aware, is_schema_correct, sentence_bleu
+
+FIG2_PLAYBOOK = """---
+- name: Network Setup Playbook
+  connection: ansible.netcommon.network_cli
+  gather_facts: false
+  hosts: all
+  tasks:
+    - name: Get config for VyOS devices
+      vyos.vyos.vyos_facts:
+        gather_subset: all
+    - name: Update the hostname
+      vyos.vyos.vyos_config:
+        backup: true
+        lines:
+          - set system host-name vyos-changed
+    - name: Get changed config for VyOS devices
+      vyos.vyos.vyos_facts:
+        gather_subset: all
+"""
+
+FIG2_TASKS = """---
+- name: Ensure apache is at the latest version
+  ansible.builtin.yum:
+    name: httpd
+    state: latest
+- name: Write the apache config file
+  ansible.builtin.template:
+    src: /srv/httpd.j2
+    dest: /etc/httpd.conf
+"""
+
+
+class TestFig1:
+    def test_parses_and_validates(self, fig1_text):
+        data = yamlio.loads(fig1_text)
+        assert ansible.classify_snippet(data) == "playbook"
+        assert ansible.validate(data) == []
+
+    def test_roundtrip_preserves_text(self, fig1_text):
+        assert yamlio.dumps(yamlio.loads(fig1_text)) == fig1_text
+
+    def test_task_modules(self, fig1_text):
+        playbook = ansible.Playbook.from_data(yamlio.loads(fig1_text))
+        assert [task.fqcn for task in playbook.all_tasks()] == [
+            "ansible.builtin.apt",
+            "ansible.builtin.service",
+        ]
+
+
+class TestFig2GenerationTypes:
+    """Each subfigure of Fig. 2 corresponds to one generation type."""
+
+    def test_pb_nl_to_t_from_network_playbook(self):
+        plays = yamlio.loads(FIG2_PLAYBOOK)
+        document = Document("fig2a", "paper", "ansible", FIG2_PLAYBOOK)
+        samples = extract_from_playbook(document, plays)
+        assert [sample.generation_type for sample in samples] == [PB_NL_TO_T, PB_NL_TO_T]
+        last = samples[-1]
+        assert last.nl_prompt == "Get changed config for VyOS devices"
+        assert "vyos.vyos.vyos_facts" in last.target_text
+        # Fig 2a: the context is the playbook with the first two tasks.
+        assert last.input_text.count("- name:") == 4  # play + 2 context + prompt
+
+    def test_nl_to_pb_when_playbook_small(self):
+        plays = yamlio.loads(FIG2_PLAYBOOK)
+        plays[0]["tasks"] = plays[0]["tasks"][:2]
+        document = Document("fig2b", "paper", "ansible", FIG2_PLAYBOOK)
+        samples = extract_from_playbook(document, plays)
+        assert [sample.generation_type for sample in samples] == [NL_TO_PB]
+        sample = samples[0]
+        assert sample.nl_prompt.startswith("Network Setup Playbook")
+        assert "Update the hostname" in sample.nl_prompt
+
+    def test_t_nl_to_t_from_apache_role(self):
+        tasks = yamlio.loads(FIG2_TASKS)
+        document = Document("fig2c", "paper", "ansible", FIG2_TASKS)
+        samples = extract_from_task_list(document, tasks)
+        assert [sample.generation_type for sample in samples] == [NL_TO_T, T_NL_TO_T]
+        follow_up = samples[1]
+        assert follow_up.nl_prompt == "Write the apache config file"
+        assert "ansible.builtin.template" in follow_up.target_text
+        # Fig 2c: the context is the first (yum) task.
+        assert "ansible.builtin.yum" in follow_up.input_text
+
+    def test_nl_to_t_first_task(self):
+        tasks = yamlio.loads(FIG2_TASKS)
+        document = Document("fig2d", "paper", "ansible", FIG2_TASKS)
+        samples = extract_from_task_list(document, tasks)
+        first = samples[0]
+        assert first.generation_type == NL_TO_T
+        assert first.input_text == "- name: Ensure apache is at the latest version\n"
+        assert "ansible.builtin.yum" in first.target_text
+
+
+class TestFig2Metrics:
+    def test_paper_snippets_schema_correct(self):
+        assert is_schema_correct(FIG2_PLAYBOOK)
+        assert is_schema_correct(FIG2_TASKS)
+
+    def test_copy_template_equivalence_on_fig2(self):
+        reference = """- name: Write the apache config file
+  ansible.builtin.template:
+    src: /srv/httpd.j2
+    dest: /etc/httpd.conf
+"""
+        prediction = reference.replace("template", "copy")
+        score = ansible_aware(reference, prediction)
+        assert score == pytest.approx(75.0)
+
+    def test_bleu_sane_on_near_miss(self):
+        reference = FIG2_TASKS
+        prediction = FIG2_TASKS.replace("httpd", "nginx")
+        assert 40.0 < sentence_bleu(reference, prediction) < 100.0

@@ -1,0 +1,169 @@
+"""Tests for repro.serving (cache, service, HTTP client/server, plugin)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.cache import LruCache
+from repro.serving.client import PredictionClient
+from repro.serving.plugin import ESCAPE, EditorSession, TAB
+from repro.serving.service import PredictionService, RestServer
+
+
+class _StubCompleter:
+    name = "stub"
+
+    def __init__(self):
+        self.calls = 0
+
+    def complete(self, prompt, max_new_tokens=96):
+        self.calls += 1
+        return "  ansible.builtin.apt:\n    name: nginx\n    state: present\n"
+
+
+class TestLruCache:
+    def test_hit_and_miss_accounting(self):
+        cache = LruCache(4)
+        assert cache.get("a") is None
+        cache.put("a", "1")
+        assert cache.get("a") == "1"
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_eviction_order(self):
+        cache = LruCache(2)
+        cache.put("a", "1")
+        cache.put("b", "2")
+        cache.get("a")  # refresh a
+        cache.put("c", "3")  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == "1"
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LruCache(0)
+
+    def test_overwrite(self):
+        cache = LruCache(2)
+        cache.put("a", "1")
+        cache.put("a", "2")
+        assert cache.get("a") == "2"
+        assert len(cache) == 1
+
+
+class TestPredictionService:
+    def test_predict_and_cache(self):
+        completer = _StubCompleter()
+        service = PredictionService(completer)
+        first = service.predict("- name: install nginx\n")
+        second = service.predict("- name: install nginx\n")
+        assert not first["cached"] and second["cached"]
+        assert completer.calls == 1
+        assert first["completion"] == second["completion"]
+
+    def test_empty_prompt_rejected(self):
+        service = PredictionService(_StubCompleter())
+        with pytest.raises(ServingError):
+            service.predict("   ")
+
+    def test_stats(self):
+        service = PredictionService(_StubCompleter())
+        service.predict("- name: a\n")
+        service.predict("- name: a\n")
+        stats = service.stats()
+        assert stats["requests"] == 2
+        assert stats["cache_hit_rate"] == 0.5
+        assert stats["mean_latency_ms"] >= 0
+
+    def test_health(self):
+        assert PredictionService(_StubCompleter()).health() == {"status": "ok", "model": "stub"}
+
+
+class TestRestRoundTrip:
+    def test_http_completion_flow(self):
+        service = PredictionService(_StubCompleter())
+        with RestServer(service) as server:
+            client = PredictionClient(server.url)
+            assert client.health()["status"] == "ok"
+            completion = client.complete("- name: install nginx\n")
+            assert "ansible.builtin.apt" in completion
+            payload = client.predict("- name: install nginx\n")
+            assert payload["cached"] is True
+            assert client.stats()["requests"] == 2
+
+    def test_http_error_mapped(self):
+        service = PredictionService(_StubCompleter())
+        with RestServer(service) as server:
+            client = PredictionClient(server.url)
+            with pytest.raises(ServingError):
+                client.complete("   ")
+
+    def test_unknown_path_404(self):
+        service = PredictionService(_StubCompleter())
+        with RestServer(service) as server:
+            client = PredictionClient(server.url)
+            with pytest.raises(ServingError):
+                client._request("GET", "/nope")
+
+    def test_unreachable_server(self):
+        client = PredictionClient("http://127.0.0.1:1", timeout=0.3)
+        with pytest.raises(ServingError):
+            client.health()
+
+
+class TestEditorPlugin:
+    def make_session(self):
+        return EditorSession(backend=PredictionService(_StubCompleter()))
+
+    def test_accept_flow(self):
+        session = self.make_session()
+        session.type_text("- name: install nginx on RHEL")
+        suggestion = session.press_enter()
+        assert "apt" in suggestion.text
+        buffer = session.press(TAB)
+        assert "state: present" in buffer
+        assert session.accepted == 1
+        assert session.acceptance_rate == 1.0
+
+    def test_reject_flow(self):
+        session = self.make_session()
+        session.type_text("- name: install nginx")
+        session.press_enter()
+        buffer = session.press(ESCAPE)
+        assert "apt" not in buffer
+        assert session.rejected == 1
+
+    def test_enter_requires_name_line(self):
+        session = self.make_session()
+        session.type_text("tasks:")
+        with pytest.raises(ServingError):
+            session.press_enter()
+
+    def test_double_enter_rejected(self):
+        session = self.make_session()
+        session.type_text("- name: x")
+        session.press_enter()
+        with pytest.raises(ServingError):
+            session.press_enter()
+
+    def test_key_without_pending(self):
+        session = self.make_session()
+        with pytest.raises(ServingError):
+            session.press(TAB)
+
+    def test_unknown_key(self):
+        session = self.make_session()
+        session.type_text("- name: x")
+        session.press_enter()
+        with pytest.raises(ServingError):
+            session.press("space")
+
+    def test_buffer_stays_valid_yaml_after_accept(self):
+        from repro import yamlio
+
+        session = self.make_session()
+        session.type_text("- name: install nginx")
+        session.press_enter()
+        session.press(TAB)
+        assert yamlio.is_valid(session.buffer)

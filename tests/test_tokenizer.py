@@ -1,0 +1,139 @@
+"""Tests for repro.tokenizer (vocab + BPE)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TokenizerError, VocabularyError
+from repro.tokenizer.bpe import BpeTokenizer, pretokenize
+from repro.tokenizer.special import END_OF_TEXT, PAD, SEPARATOR
+from repro.tokenizer.vocab import N_BYTES, Vocabulary
+
+CORPUS = [
+    "- name: Install nginx\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n",
+    "- name: Start service\n  ansible.builtin.service:\n    name: nginx\n    state: started\n",
+] * 20
+
+
+@pytest.fixture(scope="module")
+def tokenizer() -> BpeTokenizer:
+    return BpeTokenizer.train(CORPUS, vocab_size=400)
+
+
+class TestPretokenize:
+    def test_spaces_kept_as_runs(self):
+        assert pretokenize(b"    name") == [b"    ", b"name"]
+
+    def test_newlines_separate(self):
+        assert pretokenize(b"a\n\nb") == [b"a", b"\n\n", b"b"]
+
+    def test_punctuation_grouped(self):
+        assert pretokenize(b"a.b: c") == [b"a", b".", b"b", b":", b" ", b"c"]
+
+    def test_digits_separate_from_letters(self):
+        assert pretokenize(b"v1") == [b"v", b"1"]
+
+
+class TestVocabulary:
+    def test_layout(self):
+        vocab = Vocabulary()
+        assert vocab.size == N_BYTES + 3
+        assert vocab.bytes_of(65) == b"A"
+        assert vocab.special_id(SEPARATOR) == N_BYTES
+        assert vocab.is_special(N_BYTES)
+        assert not vocab.is_special(0)
+
+    def test_add_merge(self):
+        vocab = Vocabulary()
+        token_id = vocab.add_merge(b"a", b"b")
+        assert vocab.bytes_of(token_id) == b"ab"
+        assert vocab.merge_rank((b"a", b"b")) == 0
+        assert vocab.id_of_merge((b"a", b"b")) == token_id
+
+    def test_duplicate_merge_rejected(self):
+        vocab = Vocabulary()
+        vocab.add_merge(b"a", b"b")
+        with pytest.raises(VocabularyError):
+            vocab.add_merge(b"a", b"b")
+
+    def test_out_of_range_id(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary().bytes_of(9999)
+
+    def test_unknown_special(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary().special_id("<|nope|>")
+
+    def test_json_roundtrip(self):
+        vocab = Vocabulary()
+        vocab.add_merge(b"a", b"b")
+        vocab.add_merge(b"ab", b"c")
+        restored = Vocabulary.from_json(vocab.to_json())
+        assert restored.merges == vocab.merges
+        assert restored.size == vocab.size
+
+
+class TestTraining:
+    def test_vocab_size_respected(self, tokenizer):
+        assert tokenizer.vocab_size <= 400
+
+    def test_too_small_vocab_rejected(self):
+        with pytest.raises(TokenizerError):
+            BpeTokenizer.train(CORPUS, vocab_size=100)
+
+    def test_merges_compress(self, tokenizer):
+        text = CORPUS[0]
+        ids = tokenizer.encode(text)
+        assert len(ids) < len(text.encode("utf-8"))
+
+    def test_frequent_word_single_token(self, tokenizer):
+        ids = tokenizer.encode("nginx")
+        assert len(ids) == 1
+
+
+class TestEncodeDecode:
+    def test_roundtrip_corpus(self, tokenizer):
+        for text in CORPUS[:2]:
+            assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    def test_unseen_bytes_roundtrip(self, tokenizer):
+        text = "никогда seen 漢字 \x01"
+        assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    def test_special_tokens_mapped(self, tokenizer):
+        ids = tokenizer.encode(f"a{SEPARATOR}b")
+        assert tokenizer.separator_id in ids
+
+    def test_special_tokens_skipped_on_decode(self, tokenizer):
+        ids = tokenizer.encode(f"a{END_OF_TEXT}b")
+        assert tokenizer.decode(ids) == "ab"
+        assert tokenizer.decode(ids, skip_special=False) == f"a{END_OF_TEXT}b"
+
+    def test_allow_special_false_encodes_literally(self, tokenizer):
+        ids = tokenizer.encode(SEPARATOR, allow_special=False)
+        assert tokenizer.separator_id not in ids
+        assert tokenizer.decode(ids) == SEPARATOR
+
+    def test_empty(self, tokenizer):
+        assert tokenizer.encode("") == []
+        assert tokenizer.decode([]) == ""
+
+    def test_distinct_special_ids(self, tokenizer):
+        assert len({tokenizer.separator_id, tokenizer.end_of_text_id, tokenizer.pad_id}) == 3
+        assert PAD  # referenced
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=80))
+    def test_roundtrip_property(self, tokenizer, text):
+        assert tokenizer.decode(tokenizer.encode(text, allow_special=False)) == text
+
+    def test_json_roundtrip_same_encoding(self, tokenizer):
+        restored = BpeTokenizer.from_json(tokenizer.to_json())
+        for text in CORPUS[:2]:
+            assert restored.encode(text) == tokenizer.encode(text)
+
+    def test_determinism(self):
+        a = BpeTokenizer.train(CORPUS, vocab_size=350)
+        b = BpeTokenizer.train(CORPUS, vocab_size=350)
+        assert a.vocabulary.merges == b.vocabulary.merges

@@ -1,0 +1,79 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.utils.rng import SeededRng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a", "b") == derive_seed(7, "a", "b")
+
+    def test_labels_change_seed(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+
+    def test_base_seed_changes_seed(self):
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+    def test_label_path_not_concatenation_ambiguous(self):
+        # ("ab",) and ("a", "b") must be distinct streams.
+        assert derive_seed(7, "ab") != derive_seed(7, "a", "b")
+
+    def test_int_labels_accepted(self):
+        assert derive_seed(7, 1, 2) == derive_seed(7, 1, 2)
+
+
+class TestSeededRng:
+    def test_same_seed_same_stream(self):
+        a = SeededRng(5)
+        b = SeededRng(5)
+        assert [a.randint(0, 100) for _ in range(10)] == [b.randint(0, 100) for _ in range(10)]
+
+    def test_child_streams_independent_of_parent_draws(self):
+        a = SeededRng(5)
+        a.randint(0, 10)  # consume parent draws
+        b = SeededRng(5)
+        assert a.child("x").randint(0, 1_000_000) == b.child("x").randint(0, 1_000_000)
+
+    def test_shuffled_leaves_input_untouched(self):
+        items = [1, 2, 3, 4, 5]
+        result = SeededRng(0).shuffled(items)
+        assert items == [1, 2, 3, 4, 5]
+        assert sorted(result) == items
+
+    def test_shuffle_in_place_returns_same_list(self):
+        items = [1, 2, 3]
+        result = SeededRng(0).shuffle(items)
+        assert result is items
+
+    def test_sample_distinct(self):
+        picked = SeededRng(0).sample(list(range(100)), 10)
+        assert len(set(picked)) == 10
+
+    def test_bernoulli_extremes(self):
+        rng = SeededRng(0)
+        assert not any(rng.bernoulli(0.0) for _ in range(50))
+        assert all(rng.bernoulli(1.0) for _ in range(50))
+
+    @given(st.floats(min_value=0.1, max_value=5.0))
+    def test_poisson_like_count_bounds(self, mean):
+        rng = SeededRng(3)
+        for _ in range(20):
+            count = rng.poisson_like_count(mean, maximum=7)
+            assert 0 <= count <= 7
+
+    def test_poisson_like_count_zero_mean(self):
+        assert SeededRng(0).poisson_like_count(0.0, 5) == 0
+
+    def test_poisson_like_count_mean_roughly_respected(self):
+        rng = SeededRng(11)
+        draws = [rng.poisson_like_count(2.0, 50) for _ in range(3000)]
+        mean = sum(draws) / len(draws)
+        assert 1.6 < mean < 2.4
+
+    def test_choices_weighted(self):
+        rng = SeededRng(0)
+        picks = rng.choices(["a", "b"], weights=[0.0, 1.0], k=20)
+        assert picks == ["b"] * 20

@@ -1,0 +1,41 @@
+"""Tests for repro.utils.tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1, 2.5]])
+        lines = text.split("\n")
+        assert lines[0].startswith("a")
+        assert "2.50" in lines[2]
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="Table 1")
+        assert text.startswith("Table 1\n=======")
+
+    def test_column_width_follows_longest_cell(self):
+        text = format_table(["x"], [["longvalue"], ["s"]])
+        header, separator, *rows = text.split("\n")
+        assert len(separator) >= len("longvalue")
+        assert rows[0].startswith("longvalue")
+
+    def test_precision(self):
+        text = format_table(["v"], [[1.23456]], precision=3)
+        assert "1.235" in text
+
+    def test_ints_not_float_formatted(self):
+        text = format_table(["v"], [[3]])
+        assert "3.00" not in text
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text

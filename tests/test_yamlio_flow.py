@@ -1,0 +1,79 @@
+"""Tests for repro.yamlio.flow."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import YamlParseError
+from repro.yamlio.flow import is_flow_start, parse_flow
+
+
+class TestFlowSequences:
+    def test_empty(self):
+        assert parse_flow("[]") == []
+
+    def test_scalars(self):
+        assert parse_flow("[1, two, 3.5, true, null]") == [1, "two", 3.5, True, None]
+
+    def test_nested(self):
+        assert parse_flow("[[1, 2], [3]]") == [[1, 2], [3]]
+
+    def test_trailing_comma(self):
+        assert parse_flow("[1, 2,]") == [1, 2]
+
+    def test_quoted_items(self):
+        assert parse_flow("['a, b', \"c: d\"]") == ["a, b", "c: d"]
+
+    def test_unterminated(self):
+        with pytest.raises(YamlParseError):
+            parse_flow("[1, 2")
+
+
+class TestFlowMappings:
+    def test_empty(self):
+        assert parse_flow("{}") == {}
+
+    def test_basic(self):
+        assert parse_flow("{name: web, port: 80}") == {"name": "web", "port": 80}
+
+    def test_nested(self):
+        assert parse_flow("{a: {b: 1}, c: [2]}") == {"a": {"b": 1}, "c": [2]}
+
+    def test_key_without_value(self):
+        assert parse_flow("{flag}") == {"flag": None}
+
+    def test_quoted_value_with_comma(self):
+        assert parse_flow("{msg: 'a, b'}") == {"msg": "a, b"}
+
+    def test_bad_separator(self):
+        with pytest.raises(YamlParseError):
+            parse_flow("{a: 1; b: 2}")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(YamlParseError):
+            parse_flow("{a: 1} extra")
+
+
+class TestIsFlowStart:
+    @pytest.mark.parametrize("text,expected", [("[1]", True), ("{a: 1}", True), ("plain", False), ("", False)])
+    def test_detection(self, text, expected):
+        assert is_flow_start(text) is expected
+
+
+class TestPyYamlOracle:
+    """Cross-check flow parsing against PyYAML on shared-subset inputs."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "[1, 2, three]",
+            "{name: web, port: 80}",
+            "[{a: 1}, {b: [2, 3]}]",
+            "{outer: {inner: [yes, no]}}",
+            "['quoted, item', plain]",
+        ],
+    )
+    def test_matches_pyyaml(self, text):
+        import yaml as pyyaml
+
+        assert parse_flow(text) == pyyaml.safe_load(text)

@@ -1,0 +1,159 @@
+"""Tests for repro.yamlio.scalars."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.yamlio.scalars import (
+    needs_quoting,
+    quote_double,
+    quote_single,
+    represent_scalar,
+    resolve_scalar,
+    unquote_double,
+    unquote_single,
+)
+
+
+class TestResolveScalar:
+    @pytest.mark.parametrize("text", ["true", "True", "yes", "Yes", "on", "ON"])
+    def test_true_words(self, text):
+        assert resolve_scalar(text) is True
+
+    @pytest.mark.parametrize("text", ["false", "False", "no", "NO", "off", "Off"])
+    def test_false_words(self, text):
+        assert resolve_scalar(text) is False
+
+    @pytest.mark.parametrize("text", ["null", "~", "", "Null", "NULL"])
+    def test_null_words(self, text):
+        assert resolve_scalar(text) is None
+
+    @pytest.mark.parametrize(
+        "text,value",
+        [("3", 3), ("-7", -7), ("+4", 4), ("0x10", 16), ("0o17", 15), ("0b101", 5), ("1_000", 1000)],
+    )
+    def test_integers(self, text, value):
+        assert resolve_scalar(text) == value
+
+    def test_legacy_octal_file_mode(self):
+        # YAML 1.1: a leading zero means octal — the classic 0644 trap.
+        assert resolve_scalar("0644") == 0o644
+
+    @pytest.mark.parametrize("text,value", [("1.5", 1.5), ("-2.0", -2.0), ("1e3", 1000.0), (".5", 0.5)])
+    def test_floats(self, text, value):
+        assert resolve_scalar(text) == value
+
+    def test_infinities(self):
+        assert resolve_scalar(".inf") == float("inf")
+        assert resolve_scalar("-.inf") == float("-inf")
+
+    def test_nan(self):
+        value = resolve_scalar(".nan")
+        assert value != value
+
+    @pytest.mark.parametrize("text", ["nginx", "v1.2.0-rc1", "hello world", "8080/tcp", "yesplease"])
+    def test_strings_pass_through(self, text):
+        assert resolve_scalar(text) == text
+
+    def test_version_string_not_float(self):
+        assert resolve_scalar("1.2.3") == "1.2.3"
+
+
+class TestNeedsQuoting:
+    @pytest.mark.parametrize("text", ["yes", "no", "true", "null", "", "3", "1.5", "0644"])
+    def test_value_changing_strings_need_quotes(self, text):
+        assert needs_quoting(text)
+
+    @pytest.mark.parametrize(
+        "text",
+        ["a: b", "x #y", "- item", "{flow}", "[flow]", "# comment", " lead", "trail ", "{{ var }}"],
+    )
+    def test_syntax_hazards_need_quotes(self, text):
+        # A leading '{' opens a flow mapping, so Jinja expressions like
+        # "{{ var }}" must be quoted — exactly what Ansible style requires.
+        assert needs_quoting(text)
+
+    @pytest.mark.parametrize(
+        "text",
+        ["nginx", "install nginx with apt", "/etc/nginx/nginx.conf", "path {{ var }}/x"],
+    )
+    def test_plain_safe_strings(self, text):
+        assert not needs_quoting(text)
+
+    def test_trailing_colon_needs_quotes(self):
+        assert needs_quoting("key:")
+
+
+class TestRepresentScalar:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(None, "null"), (True, "true"), (False, "false"), (3, "3"), ("plain", "plain")],
+    )
+    def test_basics(self, value, expected):
+        assert represent_scalar(value) == expected
+
+    def test_string_looking_like_bool_quoted(self):
+        assert represent_scalar("yes") == "'yes'"
+
+    def test_non_scalar_rejected(self):
+        with pytest.raises(TypeError):
+            represent_scalar([1])
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_float_roundtrip(self, value):
+        assert resolve_scalar(represent_scalar(value)) == pytest.approx(value)
+
+
+class TestQuoting:
+    def test_single_quote_doubling(self):
+        assert quote_single("it's") == "'it''s'"
+        assert unquote_single("it''s") == "it's"
+
+    def test_double_quote_escapes(self):
+        assert quote_double('a"b\n') == '"a\\"b\\n"'
+        assert unquote_double('a\\"b\\n') == 'a"b\n'
+
+    def test_unicode_escape(self):
+        assert unquote_double("\\u00e9") == "é"
+
+    def test_hex_escape(self):
+        assert unquote_double("\\x41") == "A"
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(ValueError):
+            unquote_double("\\q")
+
+    def test_dangling_escape_rejected(self):
+        with pytest.raises(ValueError):
+            unquote_double("abc\\")
+
+    @given(st.text(max_size=50))
+    def test_single_quote_roundtrip(self, text):
+        quoted = quote_single(text)
+        assert unquote_single(quoted[1:-1]) == text
+
+    @given(st.text(alphabet=st.characters(min_codepoint=9, max_codepoint=0x2FF), max_size=50))
+    def test_double_quote_roundtrip(self, text):
+        quoted = quote_double(text)
+        assert unquote_double(quoted[1:-1]) == text
+
+
+class TestRepresentResolveRoundtrip:
+    @given(
+        st.one_of(
+            st.none(),
+            st.booleans(),
+            st.integers(min_value=-10**9, max_value=10**9),
+            st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=40),
+        )
+    )
+    def test_scalar_roundtrip(self, value):
+        rendered = represent_scalar(value)
+        if isinstance(value, str):
+            # quoted strings resolve via the parser, not resolve_scalar;
+            # only plain-safe ones roundtrip directly
+            if not rendered.startswith(("'", '"')):
+                assert resolve_scalar(rendered) == value
+        else:
+            assert resolve_scalar(rendered) == value

@@ -1,0 +1,86 @@
+"""Tests for repro.yamlio.scanner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import YamlScanError
+from repro.yamlio.scanner import Line, scan_lines, split_key_value, strip_comment
+
+
+class TestStripComment:
+    def test_plain_comment(self):
+        assert strip_comment("name: web  # note") == "name: web"
+
+    def test_hash_without_space_is_not_comment(self):
+        assert strip_comment("channel: stable#5") == "channel: stable#5"
+
+    def test_hash_inside_single_quotes(self):
+        assert strip_comment("msg: 'a # b'") == "msg: 'a # b'"
+
+    def test_hash_inside_double_quotes(self):
+        assert strip_comment('msg: "a # b"') == 'msg: "a # b"'
+
+    def test_full_line_comment(self):
+        assert strip_comment("# whole line") == ""
+
+    def test_escaped_quote_in_double(self):
+        assert strip_comment('msg: "a \\" # b" # real') == 'msg: "a \\" # b"'
+
+    def test_doubled_single_quote(self):
+        assert strip_comment("msg: 'it''s # here'") == "msg: 'it''s # here'"
+
+    def test_unterminated_quote_raises(self):
+        with pytest.raises(YamlScanError):
+            strip_comment("msg: 'open", line_number=3)
+
+
+class TestScanLines:
+    def test_basic_records(self):
+        lines = scan_lines("a: 1\n  b: 2\n")
+        assert lines == [
+            Line(1, 0, "a: 1", "a: 1"),
+            Line(2, 2, "b: 2", "  b: 2"),
+        ]
+
+    def test_blank_and_comment_lines_dropped(self):
+        lines = scan_lines("a: 1\n\n# comment\nb: 2\n")
+        assert [line.content for line in lines] == ["a: 1", "b: 2"]
+        assert [line.number for line in lines] == [1, 4]
+
+    def test_tab_indentation_rejected(self):
+        with pytest.raises(YamlScanError):
+            scan_lines("a:\n\tb: 1\n")
+
+    def test_trailing_whitespace_stripped(self):
+        lines = scan_lines("a: 1   \n")
+        assert lines[0].content == "a: 1"
+
+    def test_comment_only_after_strip_dropped(self):
+        assert scan_lines("   # only comment\n") == []
+
+
+class TestSplitKeyValue:
+    def test_simple(self):
+        assert split_key_value("name: install nginx") == ("name", "install nginx")
+
+    def test_empty_value(self):
+        assert split_key_value("tasks:") == ("tasks", "")
+
+    def test_url_not_split(self):
+        assert split_key_value("http://host:80/x") is None
+
+    def test_url_value(self):
+        assert split_key_value("url: http://host:80/x") == ("url", "http://host:80/x")
+
+    def test_colon_inside_quotes_skipped(self):
+        assert split_key_value("'a: b': c") == ("'a: b'", "c")
+
+    def test_colon_inside_flow_skipped(self):
+        assert split_key_value("args: {chdir: /tmp}") == ("args", "{chdir: /tmp}")
+
+    def test_no_colon(self):
+        assert split_key_value("plain scalar") is None
+
+    def test_jinja_value(self):
+        assert split_key_value("when: x == 'y'") == ("when", "x == 'y'")
