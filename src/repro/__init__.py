@@ -24,6 +24,7 @@ Subpackages:
 * :mod:`repro.metrics` - EM / BLEU / Ansible Aware / Schema Correct
 * :mod:`repro.eval` - evaluation harness
 * :mod:`repro.baselines` - retrieval, n-gram, Codex simulator
+* :mod:`repro.engine` - continuous-batching inference engine
 * :mod:`repro.serving` - REST service and editor-plugin simulation
 """
 

@@ -1,0 +1,37 @@
+"""Continuous-batching inference engine.
+
+The serving-side decode subsystem: a vLLM-style (laptop-scale) scheduler
+that admits queued generation requests into a shared left-padded KV-cache
+batch, decodes all active sequences in lockstep, retires finished rows
+mid-flight, and reuses prefilled K/V for prompts that share a token
+prefix.  See DESIGN.md §Inference engine for the architecture.
+
+Layers (bottom-up):
+
+* :mod:`repro.engine.batched_decode` — left-padded batched KV decoding
+  over :class:`~repro.nn.transformer.DecoderLM`, plus
+  :func:`generate_greedy_batch` for one-shot static batches;
+* :mod:`repro.engine.prefix_cache` — longest-common-prefix K/V reuse;
+* :mod:`repro.engine.request` — request lifecycle and timing;
+* :mod:`repro.engine.batcher` — the continuous-admission scheduler;
+* :mod:`repro.engine.engine` — the :class:`InferenceEngine` facade.
+"""
+
+from repro.engine.batched_decode import BatchRow, DecodingBatch, generate_greedy_batch, prefill_single
+from repro.engine.batcher import ContinuousBatcher, advance_request
+from repro.engine.engine import InferenceEngine
+from repro.engine.prefix_cache import PrefixCache
+from repro.engine.request import GenerationRequest, RequestState
+
+__all__ = [
+    "BatchRow",
+    "DecodingBatch",
+    "generate_greedy_batch",
+    "prefill_single",
+    "ContinuousBatcher",
+    "advance_request",
+    "InferenceEngine",
+    "PrefixCache",
+    "GenerationRequest",
+    "RequestState",
+]

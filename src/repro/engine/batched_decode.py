@@ -1,0 +1,263 @@
+"""Batched KV-cache decoding over a :class:`~repro.nn.transformer.DecoderLM`.
+
+The decode-side substrate of the continuous-batching engine.  Rows of the
+active batch decode in lockstep over *shared* per-layer KV caches laid out
+left-padded: every row's valid keys are right-aligned, padding columns sit
+on the left and are excluded from attention by a key-padding mask, and
+rotary positions are supplied per row so a row's tokens are rotated by
+their index in that row's real sequence, not by the padded column index.
+
+The layout invariant maintained throughout is::
+
+    cache columns = max(row real lengths)
+    row b's valid keys occupy columns [total - real_len_b, total)
+
+New tokens append one column on the right for every row simultaneously,
+which is what makes a decode step a single batched ``forward_incremental``
+call.  Retiring a row drops its batch row and trims any columns that
+became all-padding, so the remaining rows' window budgets are unaffected
+by neighbours that finished earlier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EngineError
+from repro.nn.attention import KVCache
+from repro.nn.sampling import GenerationResult, plan_prompt
+from repro.nn.transformer import DecoderLM
+
+PAD_TOKEN_ID = 0  # embedding input for padding slots; masked out of attention
+
+
+@dataclass
+class BatchRow:
+    """One active sequence in the decoding batch."""
+
+    payload: object  # caller-owned (the engine stores its GenerationRequest here)
+    real_length: int  # K/V entries this row owns in the shared caches
+    pending: int  # last sampled token; its K/V joins the cache on the next step
+
+
+def _pad_left(array: np.ndarray, pad: int) -> np.ndarray:
+    """Prepend ``pad`` zero columns along the sequence axis of (B, H, T, D)."""
+    if pad == 0:
+        return array
+    return np.pad(array, ((0, 0), (0, 0), (pad, 0), (0, 0)))
+
+
+def prefill_single(
+    model: DecoderLM,
+    prompt_ids: list[int],
+    seeded_caches: list[KVCache] | None = None,
+) -> tuple[list[KVCache], int, int]:
+    """Prefill one prompt at batch size 1, optionally atop prefix-cache K/V.
+
+    Returns ``(caches, first_token, prefilled)`` where ``prefilled`` is the
+    number of prompt tokens actually run through the model (the suffix not
+    covered by ``seeded_caches``).  Batch-1 prefill is bit-identical to the
+    sequential :func:`~repro.nn.sampling.generate_greedy` prefill, which is
+    what makes engine outputs token-identical to sequential decoding.
+    """
+    caches = seeded_caches if seeded_caches is not None else model.new_cache()
+    offset = caches[0].length
+    suffix = prompt_ids[offset:]
+    if not suffix:
+        raise EngineError("prefix cache covered the whole prompt; nothing to prefill")
+    logits = model.forward_incremental(np.array([suffix], dtype=np.int64), caches)
+    return caches, int(logits[0, -1].argmax()), len(suffix)
+
+
+class DecodingBatch:
+    """Left-padded lockstep decoding over shared per-layer KV caches."""
+
+    def __init__(self, model: DecoderLM):
+        self.model = model
+        self.caches: list[KVCache] = model.new_cache()
+        self.rows: list[BatchRow] = []
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def total_columns(self) -> int:
+        return self.caches[0].length if self.caches else 0
+
+    @property
+    def active_footprint(self) -> int:
+        return sum(row.real_length for row in self.rows)
+
+    # -- admission ----------------------------------------------------------
+
+    def admit(self, row_caches: list[KVCache], pending: int, payload: object) -> BatchRow:
+        """Merge one prefilled batch-1 cache into the shared batched caches."""
+        if len(row_caches) != len(self.caches):
+            raise EngineError(
+                f"row has {len(row_caches)} layer caches, model has {len(self.caches)}"
+            )
+        real_length = row_caches[0].length
+        if real_length < 1:
+            raise EngineError("cannot admit a row with an empty cache")
+        row = BatchRow(payload=payload, real_length=real_length, pending=pending)
+        if not self.rows:
+            for shared, own in zip(self.caches, row_caches):
+                shared.keys, shared.values = own.keys, own.values
+        else:
+            total = self.total_columns
+            width = max(total, real_length)
+            for shared, own in zip(self.caches, row_caches):
+                shared.keys = np.concatenate(
+                    [_pad_left(shared.keys, width - total), _pad_left(own.keys, width - real_length)],
+                    axis=0,
+                )
+                shared.values = np.concatenate(
+                    [_pad_left(shared.values, width - total), _pad_left(own.values, width - real_length)],
+                    axis=0,
+                )
+        self.rows.append(row)
+        return row
+
+    def admit_prompts(self, prompts: list[list[int]], payloads: list[object]) -> list[int]:
+        """Batched left-padded prefill of several prompts at once.
+
+        Runs one ``forward_incremental`` over the left-padded prompt matrix
+        (padding slots embed ``PAD_TOKEN_ID`` and are masked out of
+        attention) and admits every prompt as a row.  Returns the first
+        greedily sampled token per prompt, in order.
+        """
+        if len(prompts) != len(payloads):
+            raise EngineError(f"{len(prompts)} prompts vs {len(payloads)} payloads")
+        if not prompts:
+            return []
+        if self.rows:
+            raise EngineError("admit_prompts requires an empty batch; use admit() mid-flight")
+        lengths = [len(prompt) for prompt in prompts]
+        if min(lengths) < 1:
+            raise EngineError("cannot prefill an empty prompt")
+        width = max(lengths)
+        batch = len(prompts)
+        ids = np.full((batch, width), PAD_TOKEN_ID, dtype=np.int64)
+        positions = np.zeros((batch, width), dtype=np.int64)
+        mask = np.zeros((batch, width), dtype=bool)
+        for b, prompt in enumerate(prompts):
+            pad = width - lengths[b]
+            ids[b, pad:] = prompt
+            positions[b, pad:] = np.arange(lengths[b])
+            mask[b, :pad] = True
+        self.caches = self.model.new_cache()
+        logits = self.model.forward_incremental(
+            ids, self.caches, positions, mask if width > min(lengths) else None
+        )
+        first_tokens = [int(row.argmax()) for row in logits[:, -1, :]]
+        for b, payload in enumerate(payloads):
+            self.rows.append(BatchRow(payload=payload, real_length=lengths[b], pending=first_tokens[b]))
+        return first_tokens
+
+    # -- decoding -----------------------------------------------------------
+
+    def step(self) -> list[int]:
+        """One batched decode step: feed every row's pending token, sample next.
+
+        Appends one cache column per row and returns the greedy next token
+        for each row (aligned with ``self.rows``).  The caller decides per
+        row whether to continue (set ``row.pending``) or retire.
+        """
+        if not self.rows:
+            raise EngineError("decode step on an empty batch")
+        batch = len(self.rows)
+        total = self.total_columns + 1
+        x = np.array([[row.pending] for row in self.rows], dtype=np.int64)
+        positions = np.array([[row.real_length] for row in self.rows], dtype=np.int64)
+        pads = [total - (row.real_length + 1) for row in self.rows]
+        mask: np.ndarray | None = None
+        if any(pads):
+            mask = np.zeros((batch, total), dtype=bool)
+            for b, pad in enumerate(pads):
+                mask[b, :pad] = True
+        logits = self.model.forward_incremental(x, self.caches, positions, mask)
+        for row in self.rows:
+            row.real_length += 1
+        return [int(row.argmax()) for row in logits[:, -1, :]]
+
+    def retire(self, indices: list[int]) -> list[BatchRow]:
+        """Drop finished rows and trim columns that became all-padding."""
+        if not indices:
+            return []
+        dropped = set(indices)
+        for index in dropped:
+            if not 0 <= index < len(self.rows):
+                raise EngineError(f"retire index {index} out of range for batch of {len(self.rows)}")
+        retired = [self.rows[i] for i in sorted(dropped)]
+        keep = [i for i in range(len(self.rows)) if i not in dropped]
+        self.rows = [self.rows[i] for i in keep]
+        if not self.rows:
+            self.caches = self.model.new_cache()
+            return retired
+        trim = self.total_columns - max(row.real_length for row in self.rows)
+        for cache in self.caches:
+            cache.keys = cache.keys[keep, :, trim:]
+            cache.values = cache.values[keep, :, trim:]
+        return retired
+
+
+def generate_greedy_batch(
+    model: DecoderLM,
+    prompts: list[list[int]],
+    max_new_tokens: int,
+    stop_ids: frozenset[int] | set[int] = frozenset(),
+) -> list[GenerationResult]:
+    """Greedy-decode a batch of prompts with fully batched prefill + decode.
+
+    The direct batched analogue of calling
+    :func:`~repro.nn.sampling.generate_greedy` once per prompt: same
+    budget-aware truncation, same stop handling, token-identical outputs.
+    Rows that stop early retire mid-flight so the remaining rows keep
+    decoding without them.  For continuous admission of *new* work into a
+    running batch, use :class:`repro.engine.batcher.ContinuousBatcher`.
+    """
+    if not prompts:
+        return []
+    window = model.config.n_positions
+    planned = [plan_prompt(window, prompt, max_new_tokens) for prompt in prompts]
+    results: list[GenerationResult | None] = [None] * len(prompts)
+    generated: list[list[int]] = [[] for _ in prompts]
+
+    def advance(index: int, next_id: int) -> str | None:
+        if next_id in stop_ids:
+            return "stop_token"
+        generated[index].append(next_id)
+        if len(generated[index]) >= max_new_tokens:
+            return "max_tokens"
+        if len(planned[index][0]) + len(generated[index]) >= window:
+            return "context_full"
+        return None
+
+    batch = DecodingBatch(model)
+    first_tokens = batch.admit_prompts([prompt for prompt, _ in planned], list(range(len(prompts))))
+    finished = []
+    for position, next_id in enumerate(first_tokens):
+        index = batch.rows[position].payload
+        reason = advance(index, next_id)
+        if reason is not None:
+            results[index] = GenerationResult(generated[index], reason, planned[index][1])
+            finished.append(position)
+    batch.retire(finished)
+
+    while batch.rows:
+        next_tokens = batch.step()
+        finished = []
+        for position, next_id in enumerate(next_tokens):
+            index = batch.rows[position].payload
+            reason = advance(index, next_id)
+            if reason is None:
+                batch.rows[position].pending = next_id
+            else:
+                results[index] = GenerationResult(generated[index], reason, planned[index][1])
+                finished.append(position)
+        batch.retire(finished)
+    if any(result is None for result in results):
+        raise EngineError("batched decode ended with unfinished rows")
+    return results

@@ -1,0 +1,194 @@
+"""Continuous-batching scheduler.
+
+The batcher owns a FIFO queue of :class:`GenerationRequest` objects and a
+:class:`DecodingBatch` of sequences currently decoding.  Unlike static
+batching — where a batch is fixed at launch and the fastest request waits
+for the slowest — admission here is *continuous*: every scheduler step
+first retires finished rows, then pulls queued requests into the freed
+capacity, then runs exactly one batched decode step.  A request therefore
+joins the active batch as soon as there is room, mid-flight, without
+waiting for the current occupants to drain.
+
+Admission control uses two knobs:
+
+* ``max_batch_size`` — hard cap on concurrent rows;
+* ``max_batch_tokens`` — cap on the sum of worst-case row footprints
+  (``prompt + effective budget``), which bounds KV-cache memory.
+
+An empty batch always admits the head-of-queue request even if its
+footprint alone exceeds ``max_batch_tokens``, so an oversized request can
+never wedge the queue.
+
+Prefill runs per request at batch size 1 (bit-identical to sequential
+decoding, and the point where the prefix cache plugs in); decode runs
+batched.  This mirrors the prefill/decode split of modern serving engines
+at laptop scale.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.engine.batched_decode import DecodingBatch, prefill_single
+from repro.engine.prefix_cache import PrefixCache
+from repro.engine.request import GenerationRequest, RequestState
+from repro.errors import EngineError
+from repro.nn.transformer import DecoderLM
+
+
+def advance_request(request: GenerationRequest, next_id: int, window: int) -> str | None:
+    """Apply one sampled token to a request; return its stop reason, if any.
+
+    Token-for-token the same policy as
+    :func:`~repro.nn.sampling.generate_greedy`: a stop token ends the
+    request without being emitted, an exhausted budget ends it with
+    ``max_tokens``, and a full context window ends it with
+    ``context_full``.  The budget is checked first, so ``context_full``
+    always means the window cut generation short of the budget.
+    """
+    if next_id in request.stop_ids:
+        return "stop_token"
+    request.generated.append(next_id)
+    if len(request.generated) >= request.max_new_tokens:
+        return "max_tokens"
+    if request.prompt_length + len(request.generated) >= window:
+        return "context_full"
+    return None
+
+
+class ContinuousBatcher:
+    """Admits queued requests into a running decode batch."""
+
+    def __init__(
+        self,
+        model: DecoderLM,
+        max_batch_size: int = 8,
+        max_batch_tokens: int | None = None,
+        prefix_cache: PrefixCache | None = None,
+    ):
+        if max_batch_size < 1:
+            raise EngineError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        self.model = model
+        self.max_batch_size = max_batch_size
+        self.max_batch_tokens = (
+            max_batch_tokens
+            if max_batch_tokens is not None
+            else max_batch_size * model.config.n_positions
+        )
+        if self.max_batch_tokens < 1:
+            raise EngineError(f"max_batch_tokens must be >= 1, got {self.max_batch_tokens}")
+        self.prefix_cache = prefix_cache
+        self.batch = DecodingBatch(model)
+        self.queue: deque[GenerationRequest] = deque()
+        # -- accounting --
+        self.completed = 0
+        self.decode_steps = 0
+        self.decode_tokens = 0
+        self.prefill_tokens = 0
+        self.prefix_tokens_reused = 0
+        self.occupancy_ticks = 0  # sum over steps of active rows; occupancy = ticks/steps
+        self.peak_batch_size = 0
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.queue)
+
+    @property
+    def active_size(self) -> int:
+        return len(self.batch)
+
+    @property
+    def active_footprint(self) -> int:
+        return sum(row.payload.footprint for row in self.batch.rows)
+
+    @property
+    def mean_occupancy(self) -> float:
+        return self.occupancy_ticks / self.decode_steps if self.decode_steps else 0.0
+
+    # -- scheduling ----------------------------------------------------------
+
+    def submit(self, request: GenerationRequest) -> None:
+        if request.state is not RequestState.QUEUED:
+            raise EngineError(f"request {request.request_id} is {request.state.value}, not queued")
+        self.queue.append(request)
+
+    def _admits(self, request: GenerationRequest) -> bool:
+        if self.active_size >= self.max_batch_size:
+            return False
+        if not self.batch.rows:
+            return True  # never let one oversized request wedge the queue
+        return self.active_footprint + request.footprint <= self.max_batch_tokens
+
+    def _admit_one(self) -> None:
+        request = self.queue.popleft()
+        request.begin_prefill()
+        seeded = None
+        if self.prefix_cache is not None:
+            match = self.prefix_cache.lookup(request.prompt_ids)
+            if match is not None:
+                request.prefix_reused, seeded = match
+                self.prefix_tokens_reused += request.prefix_reused
+        caches, first_token, prefilled = prefill_single(self.model, request.prompt_ids, seeded)
+        self.prefill_tokens += prefilled
+        if self.prefix_cache is not None:
+            self.prefix_cache.insert(request.prompt_ids, caches)
+        reason = advance_request(request, first_token, self.model.config.n_positions)
+        if reason is not None:
+            # Finished on its very first token — never occupies a batch row.
+            request.finish(reason)
+            self.completed += 1
+            return
+        request.begin_decode()
+        self.batch.admit(caches, pending=first_token, payload=request)
+        self.peak_batch_size = max(self.peak_batch_size, self.active_size)
+
+    def step(self) -> bool:
+        """Admit what fits, then run one batched decode step.
+
+        Returns True while there is more work (active rows or queued
+        requests), False once fully drained.
+        """
+        while self.queue and self._admits(self.queue[0]):
+            self._admit_one()
+        if not self.batch.rows:
+            return bool(self.queue)
+        next_tokens = self.batch.step()
+        self.decode_steps += 1
+        self.occupancy_ticks += len(next_tokens)
+        self.decode_tokens += len(next_tokens)
+        window = self.model.config.n_positions
+        finished: list[int] = []
+        for position, next_id in enumerate(next_tokens):
+            row = self.batch.rows[position]
+            request: GenerationRequest = row.payload
+            reason = advance_request(request, next_id, window)
+            if reason is None:
+                row.pending = next_id
+            else:
+                request.finish(reason)
+                self.completed += 1
+                finished.append(position)
+        self.batch.retire(finished)
+        return bool(self.batch.rows or self.queue)
+
+    def run(self) -> None:
+        """Drive until the queue and the active batch are both empty."""
+        while self.step():
+            pass
+
+    def stats(self) -> dict:
+        return {
+            "queue_depth": self.queue_depth,
+            "active_requests": self.active_size,
+            "completed_requests": self.completed,
+            "decode_steps": self.decode_steps,
+            "decode_tokens": self.decode_tokens,
+            "prefill_tokens": self.prefill_tokens,
+            "prefix_tokens_reused": self.prefix_tokens_reused,
+            "mean_batch_occupancy": self.mean_occupancy,
+            "peak_batch_size": self.peak_batch_size,
+            "max_batch_size": self.max_batch_size,
+            "max_batch_tokens": self.max_batch_tokens,
+        }

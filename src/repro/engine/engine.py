@@ -1,0 +1,145 @@
+"""The engine facade: submit prompts, get completions, read stats.
+
+:class:`InferenceEngine` wires the request lifecycle, the prefix cache and
+the continuous batcher together behind two entry points:
+
+* :meth:`generate_batch` — token-id level, returns
+  :class:`~repro.nn.sampling.GenerationResult` per prompt;
+* :meth:`complete_batch` / :meth:`complete` — text level (requires a
+  tokenizer), making the engine a drop-in ``TextCompleter`` for
+  :class:`repro.serving.service.PredictionService`.
+
+The engine is synchronous: a ``generate_batch`` call drains its own
+requests (and any the batcher admits along the way) before returning.  A
+coarse lock serialises concurrent callers — e.g. threads of the REST
+server — so the shared KV batch and prefix cache stay consistent; the
+batching *within* a call is what buys the throughput.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.engine.batcher import ContinuousBatcher
+from repro.engine.prefix_cache import PrefixCache
+from repro.engine.request import GenerationRequest
+from repro.errors import EngineError
+from repro.nn.sampling import GenerationResult, plan_prompt
+from repro.nn.transformer import DecoderLM
+
+
+class InferenceEngine:
+    """Continuous-batching greedy-decoding engine over a :class:`DecoderLM`."""
+
+    def __init__(
+        self,
+        network: DecoderLM,
+        tokenizer=None,
+        *,
+        name: str = "engine",
+        max_batch_size: int = 8,
+        max_batch_tokens: int | None = None,
+        prefix_cache_capacity: int = 32,
+        default_max_new_tokens: int = 96,
+        stop_ids: frozenset[int] | set[int] = frozenset(),
+    ):
+        self.network = network
+        self.tokenizer = tokenizer
+        self.name = name
+        self.default_max_new_tokens = default_max_new_tokens
+        self.default_stop_ids = frozenset(stop_ids)
+        self.prefix_cache = PrefixCache(prefix_cache_capacity) if prefix_cache_capacity else None
+        self.batcher = ContinuousBatcher(
+            network,
+            max_batch_size=max_batch_size,
+            max_batch_tokens=max_batch_tokens,
+            prefix_cache=self.prefix_cache,
+        )
+        self._lock = threading.Lock()
+        self._next_request_id = 0
+
+    @classmethod
+    def from_model(cls, model, **kwargs) -> "InferenceEngine":
+        """Build from a :class:`repro.model.lm.WisdomModel`-shaped object.
+
+        Picks up the tokenizer and the same stop tokens the model's own
+        ``complete`` uses (end-of-text and the packing separator).
+        """
+        tokenizer = model.tokenizer
+        kwargs.setdefault(
+            "stop_ids", frozenset({tokenizer.end_of_text_id, tokenizer.separator_id})
+        )
+        kwargs.setdefault("name", getattr(model, "name", "engine"))
+        return cls(model.network, tokenizer, **kwargs)
+
+    # -- token-id interface ---------------------------------------------------
+
+    def _make_request(
+        self,
+        prompt_ids: list[int],
+        max_new_tokens: int | None,
+        stop_ids: frozenset[int] | set[int] | None,
+    ) -> GenerationRequest:
+        budget_request = max_new_tokens or self.default_max_new_tokens
+        prompt, effective = plan_prompt(
+            self.network.config.n_positions, prompt_ids, budget_request
+        )
+        request = GenerationRequest(
+            request_id=self._next_request_id,
+            prompt_ids=prompt,
+            max_new_tokens=budget_request,
+            effective_budget=effective,
+            stop_ids=frozenset(stop_ids) if stop_ids is not None else self.default_stop_ids,
+        )
+        self._next_request_id += 1
+        return request
+
+    def generate_batch(
+        self,
+        prompts: list[list[int]],
+        max_new_tokens: int | None = None,
+        stop_ids: frozenset[int] | set[int] | None = None,
+    ) -> list[GenerationResult]:
+        """Greedy-decode every prompt through the continuous batcher.
+
+        Results come back in submission order and are token-identical to
+        running :func:`~repro.nn.sampling.generate_greedy` per prompt.
+        """
+        if not prompts:
+            return []
+        with self._lock:
+            requests = [
+                self._make_request(prompt, max_new_tokens, stop_ids) for prompt in prompts
+            ]
+            for request in requests:
+                self.batcher.submit(request)
+            self.batcher.run()
+            return [request.result for request in requests]
+
+    # -- text interface -------------------------------------------------------
+
+    def complete_batch(self, prompts: list[str], max_new_tokens: int | None = None) -> list[str]:
+        """Tokenize, batch-decode, detokenize."""
+        if self.tokenizer is None:
+            raise EngineError("engine has no tokenizer; use generate_batch with token ids")
+        encoded = [self.tokenizer.encode(prompt) for prompt in prompts]
+        for prompt, ids in zip(prompts, encoded):
+            if not ids:
+                raise EngineError(f"prompt encodes to no tokens: {prompt!r}")
+        results = self.generate_batch(encoded, max_new_tokens)
+        return [self.tokenizer.decode(result.token_ids) for result in results]
+
+    def complete(self, prompt: str, max_new_tokens: int = 96) -> str:
+        """TextCompleter-compatible single completion (batch of one)."""
+        return self.complete_batch([prompt], max_new_tokens)[0]
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Scheduler + prefix-cache counters for ``/v1/stats``."""
+        with self._lock:
+            report = self.batcher.stats()
+            report["requests_submitted"] = self._next_request_id
+            if self.prefix_cache is not None:
+                report["prefix_cache"] = self.prefix_cache.stats()
+            return report

@@ -1,0 +1,128 @@
+"""Longest-common-prefix KV reuse across requests.
+
+The dominant serving pattern for Ansible ``name:`` completion re-sends the
+whole playbook buffer on every keystroke, so consecutive prompts share a
+long common prefix.  Because keys and values in a causal model depend only
+on the tokens at or before their position, the per-layer K/V arrays
+computed while prefilling one prompt are bit-identical to what any later
+prompt with the same token prefix would recompute — so we snapshot them
+and let later requests skip that part of prefill entirely.
+
+Entries are stored per *truncated* prompt (positions are absolute, so the
+post-truncation token sequence is the correct cache key) and evicted LRU.
+A lookup may match any number of leading tokens of an entry, not just the
+whole entry; at least one prompt token is always left for live prefill so
+the engine still obtains next-token logits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.nn.attention import KVCache
+
+# One stored layer: (rotated keys, values), each of shape (1, H, T, D).
+LayerSnapshot = tuple[np.ndarray, np.ndarray]
+
+
+class PrefixCache:
+    """LRU map from token-id prefixes to per-layer K/V snapshots."""
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple[int, ...], list[LayerSnapshot]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.tokens_reused = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _common_prefix(a: tuple[int, ...], b: tuple[int, ...]) -> int:
+        matched = 0
+        for x, y in zip(a, b):
+            if x != y:
+                break
+            matched += 1
+        return matched
+
+    def lookup(self, prompt_ids: list[int] | tuple[int, ...]) -> tuple[int, list[KVCache]] | None:
+        """Best reusable prefix for ``prompt_ids``.
+
+        Returns ``(matched_length, seeded_caches)`` — fresh per-layer
+        :class:`KVCache` objects holding *copies* of the matched K/V
+        columns — or ``None`` when nothing matches.  The match is capped
+        at ``len(prompt_ids) - 1`` so at least one token remains for live
+        prefill.
+        """
+        prompt = tuple(prompt_ids)
+        usable_limit = len(prompt) - 1
+        if usable_limit < 1:
+            self.misses += 1
+            return None
+        best_key: tuple[int, ...] | None = None
+        best_len = 0
+        for key in self._entries:
+            usable = min(self._common_prefix(prompt, key), usable_limit)
+            if usable > best_len:
+                best_key, best_len = key, usable
+        if best_key is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(best_key)
+        snapshots = self._entries[best_key]
+        caches: list[KVCache] = []
+        for keys, values in snapshots:
+            cache = KVCache()
+            cache.keys = keys[:, :, :best_len].copy()
+            cache.values = values[:, :, :best_len].copy()
+            caches.append(cache)
+        self.hits += 1
+        self.tokens_reused += best_len
+        return best_len, caches
+
+    def insert(self, prompt_ids: list[int] | tuple[int, ...], caches: list[KVCache]) -> bool:
+        """Snapshot a freshly prefilled prompt's K/V columns.
+
+        Skipped when an existing entry already covers this prompt (the
+        prompt is a prefix of a stored key).  Returns True if stored.
+        """
+        prompt = tuple(prompt_ids)
+        if not prompt:
+            return False
+        for key in self._entries:
+            if len(key) >= len(prompt) and key[: len(prompt)] == prompt:
+                self._entries.move_to_end(key)
+                return False
+        length = len(prompt)
+        snapshots: list[LayerSnapshot] = []
+        for cache in caches:
+            if cache.keys is None or cache.length < length:
+                return False  # cache does not cover the prompt; nothing to store
+            snapshots.append(
+                (cache.keys[:, :, :length].copy(), cache.values[:, :, :length].copy())
+            )
+        self._entries[prompt] = snapshots
+        self._entries.move_to_end(prompt)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return True
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "tokens_reused": self.tokens_reused,
+            "hit_rate": self.hits / total if total else 0.0,
+        }

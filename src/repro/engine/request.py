@@ -1,0 +1,121 @@
+"""Request lifecycle for the continuous-batching inference engine.
+
+A :class:`GenerationRequest` moves through the states
+
+    QUEUED -> PREFILL -> DECODE -> FINISHED
+
+QUEUED requests wait for batch capacity; PREFILL runs the prompt through
+the model once to warm the request's KV cache (possibly seeded from the
+prefix cache); DECODE means the request occupies a row of the active batch
+and receives one token per engine step; FINISHED requests carry a
+:class:`~repro.nn.sampling.GenerationResult`.
+
+Timing is recorded at every transition so the engine can report queueing
+delay, prefill latency and decode latency separately.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import EngineError
+from repro.nn.sampling import GenerationResult
+
+
+class RequestState(enum.Enum):
+    """Where a request currently sits in the engine."""
+
+    QUEUED = "queued"
+    PREFILL = "prefill"
+    DECODE = "decode"
+    FINISHED = "finished"
+
+
+@dataclass
+class GenerationRequest:
+    """One generation job tracked by the engine.
+
+    Attributes:
+        request_id: engine-assigned monotonically increasing id.
+        prompt_ids: the prompt *after* budget-aware left truncation.
+        max_new_tokens: the caller's requested budget.
+        effective_budget: tokens actually producible in the window
+            (``min(max_new_tokens, n_positions - len(prompt_ids))``).
+        stop_ids: token ids that terminate generation (not emitted).
+        generated: tokens produced so far.
+        prefix_reused: prompt tokens whose K/V came from the prefix cache.
+    """
+
+    request_id: int
+    prompt_ids: list[int]
+    max_new_tokens: int
+    effective_budget: int
+    stop_ids: frozenset[int] = frozenset()
+    state: RequestState = RequestState.QUEUED
+    generated: list[int] = field(default_factory=list)
+    stop_reason: str | None = None
+    prefix_reused: int = 0
+    submitted_at: float = field(default_factory=time.perf_counter)
+    prefill_started_at: float | None = None
+    decode_started_at: float | None = None
+    finished_at: float | None = None
+
+    @property
+    def prompt_length(self) -> int:
+        return len(self.prompt_ids)
+
+    @property
+    def is_finished(self) -> bool:
+        return self.state is RequestState.FINISHED
+
+    @property
+    def result(self) -> GenerationResult:
+        """The finished generation; raises until the request completes."""
+        if not self.is_finished or self.stop_reason is None:
+            raise EngineError(f"request {self.request_id} is {self.state.value}, not finished")
+        return GenerationResult(list(self.generated), self.stop_reason, self.effective_budget)
+
+    # -- transitions --------------------------------------------------------
+
+    def begin_prefill(self) -> None:
+        if self.state is not RequestState.QUEUED:
+            raise EngineError(f"request {self.request_id}: prefill from state {self.state.value}")
+        self.state = RequestState.PREFILL
+        self.prefill_started_at = time.perf_counter()
+
+    def begin_decode(self) -> None:
+        if self.state is not RequestState.PREFILL:
+            raise EngineError(f"request {self.request_id}: decode from state {self.state.value}")
+        self.state = RequestState.DECODE
+        self.decode_started_at = time.perf_counter()
+
+    def finish(self, stop_reason: str) -> None:
+        if self.state is RequestState.FINISHED:
+            raise EngineError(f"request {self.request_id} already finished")
+        self.state = RequestState.FINISHED
+        self.stop_reason = stop_reason
+        self.finished_at = time.perf_counter()
+
+    # -- timing -------------------------------------------------------------
+
+    def timings(self) -> dict[str, float]:
+        """Seconds spent queued / in prefill / decoding (so far)."""
+        now = time.perf_counter()
+        prefill_start = self.prefill_started_at if self.prefill_started_at is not None else now
+        decode_start = self.decode_started_at
+        end = self.finished_at if self.finished_at is not None else now
+        queued_s = max(0.0, prefill_start - self.submitted_at)
+        if decode_start is None:
+            prefill_s = max(0.0, end - prefill_start) if self.prefill_started_at is not None else 0.0
+            decode_s = 0.0
+        else:
+            prefill_s = max(0.0, decode_start - prefill_start)
+            decode_s = max(0.0, end - decode_start)
+        return {"queued_s": queued_s, "prefill_s": prefill_s, "decode_s": decode_s}
+
+    @property
+    def footprint(self) -> int:
+        """Worst-case context-window claim: prompt plus full budget."""
+        return self.prompt_length + self.effective_budget

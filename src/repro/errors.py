@@ -98,3 +98,7 @@ class GenerationError(ModelError):
 
 class ServingError(ReproError):
     """Base class for serving-layer errors (:mod:`repro.serving`)."""
+
+
+class EngineError(ReproError):
+    """Base class for inference-engine errors (:mod:`repro.engine`)."""

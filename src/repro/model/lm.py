@@ -13,7 +13,6 @@ from repro.errors import GenerationError
 from repro.nn.sampling import generate_greedy, generate_sampled
 from repro.nn.transformer import DecoderLM, TransformerConfig
 from repro.tokenizer.bpe import BpeTokenizer
-from repro.utils.text import truncate_left
 
 
 class WisdomModel:
@@ -41,6 +40,7 @@ class WisdomModel:
         self.network = network
         self.size_label = size_label
         self.context_window_label = context_window_label
+        self._engine = None
 
     @property
     def config(self) -> TransformerConfig:
@@ -64,11 +64,11 @@ class WisdomModel:
 
         The prompt is left-truncated to the context window (paper: "when the
         input to the model is larger than the context window, it is
-        left-truncated").  Generation stops at the end-of-text token.
+        left-truncated"); the decoding layer reserves room for
+        ``max_new_tokens`` so a long prompt cannot silently exhaust the
+        budget.  Generation stops at the end-of-text token.
         """
         prompt_ids = self.tokenizer.encode(prompt)
-        budget = self.config.n_positions - 1
-        prompt_ids = truncate_left(prompt_ids, budget)
         if not prompt_ids:
             raise GenerationError("prompt is empty")
         stop_ids = frozenset({self.tokenizer.end_of_text_id, self.tokenizer.separator_id})
@@ -85,6 +85,33 @@ class WisdomModel:
                 stop_ids=stop_ids,
             )
         return self.tokenizer.decode(result.token_ids)
+
+    # -- batched generation ----------------------------------------------------
+
+    def engine(self, **kwargs):
+        """This model's :class:`~repro.engine.engine.InferenceEngine`.
+
+        Built lazily on first use (pass kwargs then to size the batcher);
+        the instance — and with it the prefix cache — persists across
+        calls, which is what makes repeated playbook-buffer completions
+        skip redundant prefill.
+        """
+        if self._engine is None:
+            from repro.engine import InferenceEngine
+
+            self._engine = InferenceEngine.from_model(self, **kwargs)
+        elif kwargs:
+            raise GenerationError("engine already built; kwargs only apply to the first call")
+        return self._engine
+
+    def complete_batch(self, prompts: list[str], max_new_tokens: int = 96) -> list[str]:
+        """Greedy-complete several prompts through the batching engine.
+
+        Token-identical to calling :meth:`complete` per prompt, but decoded
+        together: one continuous batch amortises the per-step overhead and
+        shared prompt prefixes skip prefill via the engine's prefix cache.
+        """
+        return self.engine().complete_batch(prompts, max_new_tokens=max_new_tokens)
 
     # -- scoring ---------------------------------------------------------------
 

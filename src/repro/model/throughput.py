@@ -55,6 +55,54 @@ def measure_throughput(
     )
 
 
+def measure_engine_throughput(
+    network: DecoderLM,
+    batch_size: int = 4,
+    prompt_length: int = 16,
+    new_tokens: int = 32,
+    runs: int = 3,
+    warmup_runs: int = 1,
+    seed: int = 0,
+    max_batch_size: int | None = None,
+) -> ThroughputResult:
+    """Time the continuous-batching engine on ``batch_size`` distinct prompts.
+
+    The batched counterpart of :func:`measure_throughput`: each timed run
+    decodes ``batch_size`` prompts of ``prompt_length`` random tokens (all
+    distinct, so the prefix cache cannot shortcut the comparison) for up to
+    ``new_tokens`` tokens each.  Tokens/second counts generated tokens
+    across the whole batch, so the ratio against the sequential baseline is
+    the batching speedup.
+    """
+    from repro.engine import InferenceEngine
+
+    rng = np.random.default_rng(seed)
+    vocab = network.config.vocab_size
+    prompts = [
+        [int(token) for token in rng.integers(0, vocab, size=prompt_length)]
+        for _ in range(batch_size)
+    ]
+    engine = InferenceEngine(
+        network,
+        max_batch_size=max_batch_size or batch_size,
+        prefix_cache_capacity=0,
+    )
+    for _ in range(warmup_runs):
+        engine.generate_batch(prompts, max_new_tokens=new_tokens)
+    watch = Stopwatch()
+    produced = 0
+    for _ in range(runs):
+        with watch:
+            results = engine.generate_batch(prompts, max_new_tokens=new_tokens)
+        produced += max(1, sum(len(result.token_ids) for result in results))
+    return ThroughputResult(
+        tokens_per_second=produced / watch.elapsed if watch.elapsed > 0 else float("inf"),
+        total_tokens=produced,
+        total_seconds=watch.elapsed,
+        runs=runs,
+    )
+
+
 def speedup(small: ThroughputResult, large: ThroughputResult) -> float:
     """How many times faster the small model generates than the large one."""
     if large.tokens_per_second == 0:

@@ -19,6 +19,7 @@ from repro.nn.sampling import (
     generate_beam,
     generate_greedy,
     generate_sampled,
+    plan_prompt,
 )
 from repro.nn.transformer import Block, DecoderLM, Mlp, TransformerConfig
 
@@ -46,6 +47,7 @@ __all__ = [
     "generate_beam",
     "generate_greedy",
     "generate_sampled",
+    "plan_prompt",
     "Block",
     "DecoderLM",
     "Mlp",

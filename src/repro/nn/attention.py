@@ -130,15 +130,40 @@ class CausalSelfAttention(Layer):
 
     # -- inference path -----------------------------------------------------
 
-    def forward_incremental(self, x: np.ndarray, kv_cache: KVCache) -> np.ndarray:
+    def forward_incremental(
+        self,
+        x: np.ndarray,
+        kv_cache: KVCache,
+        positions: np.ndarray | None = None,
+        key_padding_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Inference forward for the new suffix ``x``, reusing cached K/V.
 
         ``x`` holds only positions not yet in the cache; returns the
         attention output for those positions.
+
+        Batched decoding over rows with *different* real lengths uses a
+        left-padded cache layout: every row's valid keys are right-aligned
+        in the cache, padding columns sit on the left.  Two optional
+        arguments support that layout:
+
+        * ``positions`` — int array of shape ``(batch, new_length)`` giving
+          each new token's rotary position (its index within its own row's
+          real, unpadded sequence).  Defaults to the shared cache offsets
+          ``offset .. offset + new_length``.
+        * ``key_padding_mask`` — bool array of shape ``(batch, total)``
+          over the post-append cache columns; ``True`` marks padding
+          columns that no query may attend to.
+
+        Padding columns receive weight exactly 0.0 after the softmax (the
+        ``NEG_INF`` score underflows), so a padded batched forward is
+        numerically equivalent to per-row unpadded forwards up to float
+        summation order.
         """
         batch, new_length, _ = x.shape
         offset = kv_cache.length
-        if offset + new_length > self.n_positions:
+        total = offset + new_length
+        if total > self.n_positions:
             raise ShapeError(
                 f"cache {offset} + new {new_length} exceeds n_positions {self.n_positions}"
             )
@@ -146,17 +171,36 @@ class CausalSelfAttention(Layer):
         keys = self._split_heads(self.key_proj.forward(x, training=False))
         values = self._split_heads(self.value_proj.forward(x, training=False))
 
-        cos_new = self._cos[offset:offset + new_length][None, None]
-        sin_new = self._sin[offset:offset + new_length][None, None]
+        if positions is None:
+            cos_new = self._cos[offset:total][None, None]
+            sin_new = self._sin[offset:total][None, None]
+        else:
+            positions = np.asarray(positions, dtype=np.int64)
+            if positions.shape != (batch, new_length):
+                raise ShapeError(
+                    f"positions shape {positions.shape} != (batch, new) {(batch, new_length)}"
+                )
+            if positions.size and int(positions.max()) >= self.n_positions:
+                raise ShapeError(
+                    f"position {int(positions.max())} exceeds n_positions {self.n_positions}"
+                )
+            cos_new = self._cos[positions][:, None]  # (B, 1, T_new, rot)
+            sin_new = self._sin[positions][:, None]
         rotated_queries = apply_rotary(queries, cos_new, sin_new)
         rotated_keys = apply_rotary(keys, cos_new, sin_new)
 
         all_keys, all_values = kv_cache.append(rotated_keys, values)
         scale = 1.0 / np.sqrt(self.head_dim)
         scores = (rotated_queries @ all_keys.transpose(0, 1, 3, 2)) * scale
-        total = offset + new_length
         causal = np.triu(np.ones((new_length, total), dtype=bool), k=offset + 1)
         scores = np.where(causal, NEG_INF, scores)
+        if key_padding_mask is not None:
+            key_padding_mask = np.asarray(key_padding_mask, dtype=bool)
+            if key_padding_mask.shape != (batch, total):
+                raise ShapeError(
+                    f"key_padding_mask shape {key_padding_mask.shape} != (batch, total) {(batch, total)}"
+                )
+            scores = np.where(key_padding_mask[:, None, None, :], NEG_INF, scores)
         weights = softmax(scores, axis=-1)
         context = weights @ all_values
         return self.out_proj.forward(self._merge_heads(context), training=False)

@@ -18,23 +18,48 @@ from repro.nn.transformer import DecoderLM
 
 @dataclass(frozen=True)
 class GenerationResult:
-    """Token ids produced after the prompt, plus the stop reason."""
+    """Token ids produced after the prompt, plus the stop reason.
+
+    ``effective_budget`` is the number of tokens the decode loop could
+    actually produce once the (possibly truncated) prompt claimed its share
+    of the context window — ``min(max_new_tokens, n_positions - len(prompt))``.
+    When it is smaller than the requested ``max_new_tokens`` the generation
+    ends with ``context_full`` rather than ``max_tokens``.
+    """
 
     token_ids: list[int]
     stop_reason: str  # "stop_token" | "max_tokens" | "context_full"
+    effective_budget: int = 0
 
 
-def _prepare_prompt(model: DecoderLM, prompt_ids: list[int], max_new_tokens: int) -> list[int]:
+def plan_prompt(window: int, prompt_ids: list[int], max_new_tokens: int) -> tuple[list[int], int]:
+    """Left-truncate a prompt into ``window`` while reserving decode room.
+
+    The paper's inference setup left-truncates long prompts; a naive
+    truncation to ``window - 1`` leaves room for exactly one new token, so
+    a long prompt with a large ``max_new_tokens`` silently stopped with
+    ``context_full`` after a single token.  Instead we reserve
+    ``min(max_new_tokens, window // 2)`` positions for generation — the
+    full requested budget when it fits, never more than half the window so
+    a greedy budget cannot erase the prompt context.
+
+    Returns the truncated prompt and the effective token budget.
+    """
     if max_new_tokens < 1:
         raise GenerationError(f"max_new_tokens must be >= 1, got {max_new_tokens}")
-    window = model.config.n_positions
-    budgeted = window - 1
-    if len(prompt_ids) > budgeted:
+    reserved = min(max_new_tokens, max(1, window // 2))
+    keep = window - reserved
+    if len(prompt_ids) > keep:
         # Left truncation, as in the paper's inference setup.
-        prompt_ids = prompt_ids[len(prompt_ids) - budgeted:]
+        prompt_ids = prompt_ids[len(prompt_ids) - keep:]
     if not prompt_ids:
         raise GenerationError("prompt is empty after truncation")
-    return list(prompt_ids)
+    effective_budget = min(max_new_tokens, window - len(prompt_ids))
+    return list(prompt_ids), effective_budget
+
+
+def _prepare_prompt(model: DecoderLM, prompt_ids: list[int], max_new_tokens: int) -> tuple[list[int], int]:
+    return plan_prompt(model.config.n_positions, prompt_ids, max_new_tokens)
 
 
 def generate_greedy(
@@ -45,7 +70,7 @@ def generate_greedy(
 ) -> GenerationResult:
     """Greedy decoding with KV cache; stops at a stop token, the token
     budget, or a full context window."""
-    prompt = _prepare_prompt(model, prompt_ids, max_new_tokens)
+    prompt, budget = _prepare_prompt(model, prompt_ids, max_new_tokens)
     caches = model.new_cache()
     logits = model.forward_incremental(np.array([prompt], dtype=np.int64), caches)
     generated: list[int] = []
@@ -53,12 +78,16 @@ def generate_greedy(
     for _ in range(max_new_tokens):
         next_id = int(logits[0, -1].argmax())
         if next_id in stop_ids:
-            return GenerationResult(generated, "stop_token")
+            return GenerationResult(generated, "stop_token", budget)
         generated.append(next_id)
+        if len(generated) >= max_new_tokens:
+            return GenerationResult(generated, "max_tokens", budget)
+        # Budget checked first, so context_full always means a shortfall:
+        # the window ended generation before the requested budget.
         if len(prompt) + len(generated) >= window:
-            return GenerationResult(generated, "context_full")
+            return GenerationResult(generated, "context_full", budget)
         logits = model.forward_incremental(np.array([[next_id]], dtype=np.int64), caches)
-    return GenerationResult(generated, "max_tokens")
+    return GenerationResult(generated, "max_tokens", budget)
 
 
 def generate_sampled(
@@ -73,7 +102,7 @@ def generate_sampled(
     """Temperature / top-k sampling with KV cache."""
     if temperature <= 0.0:
         raise GenerationError("temperature must be positive; use generate_greedy for argmax")
-    prompt = _prepare_prompt(model, prompt_ids, max_new_tokens)
+    prompt, budget = _prepare_prompt(model, prompt_ids, max_new_tokens)
     caches = model.new_cache()
     logits = model.forward_incremental(np.array([prompt], dtype=np.int64), caches)
     generated: list[int] = []
@@ -88,12 +117,14 @@ def generate_sampled(
         probabilities /= probabilities.sum()
         next_id = int(rng.choice(scores.shape[0], p=probabilities))
         if next_id in stop_ids:
-            return GenerationResult(generated, "stop_token")
+            return GenerationResult(generated, "stop_token", budget)
         generated.append(next_id)
+        if len(generated) >= max_new_tokens:
+            return GenerationResult(generated, "max_tokens", budget)
         if len(prompt) + len(generated) >= window:
-            return GenerationResult(generated, "context_full")
+            return GenerationResult(generated, "context_full", budget)
         logits = model.forward_incremental(np.array([[next_id]], dtype=np.int64), caches)
-    return GenerationResult(generated, "max_tokens")
+    return GenerationResult(generated, "max_tokens", budget)
 
 
 def generate_beam(
@@ -108,7 +139,7 @@ def generate_beam(
 
     Scores are mean-adjusted by ``length_penalty`` (0 = pure log-prob sum).
     """
-    prompt = _prepare_prompt(model, prompt_ids, max_new_tokens)
+    prompt, budget = _prepare_prompt(model, prompt_ids, max_new_tokens)
     window = model.config.n_positions
     beams: list[tuple[float, list[int], bool]] = [(0.0, [], False)]
     for _ in range(max_new_tokens):
@@ -144,4 +175,4 @@ def generate_beam(
     best_score, best_tokens, best_finished = beams[0]
     del best_score
     reason = "stop_token" if best_finished else "max_tokens"
-    return GenerationResult(best_tokens, reason)
+    return GenerationResult(best_tokens, reason, budget)

@@ -85,11 +85,17 @@ class Block(Layer):
         grad_normalized = self.attention.backward(grad_output) + self.mlp.backward(grad_output)
         return grad_output + self.norm.backward(grad_normalized)
 
-    def forward_incremental(self, x: np.ndarray, kv_cache: KVCache) -> np.ndarray:
+    def forward_incremental(
+        self,
+        x: np.ndarray,
+        kv_cache: KVCache,
+        positions: np.ndarray | None = None,
+        key_padding_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
         normalized = self.norm.forward(x, training=False)
         return (
             x
-            + self.attention.forward_incremental(normalized, kv_cache)
+            + self.attention.forward_incremental(normalized, kv_cache, positions, key_padding_mask)
             + self.mlp.forward(normalized, training=False)
         )
 
@@ -142,11 +148,22 @@ class DecoderLM(Layer):
     def new_cache(self) -> list[KVCache]:
         return [KVCache() for _ in self.blocks]
 
-    def forward_incremental(self, ids: np.ndarray, caches: list[KVCache]) -> np.ndarray:
-        """Logits for the new suffix ``ids`` (B, T_new) given warm caches."""
+    def forward_incremental(
+        self,
+        ids: np.ndarray,
+        caches: list[KVCache],
+        positions: np.ndarray | None = None,
+        key_padding_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Logits for the new suffix ``ids`` (B, T_new) given warm caches.
+
+        ``positions``/``key_padding_mask`` enable batched decoding over a
+        left-padded cache layout; see
+        :meth:`repro.nn.attention.CausalSelfAttention.forward_incremental`.
+        """
         hidden = self.token_embedding.forward(ids, training=False)
         for block, cache in zip(self.blocks, caches):
-            hidden = block.forward_incremental(hidden, cache)
+            hidden = block.forward_incremental(hidden, cache, positions, key_padding_mask)
         hidden = self.final_norm.forward(hidden, training=False)
         return self.lm_head.forward(hidden, training=False)
 

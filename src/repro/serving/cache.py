@@ -1,44 +1,73 @@
 """LRU prediction cache.
 
 The paper's demo section plans "improving latency by using techniques like
-caching"; the serving layer ships with one.
+caching"; the serving layer ships with one.  The cache is internally
+thread-safe: the REST server handles requests on multiple threads, and the
+service must be able to consult the cache without wrapping every call in
+its own lock.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 
 class LruCache:
-    """A bounded least-recently-used map from prompt to completion."""
+    """A bounded least-recently-used map from prompt to completion.
+
+    All operations (including the ``hits``/``misses``/``evictions``
+    accounting) are guarded by an internal lock, so the cache can be
+    shared between request-handler threads directly.
+    """
 
     def __init__(self, capacity: int = 256):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._entries: OrderedDict[str, str] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: str) -> str | None:
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return self._entries[key]
-        self.misses += 1
-        return None
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
 
     def put(self, key: str, value: str) -> None:
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counter snapshot for ``/v1/stats``."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / total if total else 0.0,
+            }

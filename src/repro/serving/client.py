@@ -45,6 +45,18 @@ class PredictionClient:
         )
         return result["completion"]
 
+    def complete_batch(self, prompts: list[str], max_new_tokens: int = 96) -> list[str]:
+        """Batched completions via ``/v1/batch_completions``."""
+        result = self.predict_batch(prompts, max_new_tokens)
+        return result["completions"]
+
+    def predict_batch(self, prompts: list[str], max_new_tokens: int | None = None) -> dict:
+        """Full batch payload (completions + per-prompt cache flags + latency)."""
+        payload: dict = {"prompts": prompts}
+        if max_new_tokens is not None:
+            payload["max_new_tokens"] = max_new_tokens
+        return self._request("POST", "/v1/batch_completions", payload)
+
     def predict(self, prompt: str, max_new_tokens: int | None = None) -> dict:
         """Full prediction payload (completion + latency + cache flag)."""
         payload: dict = {"prompt": prompt}

@@ -8,10 +8,26 @@ what the editor-plugin simulation does).
 
 Endpoints::
 
-    POST /v1/completions   {"prompt": "...", "max_new_tokens": 96}
-                        -> {"completion": "...", "latency_ms": ..., "cached": ...}
-    GET  /v1/health        -> {"status": "ok", "model": "..."}
-    GET  /v1/stats         -> request counts, cache hit rate, latency stats
+    POST /v1/completions        {"prompt": "...", "max_new_tokens": 96}
+                             -> {"completion": "...", "latency_ms": ..., "cached": ...}
+    POST /v1/batch_completions  {"prompts": ["...", ...], "max_new_tokens": 96}
+                             -> {"completions": [...], "latency_ms": ..., "cached": [...]}
+    GET  /v1/health             -> {"status": "ok", "model": "..."}
+    GET  /v1/stats              -> request counts, cache stats, latency stats,
+                                   engine stats (queue depth, batch occupancy,
+                                   prefix-cache hits) when an engine is attached
+
+Two concurrency behaviours matter under load:
+
+* **Request coalescing** — when two identical prompts arrive concurrently
+  and both miss the cache, only the first runs generation; the second
+  waits on the first's in-flight computation and reuses its result
+  (``"coalesced": true`` in the response).  Without this, every cache miss
+  thunders straight into the model.
+* **Batched decoding** — when constructed with an
+  :class:`~repro.engine.engine.InferenceEngine`, ``/v1/batch_completions``
+  decodes all cache-missing prompts through the continuous batcher in one
+  pass instead of sequentially.
 """
 
 from __future__ import annotations
@@ -25,19 +41,40 @@ from repro.errors import ServingError
 from repro.serving.cache import LruCache
 
 
-class PredictionService:
-    """Wraps any TextCompleter with caching and latency accounting."""
+class _InflightEntry:
+    """A computation one thread owns and others wait on."""
 
-    def __init__(self, completer, cache_capacity: int = 256, max_new_tokens: int = 96):
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.completion: str | None = None
+        self.error: BaseException | None = None
+
+
+class PredictionService:
+    """Wraps any TextCompleter with caching, coalescing and latency accounting.
+
+    ``engine`` is optional; when given (an
+    :class:`~repro.engine.engine.InferenceEngine` or anything with
+    ``complete_batch``/``stats``), batch predictions decode through it and
+    ``stats()`` gains an ``"engine"`` section.
+    """
+
+    def __init__(self, completer, cache_capacity: int = 256, max_new_tokens: int = 96, engine=None):
         self.completer = completer
+        self.engine = engine
         self.cache = LruCache(cache_capacity)
         self.max_new_tokens = max_new_tokens
         self.request_count = 0
+        self.coalesced_count = 0
+        self.batch_request_count = 0
         self.total_latency_ms = 0.0
         self._lock = threading.Lock()
+        self._inflight: dict[str, _InflightEntry] = {}
+
+    # -- single prediction ---------------------------------------------------
 
     def predict(self, prompt: str, max_new_tokens: int | None = None) -> dict:
-        """One prediction, served from cache when possible."""
+        """One prediction, served from cache or a coalesced in-flight twin."""
         if not isinstance(prompt, str) or not prompt.strip():
             raise ServingError("prompt must be a non-empty string")
         budget = max_new_tokens or self.max_new_tokens
@@ -45,17 +82,102 @@ class PredictionService:
         with self._lock:
             cached = self.cache.get(prompt)
             if cached is not None:
-                latency_ms = (time.perf_counter() - started) * 1000.0
-                self.request_count += 1
-                self.total_latency_ms += latency_ms
-                return {"completion": cached, "latency_ms": latency_ms, "cached": True}
-        completion = self.completer.complete(prompt, max_new_tokens=budget)
+                return self._account(cached, started, cached_hit=True)
+            entry = self._inflight.get(prompt)
+            owner = entry is None
+            if owner:
+                entry = _InflightEntry()
+                self._inflight[prompt] = entry
+        if not owner:
+            # Coalesce: another thread is already generating this prompt.
+            entry.done.wait()
+            if entry.error is not None:
+                raise ServingError(f"coalesced request failed: {entry.error}") from entry.error
+            with self._lock:
+                self.coalesced_count += 1
+                return self._account(entry.completion, started, cached_hit=True, coalesced=True)
+        try:
+            completion = self.completer.complete(prompt, max_new_tokens=budget)
+            entry.completion = completion
+        except BaseException as error:
+            entry.error = error
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(prompt, None)
+                if entry.error is None:
+                    self.cache.put(prompt, entry.completion)
+            entry.done.set()
+        with self._lock:
+            return self._account(completion, started, cached_hit=False)
+
+    def _account(
+        self, completion: str, started: float, cached_hit: bool, coalesced: bool = False
+    ) -> dict:
+        """Record latency and build a response payload (caller holds the lock)."""
+        latency_ms = (time.perf_counter() - started) * 1000.0
+        self.request_count += 1
+        self.total_latency_ms += latency_ms
+        payload = {"completion": completion, "latency_ms": latency_ms, "cached": cached_hit}
+        if coalesced:
+            payload["coalesced"] = True
+        return payload
+
+    # -- batch prediction ----------------------------------------------------
+
+    def predict_batch(self, prompts: list[str], max_new_tokens: int | None = None) -> dict:
+        """Serve a whole batch, decoding cache misses together.
+
+        Duplicate prompts within the batch run once.  Misses go through the
+        engine's continuous batcher when one is attached, otherwise through
+        sequential ``completer.complete`` calls.
+        """
+        if not isinstance(prompts, list) or not prompts:
+            raise ServingError("prompts must be a non-empty list of strings")
+        for prompt in prompts:
+            if not isinstance(prompt, str) or not prompt.strip():
+                raise ServingError("every prompt must be a non-empty string")
+        budget = max_new_tokens or self.max_new_tokens
+        started = time.perf_counter()
+        completions: dict[str, str] = {}
+        cached_flags: dict[str, bool] = {}
+        misses: list[str] = []
+        seen: set[str] = set()
+        for prompt in prompts:
+            if prompt in seen:
+                continue
+            seen.add(prompt)
+            hit = self.cache.get(prompt)
+            if hit is not None:
+                completions[prompt] = hit
+                cached_flags[prompt] = True
+            else:
+                misses.append(prompt)
+                cached_flags[prompt] = False
+        if misses:
+            if self.engine is not None:
+                generated = self.engine.complete_batch(misses, max_new_tokens=budget)
+            else:
+                generated = [
+                    self.completer.complete(prompt, max_new_tokens=budget) for prompt in misses
+                ]
+            for prompt, completion in zip(misses, generated):
+                completions[prompt] = completion
+                self.cache.put(prompt, completion)
         latency_ms = (time.perf_counter() - started) * 1000.0
         with self._lock:
-            self.cache.put(prompt, completion)
-            self.request_count += 1
+            self.request_count += len(prompts)
+            self.batch_request_count += 1
             self.total_latency_ms += latency_ms
-        return {"completion": completion, "latency_ms": latency_ms, "cached": False}
+        return {
+            "completions": [completions[prompt] for prompt in prompts],
+            "cached": [cached_flags[prompt] for prompt in prompts],
+            "latency_ms": latency_ms,
+            "batch_size": len(prompts),
+            "decoded": len(misses),
+        }
+
+    # -- introspection -------------------------------------------------------
 
     def health(self) -> dict:
         return {"status": "ok", "model": getattr(self.completer, "name", "unknown")}
@@ -63,11 +185,17 @@ class PredictionService:
     def stats(self) -> dict:
         with self._lock:
             mean_latency = self.total_latency_ms / self.request_count if self.request_count else 0.0
-            return {
+            report = {
                 "requests": self.request_count,
+                "batch_requests": self.batch_request_count,
+                "coalesced_requests": self.coalesced_count,
                 "cache_hit_rate": self.cache.hit_rate,
+                "cache": self.cache.stats(),
                 "mean_latency_ms": mean_latency,
             }
+        if self.engine is not None:
+            report["engine"] = self.engine.stats()
+        return report
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -93,16 +221,22 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json({"error": f"unknown path {self.path}"}, status=404)
 
     def do_POST(self) -> None:
-        if self.path != "/v1/completions":
-            self._send_json({"error": f"unknown path {self.path}"}, status=404)
-            return
         try:
             length = int(self.headers.get("Content-Length", "0"))
             payload = json.loads(self.rfile.read(length) or b"{}")
-            result = self.service.predict(
-                payload.get("prompt", ""),
-                payload.get("max_new_tokens"),
-            )
+            if self.path == "/v1/completions":
+                result = self.service.predict(
+                    payload.get("prompt", ""),
+                    payload.get("max_new_tokens"),
+                )
+            elif self.path == "/v1/batch_completions":
+                result = self.service.predict_batch(
+                    payload.get("prompts", []),
+                    payload.get("max_new_tokens"),
+                )
+            else:
+                self._send_json({"error": f"unknown path {self.path}"}, status=404)
+                return
             self._send_json(result)
         except ServingError as error:
             self._send_json({"error": str(error)}, status=400)

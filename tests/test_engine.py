@@ -1,0 +1,317 @@
+"""Tests for repro.engine (batched decode, prefix cache, batcher, facade).
+
+The load-bearing property is *batched-vs-sequential equivalence*: greedy
+decoding through the engine must produce token-for-token the same outputs
+as N sequential :func:`generate_greedy` calls — padding/masking mistakes
+show up as silently different tokens, never as crashes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ContinuousBatcher,
+    DecodingBatch,
+    GenerationRequest,
+    InferenceEngine,
+    PrefixCache,
+    RequestState,
+    generate_greedy_batch,
+)
+from repro.errors import EngineError
+from repro.nn.optim import Adam
+from repro.nn.parameter import numpy_rng
+from repro.nn.sampling import generate_greedy, plan_prompt
+from repro.nn.transformer import DecoderLM, TransformerConfig
+
+
+@pytest.fixture(scope="module")
+def trained_model():
+    """A model trained to continue the cycle 1,2,3,4,... (peaked logits)."""
+    config = TransformerConfig(vocab_size=16, n_positions=24, dim=16, n_layers=2, n_heads=4)
+    model = DecoderLM(config, numpy_rng(1))
+    ids = np.array([[1, 2, 3, 4] * 5], dtype=np.int64)
+    targets = np.roll(ids, -1, axis=1)
+    targets[:, -1] = -1
+    optimizer = Adam(model.parameters(), learning_rate=3e-3)
+    for _ in range(150):
+        model.zero_grad()
+        model.loss_and_backward(ids, targets)
+        optimizer.step()
+    return model
+
+
+# Mixed lengths on purpose: padding bugs only show up when rows differ.
+MIXED_PROMPTS = [
+    [1, 2, 3, 4, 1, 2],
+    [2, 3, 4],
+    [1, 2],
+    [3, 4, 1, 2, 3, 4, 1],
+    [4, 1, 2, 3, 4],
+]
+
+
+def assert_matches_sequential(model, results, prompts, max_new_tokens, stop_ids=frozenset()):
+    for prompt, got in zip(prompts, results):
+        want = generate_greedy(model, prompt, max_new_tokens, stop_ids=stop_ids)
+        assert got.token_ids == want.token_ids, f"prompt {prompt}: {got} != {want}"
+        assert got.stop_reason == want.stop_reason
+        assert got.effective_budget == want.effective_budget
+
+
+class TestBatchedVsSequentialEquivalence:
+    def test_engine_mixed_lengths(self, trained_model):
+        engine = InferenceEngine(trained_model, max_batch_size=3)
+        results = engine.generate_batch(MIXED_PROMPTS, max_new_tokens=8)
+        assert_matches_sequential(trained_model, results, MIXED_PROMPTS, 8)
+
+    def test_engine_with_early_stop_token(self, trained_model):
+        # Token 3 follows some prompts quickly, so rows finish at different
+        # steps and retire mid-flight while others keep decoding.
+        engine = InferenceEngine(trained_model, max_batch_size=4)
+        results = engine.generate_batch(MIXED_PROMPTS, max_new_tokens=8, stop_ids={3})
+        assert_matches_sequential(trained_model, results, MIXED_PROMPTS, 8, stop_ids={3})
+        assert any(result.stop_reason == "stop_token" for result in results)
+        lengths = {len(result.token_ids) for result in results}
+        assert len(lengths) > 1  # at least one row finished early
+
+    def test_static_batched_prefill_path(self, trained_model):
+        # generate_greedy_batch prefills all rows in one left-padded
+        # forward — the other padding-sensitive code path.
+        results = generate_greedy_batch(trained_model, MIXED_PROMPTS, max_new_tokens=8)
+        assert_matches_sequential(trained_model, results, MIXED_PROMPTS, 8)
+
+    def test_static_batch_with_stop(self, trained_model):
+        results = generate_greedy_batch(trained_model, MIXED_PROMPTS, max_new_tokens=8, stop_ids={3})
+        assert_matches_sequential(trained_model, results, MIXED_PROMPTS, 8, stop_ids={3})
+
+    def test_window_filling_rows_retire_individually(self, trained_model):
+        # Long prompts with a huge budget: every row must hit context_full
+        # at its *own* window boundary, not a neighbour's.
+        prompts = [[1, 2, 3, 4] * 5, [1, 2, 3, 4] * 3, [2, 3, 4, 1] * 4]
+        engine = InferenceEngine(trained_model)
+        results = engine.generate_batch(prompts, max_new_tokens=50)
+        assert_matches_sequential(trained_model, results, prompts, 50)
+        assert all(result.stop_reason == "context_full" for result in results)
+
+    def test_batch_size_one_degenerates_cleanly(self, trained_model):
+        engine = InferenceEngine(trained_model, max_batch_size=1)
+        results = engine.generate_batch(MIXED_PROMPTS[:3], max_new_tokens=6)
+        assert_matches_sequential(trained_model, results, MIXED_PROMPTS[:3], 6)
+
+
+class TestPrefixCache:
+    def test_lookup_reuses_longest_prefix(self, trained_model):
+        engine = InferenceEngine(trained_model)
+        prompt = [1, 2, 3, 4, 1, 2, 3, 4]
+        engine.generate_batch([prompt], max_new_tokens=4)
+        extended = prompt + [1, 2]
+        results = engine.generate_batch([extended], max_new_tokens=4)
+        want = generate_greedy(trained_model, extended, max_new_tokens=4)
+        assert results[0].token_ids == want.token_ids
+        stats = engine.stats()["prefix_cache"]
+        assert stats["hits"] == 1
+        assert stats["tokens_reused"] == len(prompt)
+
+    def test_prefix_never_covers_whole_prompt(self):
+        cache = PrefixCache()
+        fake = [_fake_kv(4)]
+        assert cache.insert([5, 6, 7, 8], fake)
+        match = cache.lookup([5, 6, 7, 8])
+        assert match is not None
+        matched, caches = match
+        assert matched == 3  # one token always left for live prefill
+        assert caches[0].length == 3
+
+    def test_insert_skips_covered_prompts(self):
+        cache = PrefixCache()
+        assert cache.insert([5, 6, 7, 8], [_fake_kv(4)])
+        assert not cache.insert([5, 6], [_fake_kv(2)])
+        assert len(cache) == 1
+
+    def test_eviction_is_lru(self):
+        cache = PrefixCache(capacity=2)
+        cache.insert([1, 1], [_fake_kv(2)])
+        cache.insert([2, 2], [_fake_kv(2)])
+        cache.lookup([1, 1, 9])  # refresh the first entry
+        cache.insert([3, 3], [_fake_kv(2)])  # evicts [2, 2]
+        assert cache.lookup([2, 2, 9]) is None
+        assert cache.lookup([1, 1, 9]) is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_snapshot_is_isolated_from_caller(self):
+        cache = PrefixCache()
+        kv = _fake_kv(3)
+        cache.insert([7, 8, 9], [kv])
+        kv.keys[...] = -1.0  # mutate the caller's arrays after insert
+        match = cache.lookup([7, 8, 9, 1])
+        assert match is not None
+        _, caches = match
+        assert not np.any(caches[0].keys == -1.0)
+
+
+def _fake_kv(length: int):
+    from repro.nn.attention import KVCache
+
+    cache = KVCache()
+    cache.keys = np.arange(2 * length * 2, dtype=np.float32).reshape(1, 2, length, 2) / 7.0
+    cache.values = cache.keys + 1.0
+    return cache
+
+
+class TestContinuousBatcher:
+    def test_admission_respects_max_batch_size(self, trained_model):
+        batcher = ContinuousBatcher(trained_model, max_batch_size=2)
+        requests = [_request(trained_model, i, prompt) for i, prompt in enumerate(MIXED_PROMPTS)]
+        for request in requests:
+            batcher.submit(request)
+        assert batcher.queue_depth == len(MIXED_PROMPTS)
+        batcher.step()
+        assert batcher.active_size <= 2
+        assert batcher.peak_batch_size <= 2
+        batcher.run()
+        assert batcher.queue_depth == 0
+        assert batcher.completed == len(MIXED_PROMPTS)
+        assert all(request.is_finished for request in requests)
+
+    def test_new_requests_join_mid_flight(self, trained_model):
+        # With capacity 3 and 5 requests, later requests are admitted only
+        # once earlier rows retire — continuous, not static, batching.
+        batcher = ContinuousBatcher(trained_model, max_batch_size=3)
+        requests = [
+            _request(trained_model, i, prompt, max_new_tokens=2 + 2 * i)
+            for i, prompt in enumerate(MIXED_PROMPTS)
+        ]
+        for request in requests:
+            batcher.submit(request)
+        joined_late = False
+        while batcher.step():
+            if batcher.completed and batcher.queue_depth < len(MIXED_PROMPTS) - 3:
+                joined_late = batcher.active_size > 0
+        assert batcher.completed == len(MIXED_PROMPTS)
+        assert joined_late
+        assert batcher.mean_occupancy > 1.0
+
+    def test_token_budget_gate(self, trained_model):
+        window = trained_model.config.n_positions
+        batcher = ContinuousBatcher(trained_model, max_batch_size=8, max_batch_tokens=window)
+        for i, prompt in enumerate(MIXED_PROMPTS[:3]):
+            batcher.submit(_request(trained_model, i, prompt, max_new_tokens=10))
+        batcher.step()
+        # Footprints (prompt + budget) exceed one window each, so only the
+        # head request fits; the empty-batch exemption admitted it anyway.
+        assert batcher.active_size == 1
+        batcher.run()
+        assert batcher.completed == 3
+
+    def test_oversized_request_not_wedged(self, trained_model):
+        batcher = ContinuousBatcher(trained_model, max_batch_size=4, max_batch_tokens=4)
+        batcher.submit(_request(trained_model, 0, [1, 2, 3, 4, 1, 2], max_new_tokens=8))
+        batcher.run()
+        assert batcher.completed == 1
+
+    def test_request_lifecycle_and_timing(self, trained_model):
+        batcher = ContinuousBatcher(trained_model, max_batch_size=2)
+        request = _request(trained_model, 0, [1, 2, 3, 4], max_new_tokens=4)
+        assert request.state is RequestState.QUEUED
+        batcher.submit(request)
+        batcher.run()
+        assert request.state is RequestState.FINISHED
+        timings = request.timings()
+        assert timings["queued_s"] >= 0.0
+        assert timings["prefill_s"] >= 0.0
+        assert timings["decode_s"] >= 0.0
+        with pytest.raises(EngineError):
+            request.finish("max_tokens")  # double-finish is a bug
+
+    def test_result_before_finish_raises(self, trained_model):
+        request = _request(trained_model, 0, [1, 2], max_new_tokens=2)
+        with pytest.raises(EngineError):
+            _ = request.result
+
+
+def _request(model, request_id, prompt, max_new_tokens=8, stop_ids=frozenset()):
+    planned, effective = plan_prompt(model.config.n_positions, prompt, max_new_tokens)
+    return GenerationRequest(
+        request_id=request_id,
+        prompt_ids=planned,
+        max_new_tokens=max_new_tokens,
+        effective_budget=effective,
+        stop_ids=frozenset(stop_ids),
+    )
+
+
+class TestDecodingBatch:
+    def test_step_on_empty_batch_raises(self, trained_model):
+        with pytest.raises(EngineError):
+            DecodingBatch(trained_model).step()
+
+    def test_admit_prompts_requires_empty_batch(self, trained_model):
+        batch = DecodingBatch(trained_model)
+        batch.admit_prompts([[1, 2], [3, 4]], [0, 1])
+        with pytest.raises(EngineError):
+            batch.admit_prompts([[1, 2]], [2])
+
+    def test_retire_trims_padding_columns(self, trained_model):
+        batch = DecodingBatch(trained_model)
+        batch.admit_prompts([[1, 2, 3, 4, 1, 2], [1, 2]], [0, 1])
+        assert batch.total_columns == 6
+        batch.retire([0])  # the long row leaves; 4 columns are now all-padding
+        assert batch.total_columns == 2
+        assert len(batch) == 1
+
+
+class TestEngineFacade:
+    def test_stats_shape(self, trained_model):
+        engine = InferenceEngine(trained_model, max_batch_size=4)
+        engine.generate_batch(MIXED_PROMPTS, max_new_tokens=4)
+        stats = engine.stats()
+        for key in (
+            "queue_depth",
+            "active_requests",
+            "completed_requests",
+            "decode_steps",
+            "decode_tokens",
+            "prefill_tokens",
+            "mean_batch_occupancy",
+            "prefix_cache",
+        ):
+            assert key in stats
+        assert stats["completed_requests"] == len(MIXED_PROMPTS)
+        assert stats["queue_depth"] == 0
+        assert stats["active_requests"] == 0
+        assert stats["mean_batch_occupancy"] > 1.0
+
+    def test_empty_batch_returns_empty(self, trained_model):
+        assert InferenceEngine(trained_model).generate_batch([]) == []
+
+    def test_text_interface_requires_tokenizer(self, trained_model):
+        engine = InferenceEngine(trained_model)
+        with pytest.raises(EngineError):
+            engine.complete_batch(["- name: install nginx\n"])
+
+    def test_results_in_submission_order(self, trained_model):
+        engine = InferenceEngine(trained_model, max_batch_size=2)
+        prompts = list(reversed(MIXED_PROMPTS))
+        results = engine.generate_batch(prompts, max_new_tokens=5)
+        assert_matches_sequential(trained_model, results, prompts, 5)
+
+
+class TestWisdomModelBatchInterface:
+    def test_complete_batch_matches_complete(self, tiny_tokenizer, tiny_network):
+        from repro.model.lm import WisdomModel
+
+        model = WisdomModel("test", tiny_tokenizer, tiny_network)
+        prompts = [
+            "- name: Install SSH server\n",
+            "- name: Start the service\n",
+            "- name: Copy configuration\n",
+            "- name: Install SSH server on RHEL\n",
+        ]
+        batched = model.complete_batch(prompts, max_new_tokens=8)
+        sequential = [model.complete(prompt, max_new_tokens=8) for prompt in prompts]
+        assert batched == sequential
+        stats = model.engine().stats()
+        assert stats["completed_requests"] == len(prompts)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.errors import ServingError
@@ -14,11 +16,18 @@ from repro.serving.service import PredictionService, RestServer
 class _StubCompleter:
     name = "stub"
 
-    def __init__(self):
+    def __init__(self, delay: float = 0.0):
         self.calls = 0
+        self.delay = delay
+        self._lock = threading.Lock()
 
     def complete(self, prompt, max_new_tokens=96):
-        self.calls += 1
+        with self._lock:
+            self.calls += 1
+        if self.delay:
+            import time
+
+            time.sleep(self.delay)
         return "  ansible.builtin.apt:\n    name: nginx\n    state: present\n"
 
 
@@ -51,6 +60,42 @@ class TestLruCache:
         assert cache.get("a") == "2"
         assert len(cache) == 1
 
+    def test_stats_dict(self):
+        cache = LruCache(2)
+        cache.get("a")
+        cache.put("a", "1")
+        cache.get("a")
+        cache.put("b", "2")
+        cache.put("c", "3")  # evicts one entry
+        stats = cache.stats()
+        assert stats == {
+            "size": 2,
+            "capacity": 2,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 1,
+            "hit_rate": 0.5,
+        }
+
+    def test_concurrent_access_accounting(self):
+        # hits/misses are updated under the cache's own lock: hammering it
+        # from many threads must not lose counts.
+        cache = LruCache(64)
+        cache.put("k", "v")
+        per_thread = 200
+        threads = [
+            threading.Thread(
+                target=lambda: [cache.get("k") for _ in range(per_thread)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert cache.hits == 8 * per_thread
+        assert cache.stats()["hit_rate"] == 1.0
+
 
 class TestPredictionService:
     def test_predict_and_cache(self):
@@ -80,6 +125,137 @@ class TestPredictionService:
         assert PredictionService(_StubCompleter()).health() == {"status": "ok", "model": "stub"}
 
 
+class TestRequestCoalescing:
+    def test_concurrent_identical_prompts_run_generation_once(self):
+        # The thundering-herd case: both requests miss the cache, but only
+        # the first may invoke the completer; the second waits and reuses
+        # the in-flight result.
+        completer = _StubCompleter(delay=0.2)
+        service = PredictionService(completer)
+        results = []
+
+        def hit():
+            results.append(service.predict("- name: install nginx\n"))
+
+        threads = [threading.Thread(target=hit) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert completer.calls == 1
+        assert len(results) == 4
+        assert len({result["completion"] for result in results}) == 1
+        coalesced = [result for result in results if result.get("coalesced")]
+        assert len(coalesced) == 3
+        assert all(result["cached"] for result in coalesced)
+        assert service.stats()["coalesced_requests"] == 3
+
+    def test_distinct_prompts_not_coalesced(self):
+        completer = _StubCompleter(delay=0.05)
+        service = PredictionService(completer)
+        results = {}
+
+        def hit(prompt):
+            results[prompt] = service.predict(prompt)
+
+        threads = [
+            threading.Thread(target=hit, args=(f"- name: task {i}\n",)) for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert completer.calls == 3
+        assert not any(result.get("coalesced") for result in results.values())
+
+    def test_owner_failure_propagates_to_waiters(self):
+        class _Exploding:
+            name = "boom"
+
+            def __init__(self):
+                self.started = threading.Event()
+
+            def complete(self, prompt, max_new_tokens=96):
+                self.started.set()
+                import time
+
+                time.sleep(0.1)
+                raise ServingError("model fell over")
+
+        completer = _Exploding()
+        service = PredictionService(completer)
+        errors = []
+
+        def owner():
+            try:
+                service.predict("- name: x\n")
+            except ServingError as error:
+                errors.append(("owner", error))
+
+        def waiter():
+            completer.started.wait()
+            try:
+                service.predict("- name: x\n")
+            except ServingError as error:
+                errors.append(("waiter", error))
+
+        threads = [threading.Thread(target=owner), threading.Thread(target=waiter)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert {source for source, _ in errors} == {"owner", "waiter"}
+        # the failure must not be cached
+        assert service.cache.get("- name: x\n") is None
+
+
+class TestBatchPrediction:
+    def test_sequential_fallback_without_engine(self):
+        completer = _StubCompleter()
+        service = PredictionService(completer)
+        result = service.predict_batch(["- name: a\n", "- name: b\n", "- name: a\n"])
+        assert len(result["completions"]) == 3
+        assert completer.calls == 2  # duplicate prompt decoded once
+        assert result["decoded"] == 2
+        assert result["batch_size"] == 3
+
+    def test_cache_hits_skip_decoding(self):
+        completer = _StubCompleter()
+        service = PredictionService(completer)
+        service.predict("- name: a\n")
+        result = service.predict_batch(["- name: a\n", "- name: b\n"])
+        assert result["cached"] == [True, False]
+        assert completer.calls == 2
+
+    def test_engine_path_used_when_attached(self):
+        class _StubEngine:
+            def __init__(self):
+                self.batches = []
+
+            def complete_batch(self, prompts, max_new_tokens=None):
+                self.batches.append(list(prompts))
+                return [f"done:{prompt}" for prompt in prompts]
+
+            def stats(self):
+                return {"queue_depth": 0}
+
+        engine = _StubEngine()
+        completer = _StubCompleter()
+        service = PredictionService(completer, engine=engine)
+        result = service.predict_batch(["- name: a\n", "- name: b\n"])
+        assert completer.calls == 0
+        assert engine.batches == [["- name: a\n", "- name: b\n"]]
+        assert result["completions"] == ["done:- name: a\n", "done:- name: b\n"]
+        assert service.stats()["engine"] == {"queue_depth": 0}
+
+    def test_empty_batch_rejected(self):
+        service = PredictionService(_StubCompleter())
+        with pytest.raises(ServingError):
+            service.predict_batch([])
+        with pytest.raises(ServingError):
+            service.predict_batch(["- name: a\n", "   "])
+
+
 class TestRestRoundTrip:
     def test_http_completion_flow(self):
         service = PredictionService(_StubCompleter())
@@ -98,6 +274,51 @@ class TestRestRoundTrip:
             client = PredictionClient(server.url)
             with pytest.raises(ServingError):
                 client.complete("   ")
+
+    def test_http_batch_completions(self):
+        completer = _StubCompleter()
+        service = PredictionService(completer)
+        with RestServer(service) as server:
+            client = PredictionClient(server.url)
+            payload = client.predict_batch(["- name: a\n", "- name: b\n"])
+            assert payload["batch_size"] == 2
+            assert payload["cached"] == [False, False]
+            assert len(payload["completions"]) == 2
+            # second round is fully cached
+            again = client.predict_batch(["- name: a\n", "- name: b\n"])
+            assert again["cached"] == [True, True]
+            assert completer.calls == 2
+            completions = client.complete_batch(["- name: a\n"])
+            assert "ansible.builtin.apt" in completions[0]
+            stats = client.stats()
+            assert stats["batch_requests"] == 3
+
+    def test_http_batch_validation_error(self):
+        service = PredictionService(_StubCompleter())
+        with RestServer(service) as server:
+            client = PredictionClient(server.url)
+            with pytest.raises(ServingError):
+                client.predict_batch([])
+            with pytest.raises(ServingError):
+                client.predict_batch(["ok", "   "])
+
+    def test_http_stats_include_engine_section(self, tiny_tokenizer, tiny_network):
+        from repro.model.lm import WisdomModel
+
+        model = WisdomModel("test", tiny_tokenizer, tiny_network)
+        engine = model.engine(max_batch_size=4)
+        service = PredictionService(model, engine=engine)
+        with RestServer(service) as server:
+            client = PredictionClient(server.url)
+            payload = client.predict_batch(["- name: install nginx\n"], max_new_tokens=4)
+            assert payload["decoded"] == 1
+            stats = client.stats()
+            engine_stats = stats["engine"]
+            assert engine_stats["queue_depth"] == 0
+            assert engine_stats["completed_requests"] >= 1
+            assert "mean_batch_occupancy" in engine_stats
+            assert "hits" in engine_stats["prefix_cache"]
+            assert engine_stats["prefill_tokens"] > 0
 
     def test_unknown_path_404(self):
         service = PredictionService(_StubCompleter())
