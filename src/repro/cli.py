@@ -7,6 +7,8 @@ Mirrors the workflows a user of the released system would run::
     python -m repro.cli evaluate --model /tmp/wisdom --samples 20
     python -m repro.cli serve --model /tmp/wisdom --port 8181
     python -m repro.cli score --reference ref.yml --prediction pred.yml
+    python -m repro.cli obs --url http://127.0.0.1:8181
+    python -m repro.cli obs --spans /tmp/trace.jsonl
 
 Every subcommand is a thin shell over the library API; all heavy lifting
 stays importable and testable.
@@ -104,6 +106,38 @@ def _cmd_score(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import load_spans_jsonl
+    from repro.obs.report import format_metrics_snapshot, format_span_tree
+
+    if args.url:
+        from repro.serving.client import PredictionClient
+
+        payload = PredictionClient(args.url).metrics()
+        if args.json:
+            print(json.dumps(payload, indent=2))
+            return 0
+        print(format_metrics_snapshot(payload.get("metrics", {})))
+        tracing = payload.get("tracing", {})
+        print()
+        print(
+            f"tracing: enabled={tracing.get('enabled')} "
+            f"buffered={tracing.get('spans_buffered')} "
+            f"recorded={tracing.get('spans_recorded')}"
+        )
+        engine = payload.get("engine")
+        if engine:
+            print()
+            print(json.dumps({"engine": engine}, indent=2))
+        return 0
+    spans = load_spans_jsonl(args.spans)
+    if args.json:
+        print(json.dumps([span.to_dict() for span in spans], indent=2))
+        return 0
+    print(format_span_tree(spans))
+    return 0
+
+
 def _cmd_synthesize(args: argparse.Namespace) -> int:
     from repro import yamlio
     from repro.dataset import AnsibleSynthesizer
@@ -150,6 +184,15 @@ def build_parser() -> argparse.ArgumentParser:
     score.add_argument("--reference", required=True)
     score.add_argument("--prediction", required=True)
     score.set_defaults(handler=_cmd_score)
+
+    obs = subparsers.add_parser(
+        "obs", help="pretty-print a /v1/metrics snapshot or a JSONL span dump"
+    )
+    source = obs.add_mutually_exclusive_group(required=True)
+    source.add_argument("--url", help="base URL of a running repro serve instance")
+    source.add_argument("--spans", help="path to a Tracer.export_jsonl dump")
+    obs.add_argument("--json", action="store_true", help="emit raw JSON instead of tables")
+    obs.set_defaults(handler=_cmd_obs)
 
     synthesize = subparsers.add_parser("synthesize", help="emit synthetic Ansible YAML")
     synthesize.add_argument("--count", type=int, default=1)

@@ -27,6 +27,7 @@ at laptop scale.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 
 from repro.engine.batched_decode import DecodingBatch, prefill_single
@@ -34,6 +35,8 @@ from repro.engine.prefix_cache import PrefixCache
 from repro.engine.request import GenerationRequest, RequestState
 from repro.errors import EngineError
 from repro.nn.transformer import DecoderLM
+from repro.obs import Observability
+from repro.obs.metrics import linear_buckets
 
 
 def advance_request(request: GenerationRequest, next_id: int, window: int) -> str | None:
@@ -65,6 +68,7 @@ class ContinuousBatcher:
         max_batch_size: int = 8,
         max_batch_tokens: int | None = None,
         prefix_cache: PrefixCache | None = None,
+        obs: Observability | None = None,
     ):
         if max_batch_size < 1:
             raise EngineError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -88,6 +92,22 @@ class ContinuousBatcher:
         self.prefix_tokens_reused = 0
         self.occupancy_ticks = 0  # sum over steps of active rows; occupancy = ticks/steps
         self.peak_batch_size = 0
+        # -- observability --
+        self.obs = obs if obs is not None else Observability()
+        metrics = self.obs.metrics
+        self._h_prefill_forward = metrics.histogram("engine.prefill_forward_s")
+        self._h_decode_step = metrics.histogram("engine.decode_step_s")
+        self._h_per_token = metrics.histogram("engine.decode_per_token_s")
+        self._h_occupancy = metrics.histogram(
+            "engine.batch_occupancy", linear_buckets(1, 1, max(16, self.max_batch_size))
+        )
+        self._c_admitted = metrics.counter("engine.requests_admitted")
+        self._c_retired = metrics.counter("engine.requests_retired")
+        self._c_decode_tokens = metrics.counter("engine.decode_tokens")
+        self._c_prefill_tokens = metrics.counter("engine.prefill_tokens")
+        self._c_prefix_hits = metrics.counter("engine.prefix_cache_hits")
+        self._c_prefix_misses = metrics.counter("engine.prefix_cache_misses")
+        self._c_prefix_reused = metrics.counter("engine.prefix_tokens_reused")
 
     # -- introspection -------------------------------------------------------
 
@@ -124,14 +144,22 @@ class ContinuousBatcher:
     def _admit_one(self) -> None:
         request = self.queue.popleft()
         request.begin_prefill()
+        self._c_admitted.inc()
         seeded = None
         if self.prefix_cache is not None:
             match = self.prefix_cache.lookup(request.prompt_ids)
             if match is not None:
                 request.prefix_reused, seeded = match
                 self.prefix_tokens_reused += request.prefix_reused
+                self._c_prefix_hits.inc()
+                self._c_prefix_reused.inc(request.prefix_reused)
+            else:
+                self._c_prefix_misses.inc()
+        forward_started = time.perf_counter()
         caches, first_token, prefilled = prefill_single(self.model, request.prompt_ids, seeded)
+        self._h_prefill_forward.observe(time.perf_counter() - forward_started)
         self.prefill_tokens += prefilled
+        self._c_prefill_tokens.inc(prefilled)
         if self.prefix_cache is not None:
             self.prefix_cache.insert(request.prompt_ids, caches)
         reason = advance_request(request, first_token, self.model.config.n_positions)
@@ -139,6 +167,7 @@ class ContinuousBatcher:
             # Finished on its very first token — never occupies a batch row.
             request.finish(reason)
             self.completed += 1
+            self._c_retired.inc()
             return
         request.begin_decode()
         self.batch.admit(caches, pending=first_token, payload=request)
@@ -154,10 +183,24 @@ class ContinuousBatcher:
             self._admit_one()
         if not self.batch.rows:
             return bool(self.queue)
+        step_started = time.perf_counter()
         next_tokens = self.batch.step()
+        step_elapsed = time.perf_counter() - step_started
         self.decode_steps += 1
         self.occupancy_ticks += len(next_tokens)
         self.decode_tokens += len(next_tokens)
+        self._h_decode_step.observe(step_elapsed)
+        self._h_per_token.observe(step_elapsed / len(next_tokens))
+        self._h_occupancy.observe(len(next_tokens))
+        self._c_decode_tokens.inc(len(next_tokens))
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            tracer.record(
+                "engine.decode_step",
+                step_started,
+                step_started + step_elapsed,
+                batch=len(next_tokens),
+            )
         window = self.model.config.n_positions
         finished: list[int] = []
         for position, next_id in enumerate(next_tokens):
@@ -170,6 +213,8 @@ class ContinuousBatcher:
                 request.finish(reason)
                 self.completed += 1
                 finished.append(position)
+        if finished:
+            self._c_retired.inc(len(finished))
         self.batch.retire(finished)
         return bool(self.batch.rows or self.queue)
 

@@ -26,6 +26,7 @@ from repro.engine.request import GenerationRequest
 from repro.errors import EngineError
 from repro.nn.sampling import GenerationResult, plan_prompt
 from repro.nn.transformer import DecoderLM
+from repro.obs import Observability, Tracer
 
 
 class InferenceEngine:
@@ -42,21 +43,34 @@ class InferenceEngine:
         prefix_cache_capacity: int = 32,
         default_max_new_tokens: int = 96,
         stop_ids: frozenset[int] | set[int] = frozenset(),
+        obs: Observability | None = None,
     ):
         self.network = network
         self.tokenizer = tokenizer
         self.name = name
         self.default_max_new_tokens = default_max_new_tokens
         self.default_stop_ids = frozenset(stop_ids)
+        self.obs = obs if obs is not None else Observability()
         self.prefix_cache = PrefixCache(prefix_cache_capacity) if prefix_cache_capacity else None
         self.batcher = ContinuousBatcher(
             network,
             max_batch_size=max_batch_size,
             max_batch_tokens=max_batch_tokens,
             prefix_cache=self.prefix_cache,
+            obs=self.obs,
         )
         self._lock = threading.Lock()
         self._next_request_id = 0
+        metrics = self.obs.metrics
+        self._h_queue_wait = metrics.histogram("engine.queue_wait_s")
+        self._h_prefill = metrics.histogram("engine.prefill_s")
+        self._h_decode = metrics.histogram("engine.decode_s")
+        self._c_requests = metrics.counter("engine.requests")
+        self._c_generated = metrics.counter("engine.generated_tokens")
+
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """Route request-lifecycle and decode-step spans to ``tracer``."""
+        self.obs.attach_tracer(tracer)
 
     @classmethod
     def from_model(cls, model, **kwargs) -> "InferenceEngine":
@@ -114,7 +128,62 @@ class InferenceEngine:
             for request in requests:
                 self.batcher.submit(request)
             self.batcher.run()
+            for request in requests:
+                self._observe_request(request)
             return [request.result for request in requests]
+
+    def _observe_request(self, request: GenerationRequest) -> None:
+        """Fold a finished request into histograms and (if tracing) spans.
+
+        Request phases interleave across the continuous batch, so the
+        spans are recorded retroactively from the timestamps the request
+        captured at each state transition — tracing reads clocks that were
+        going to be read anyway and cannot perturb scheduling.
+        """
+        timings = request.timings()
+        self._h_queue_wait.observe(timings["queued_s"])
+        self._h_prefill.observe(timings["prefill_s"])
+        if request.decode_started_at is not None:
+            self._h_decode.observe(timings["decode_s"])
+        self._c_requests.inc()
+        self._c_generated.inc(len(request.generated))
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return
+        root = tracer.record(
+            "engine.request",
+            request.submitted_at,
+            request.finished_at,
+            request_id=request.request_id,
+            prompt_tokens=request.prompt_length,
+            generated_tokens=len(request.generated),
+            prefix_reused=request.prefix_reused,
+            stop_reason=request.stop_reason,
+        )
+        prefill_end = (
+            request.decode_started_at
+            if request.decode_started_at is not None
+            else request.finished_at
+        )
+        tracer.record(
+            "engine.queue_wait", request.submitted_at, request.prefill_started_at, parent_id=root
+        )
+        tracer.record(
+            "engine.prefill",
+            request.prefill_started_at,
+            prefill_end,
+            parent_id=root,
+            tokens=request.prompt_length - request.prefix_reused,
+            prefix_reused=request.prefix_reused,
+        )
+        if request.decode_started_at is not None:
+            tracer.record(
+                "engine.decode",
+                request.decode_started_at,
+                request.finished_at,
+                parent_id=root,
+                tokens=len(request.generated),
+            )
 
     # -- text interface -------------------------------------------------------
 

@@ -115,6 +115,16 @@ class PrefixCache:
             self.evictions += 1
         return True
 
+    def clear(self) -> None:
+        """Drop every stored snapshot, keeping the lifetime counters.
+
+        ``hits``/``misses``/``evictions``/``tokens_reused`` survive so any
+        rate computed from :meth:`stats` stays monotonic across resets —
+        clearing reclaims memory, it does not rewrite history.  Cleared
+        entries are not counted as evictions (nothing displaced them).
+        """
+        self._entries.clear()
+
     def stats(self) -> dict:
         total = self.hits + self.misses
         return {

@@ -102,3 +102,7 @@ class ServingError(ReproError):
 
 class EngineError(ReproError):
     """Base class for inference-engine errors (:mod:`repro.engine`)."""
+
+
+class ObservabilityError(ReproError):
+    """Base class for tracing/metrics errors (:mod:`repro.obs`)."""

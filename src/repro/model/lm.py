@@ -12,6 +12,7 @@ import numpy as np
 from repro.errors import GenerationError
 from repro.nn.sampling import generate_greedy, generate_sampled
 from repro.nn.transformer import DecoderLM, TransformerConfig
+from repro.obs import Observability, Tracer
 from repro.tokenizer.bpe import BpeTokenizer
 
 
@@ -41,6 +42,39 @@ class WisdomModel:
         self.size_label = size_label
         self.context_window_label = context_window_label
         self._engine = None
+        self._obs: Observability | None = None
+
+    # -- observability ---------------------------------------------------------
+
+    @property
+    def obs(self) -> Observability | None:
+        return self._obs
+
+    def attach_observability(self, obs: Observability) -> "WisdomModel":
+        """Route this model's spans and metrics through ``obs``.
+
+        Attach *before* the first :meth:`engine` call so the engine shares
+        the registry; attached later, only the tracer propagates (the
+        engine caches its metric handles at construction).
+        """
+        self._obs = obs
+        if self._engine is not None:
+            self._engine.attach_tracer(obs.tracer)
+        return self
+
+    def attach_tracer(self, tracer: Tracer) -> "WisdomModel":
+        """Capture sampling and engine request spans with ``tracer``."""
+        if self._obs is None:
+            self._obs = Observability(tracer=tracer)
+        else:
+            self._obs.attach_tracer(tracer)
+        if self._engine is not None:
+            self._engine.attach_tracer(tracer)
+        return self
+
+    @property
+    def _tracer(self) -> Tracer | None:
+        return self._obs.tracer if self._obs is not None else None
 
     @property
     def config(self) -> TransformerConfig:
@@ -73,7 +107,9 @@ class WisdomModel:
             raise GenerationError("prompt is empty")
         stop_ids = frozenset({self.tokenizer.end_of_text_id, self.tokenizer.separator_id})
         if temperature is None:
-            result = generate_greedy(self.network, prompt_ids, max_new_tokens, stop_ids=stop_ids)
+            result = generate_greedy(
+                self.network, prompt_ids, max_new_tokens, stop_ids=stop_ids, tracer=self._tracer
+            )
         else:
             result = generate_sampled(
                 self.network,
@@ -83,6 +119,7 @@ class WisdomModel:
                 temperature=temperature,
                 top_k=top_k,
                 stop_ids=stop_ids,
+                tracer=self._tracer,
             )
         return self.tokenizer.decode(result.token_ids)
 
@@ -99,6 +136,8 @@ class WisdomModel:
         if self._engine is None:
             from repro.engine import InferenceEngine
 
+            if self._obs is not None:
+                kwargs.setdefault("obs", self._obs)
             self._engine = InferenceEngine.from_model(self, **kwargs)
         elif kwargs:
             raise GenerationError("engine already built; kwargs only apply to the first call")

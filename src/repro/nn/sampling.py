@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.errors import GenerationError
 from repro.nn.transformer import DecoderLM
+from repro.obs.trace import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -67,27 +68,46 @@ def generate_greedy(
     prompt_ids: list[int],
     max_new_tokens: int,
     stop_ids: frozenset[int] | set[int] = frozenset(),
+    tracer: Tracer | None = None,
 ) -> GenerationResult:
     """Greedy decoding with KV cache; stops at a stop token, the token
-    budget, or a full context window."""
+    budget, or a full context window.
+
+    ``tracer`` (optional, default-off) records ``sampling.greedy`` with
+    ``sampling.prefill`` / ``sampling.decode`` children; tracing only
+    reads the monotonic clock, so the produced tokens are identical with
+    or without it.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
     prompt, budget = _prepare_prompt(model, prompt_ids, max_new_tokens)
-    caches = model.new_cache()
-    logits = model.forward_incremental(np.array([prompt], dtype=np.int64), caches)
-    generated: list[int] = []
-    window = model.config.n_positions
-    for _ in range(max_new_tokens):
-        next_id = int(logits[0, -1].argmax())
-        if next_id in stop_ids:
-            return GenerationResult(generated, "stop_token", budget)
-        generated.append(next_id)
-        if len(generated) >= max_new_tokens:
-            return GenerationResult(generated, "max_tokens", budget)
-        # Budget checked first, so context_full always means a shortfall:
-        # the window ended generation before the requested budget.
-        if len(prompt) + len(generated) >= window:
-            return GenerationResult(generated, "context_full", budget)
-        logits = model.forward_incremental(np.array([[next_id]], dtype=np.int64), caches)
-    return GenerationResult(generated, "max_tokens", budget)
+    with tracer.span("sampling.greedy", prompt_tokens=len(prompt)) as span:
+        with tracer.span("sampling.prefill", tokens=len(prompt)):
+            caches = model.new_cache()
+            logits = model.forward_incremental(np.array([prompt], dtype=np.int64), caches)
+        generated: list[int] = []
+        window = model.config.n_positions
+        with tracer.span("sampling.decode"):
+            result = None
+            for _ in range(max_new_tokens):
+                next_id = int(logits[0, -1].argmax())
+                if next_id in stop_ids:
+                    result = GenerationResult(generated, "stop_token", budget)
+                    break
+                generated.append(next_id)
+                if len(generated) >= max_new_tokens:
+                    result = GenerationResult(generated, "max_tokens", budget)
+                    break
+                # Budget checked first, so context_full always means a
+                # shortfall: the window ended generation before the
+                # requested budget.
+                if len(prompt) + len(generated) >= window:
+                    result = GenerationResult(generated, "context_full", budget)
+                    break
+                logits = model.forward_incremental(np.array([[next_id]], dtype=np.int64), caches)
+            if result is None:
+                result = GenerationResult(generated, "max_tokens", budget)
+        span.set(tokens=len(result.token_ids), stop_reason=result.stop_reason)
+        return result
 
 
 def generate_sampled(
@@ -98,33 +118,45 @@ def generate_sampled(
     temperature: float = 1.0,
     top_k: int = 0,
     stop_ids: frozenset[int] | set[int] = frozenset(),
+    tracer: Tracer | None = None,
 ) -> GenerationResult:
     """Temperature / top-k sampling with KV cache."""
     if temperature <= 0.0:
         raise GenerationError("temperature must be positive; use generate_greedy for argmax")
+    tracer = tracer if tracer is not None else NULL_TRACER
     prompt, budget = _prepare_prompt(model, prompt_ids, max_new_tokens)
-    caches = model.new_cache()
-    logits = model.forward_incremental(np.array([prompt], dtype=np.int64), caches)
-    generated: list[int] = []
-    window = model.config.n_positions
-    for _ in range(max_new_tokens):
-        scores = logits[0, -1].astype(np.float64) / temperature
-        if top_k > 0 and top_k < scores.shape[0]:
-            cutoff = np.partition(scores, -top_k)[-top_k]
-            scores = np.where(scores < cutoff, -np.inf, scores)
-        scores -= scores.max()
-        probabilities = np.exp(scores)
-        probabilities /= probabilities.sum()
-        next_id = int(rng.choice(scores.shape[0], p=probabilities))
-        if next_id in stop_ids:
-            return GenerationResult(generated, "stop_token", budget)
-        generated.append(next_id)
-        if len(generated) >= max_new_tokens:
-            return GenerationResult(generated, "max_tokens", budget)
-        if len(prompt) + len(generated) >= window:
-            return GenerationResult(generated, "context_full", budget)
-        logits = model.forward_incremental(np.array([[next_id]], dtype=np.int64), caches)
-    return GenerationResult(generated, "max_tokens", budget)
+    with tracer.span("sampling.sampled", prompt_tokens=len(prompt)) as span:
+        with tracer.span("sampling.prefill", tokens=len(prompt)):
+            caches = model.new_cache()
+            logits = model.forward_incremental(np.array([prompt], dtype=np.int64), caches)
+        generated: list[int] = []
+        window = model.config.n_positions
+        with tracer.span("sampling.decode"):
+            result = None
+            for _ in range(max_new_tokens):
+                scores = logits[0, -1].astype(np.float64) / temperature
+                if top_k > 0 and top_k < scores.shape[0]:
+                    cutoff = np.partition(scores, -top_k)[-top_k]
+                    scores = np.where(scores < cutoff, -np.inf, scores)
+                scores -= scores.max()
+                probabilities = np.exp(scores)
+                probabilities /= probabilities.sum()
+                next_id = int(rng.choice(scores.shape[0], p=probabilities))
+                if next_id in stop_ids:
+                    result = GenerationResult(generated, "stop_token", budget)
+                    break
+                generated.append(next_id)
+                if len(generated) >= max_new_tokens:
+                    result = GenerationResult(generated, "max_tokens", budget)
+                    break
+                if len(prompt) + len(generated) >= window:
+                    result = GenerationResult(generated, "context_full", budget)
+                    break
+                logits = model.forward_incremental(np.array([[next_id]], dtype=np.int64), caches)
+            if result is None:
+                result = GenerationResult(generated, "max_tokens", budget)
+        span.set(tokens=len(result.token_ids), stop_reason=result.stop_reason)
+        return result
 
 
 def generate_beam(

@@ -1,0 +1,78 @@
+"""Observability: request-level tracing and process-local metrics.
+
+The operational substrate for the serving stack — the paper's system runs
+as a latency-sensitive editor service, and you cannot operate (or
+optimise) one without knowing where time goes.  Two primitives:
+
+* :mod:`repro.obs.trace` — a span tracer with context-manager/decorator
+  API, parent/child nesting, a bounded ring buffer and JSONL export;
+* :mod:`repro.obs.metrics` — thread-safe counters, gauges and
+  fixed-bucket histograms with percentile summaries.
+
+:class:`Observability` bundles one of each and is what instrumented
+components (:class:`~repro.engine.engine.InferenceEngine`,
+:class:`~repro.serving.service.PredictionService`, the training loops)
+accept.  The default posture is *metrics on, tracing off*: metrics are
+cheap enough to always collect, while span tracing is opt-in via
+:meth:`Observability.with_tracing` or the components' ``attach_tracer``
+hooks, and must never change what the model generates.
+
+Surfaced through ``GET /v1/metrics``, the extended ``/v1/stats`` and the
+``repro obs`` CLI subcommand (see :mod:`repro.obs.report`).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+    linear_buckets,
+)
+from repro.obs.trace import NULL_TRACER, Span, Tracer, load_spans_jsonl
+
+
+class Observability:
+    """A tracer plus a metrics registry, shared across a serving stack.
+
+    Components cache instrument handles from :attr:`metrics` at
+    construction time, so the registry is fixed for the object's lifetime;
+    the tracer, by contrast, may be swapped in later via
+    :meth:`attach_tracer` (that is what makes tracing default-off cheap —
+    the slot holds a disabled tracer until someone attaches a real one).
+    """
+
+    def __init__(self, tracer: Tracer | None = None, metrics: MetricsRegistry | None = None):
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    @classmethod
+    def with_tracing(cls, capacity: int = 4096) -> "Observability":
+        """An Observability whose tracer is enabled from the start."""
+        return cls(tracer=Tracer(capacity=capacity))
+
+    @property
+    def tracing_enabled(self) -> bool:
+        return self.tracer.enabled
+
+    def attach_tracer(self, tracer: Tracer) -> None:
+        self.tracer = tracer
+
+
+__all__ = [
+    "Observability",
+    "Tracer",
+    "Span",
+    "NULL_TRACER",
+    "load_spans_jsonl",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "exponential_buckets",
+    "linear_buckets",
+]

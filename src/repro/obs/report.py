@@ -1,0 +1,96 @@
+"""Human-readable rendering of metric snapshots and span dumps.
+
+Backs the ``repro obs`` CLI subcommand: turns the JSON payload of
+``GET /v1/metrics`` (or a local :meth:`MetricsRegistry.snapshot`) into
+ASCII tables, and a list of :class:`~repro.obs.trace.Span` objects into an
+indented call tree with durations.
+"""
+
+from __future__ import annotations
+
+from repro.obs.trace import Span
+from repro.utils.tables import format_table
+
+
+def _format_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.0f}us"
+
+
+def _format_value(name: str, value: float) -> str:
+    # By convention only ``*_s`` histograms hold durations; the rest
+    # (e.g. engine.batch_occupancy) are unitless.
+    if name.endswith("_s"):
+        return _format_seconds(value)
+    return f"{value:g}"
+
+
+def format_metrics_snapshot(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` payload as tables."""
+    sections: list[str] = []
+    counters = snapshot.get("counters") or {}
+    if counters:
+        rows = [[name, f"{value:g}"] for name, value in sorted(counters.items())]
+        sections.append(format_table(["counter", "value"], rows, title="Counters"))
+    gauges = snapshot.get("gauges") or {}
+    if gauges:
+        rows = [[name, f"{value:g}"] for name, value in sorted(gauges.items())]
+        sections.append(format_table(["gauge", "value"], rows, title="Gauges"))
+    histograms = snapshot.get("histograms") or {}
+    if histograms:
+        rows = []
+        for name, summary in sorted(histograms.items()):
+            rows.append(
+                [
+                    name,
+                    str(summary["count"]),
+                    _format_value(name, summary["mean"]),
+                    _format_value(name, summary["p50"]),
+                    _format_value(name, summary["p90"]),
+                    _format_value(name, summary["p99"]),
+                    _format_value(name, summary["max"]),
+                ]
+            )
+        sections.append(
+            format_table(
+                ["histogram", "count", "mean", "p50", "p90", "p99", "max"],
+                rows,
+                title="Histograms",
+            )
+        )
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)
+
+
+def format_span_tree(spans: list[Span]) -> str:
+    """Render spans as an indented tree, roots in start order.
+
+    Spans whose ``parent_id`` is missing from the list (e.g. the parent was
+    evicted from the ring buffer) are treated as roots.
+    """
+    if not spans:
+        return "(no spans recorded)"
+    by_id = {span.span_id: span for span in spans}
+    children: dict[int | None, list[Span]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in by_id else None
+        children.setdefault(parent, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda span: (span.start_s, span.span_id))
+
+    lines: list[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        attrs = " ".join(f"{key}={value}" for key, value in sorted(span.attrs.items()))
+        suffix = f"  [{attrs}]" if attrs else ""
+        lines.append(f"{'  ' * depth}{span.name}  {_format_seconds(span.duration_s)}{suffix}")
+        for child in children.get(span.span_id, []):
+            walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+    return "\n".join(lines)

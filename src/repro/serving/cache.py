@@ -53,6 +53,18 @@ class LruCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
+    def clear(self) -> None:
+        """Drop every entry, keeping the lifetime counters.
+
+        ``hits``/``misses``/``evictions`` are cumulative-by-contract: a
+        scraper diffing successive ``stats()`` snapshots must never see a
+        counter go backwards, so a cache reset empties the entries (the
+        next ``get`` of any key is a miss) without zeroing the history.
+        Cleared entries are not counted as evictions.
+        """
+        with self._lock:
+            self._entries.clear()
+
     @property
     def hit_rate(self) -> float:
         with self._lock:

@@ -69,3 +69,7 @@ class PredictionClient:
 
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")
+
+    def metrics(self) -> dict:
+        """Full observability snapshot from ``/v1/metrics``."""
+        return self._request("GET", "/v1/metrics")

@@ -14,8 +14,18 @@ Endpoints::
                              -> {"completions": [...], "latency_ms": ..., "cached": [...]}
     GET  /v1/health             -> {"status": "ok", "model": "..."}
     GET  /v1/stats              -> request counts, cache stats, latency stats,
-                                   engine stats (queue depth, batch occupancy,
+                                   in-flight count and tracing status, engine
+                                   stats (queue depth, batch occupancy,
                                    prefix-cache hits) when an engine is attached
+    GET  /v1/metrics            -> full metrics snapshot: per-endpoint latency
+                                   histograms (p50/p90/p99), serving counters,
+                                   engine queue-wait/prefill/decode histograms
+                                   and prefix-cache hit rate
+
+The service shares its :class:`~repro.obs.Observability` with the engine
+when one is attached, so ``/v1/metrics`` is a single pane of glass over
+both layers; attach an enabled tracer (``service.obs.attach_tracer`` or
+``engine.attach_tracer``) to additionally capture request spans.
 
 Two concurrency behaviours matter under load:
 
@@ -38,6 +48,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import ServingError
+from repro.obs import Observability
 from repro.serving.cache import LruCache
 
 
@@ -59,7 +70,14 @@ class PredictionService:
     ``stats()`` gains an ``"engine"`` section.
     """
 
-    def __init__(self, completer, cache_capacity: int = 256, max_new_tokens: int = 96, engine=None):
+    def __init__(
+        self,
+        completer,
+        cache_capacity: int = 256,
+        max_new_tokens: int = 96,
+        engine=None,
+        obs: Observability | None = None,
+    ):
         self.completer = completer
         self.engine = engine
         self.cache = LruCache(cache_capacity)
@@ -70,6 +88,19 @@ class PredictionService:
         self.total_latency_ms = 0.0
         self._lock = threading.Lock()
         self._inflight: dict[str, _InflightEntry] = {}
+        # Share the engine's Observability unless the caller supplies one,
+        # so /v1/metrics covers serving and engine in a single snapshot.
+        if obs is None:
+            obs = getattr(engine, "obs", None) or Observability()
+        self.obs = obs
+        metrics = obs.metrics
+        self._h_completions = metrics.histogram("serving.completions_s")
+        self._h_batch = metrics.histogram("serving.batch_completions_s")
+        self._c_requests = metrics.counter("serving.requests")
+        self._c_batch_requests = metrics.counter("serving.batch_requests")
+        self._c_cache_hits = metrics.counter("serving.cache_hits")
+        self._c_coalesced = metrics.counter("serving.coalesced")
+        self._g_inflight = metrics.gauge("serving.inflight")
 
     # -- single prediction ---------------------------------------------------
 
@@ -78,6 +109,16 @@ class PredictionService:
         if not isinstance(prompt, str) or not prompt.strip():
             raise ServingError("prompt must be a non-empty string")
         budget = max_new_tokens or self.max_new_tokens
+        with self.obs.tracer.span("serving.predict") as span:
+            self._g_inflight.inc()
+            try:
+                payload = self._predict(prompt, budget)
+            finally:
+                self._g_inflight.dec()
+            span.set(cached=payload["cached"], coalesced=bool(payload.get("coalesced")))
+            return payload
+
+    def _predict(self, prompt: str, budget: int) -> dict:
         started = time.perf_counter()
         with self._lock:
             cached = self.cache.get(prompt)
@@ -118,6 +159,12 @@ class PredictionService:
         latency_ms = (time.perf_counter() - started) * 1000.0
         self.request_count += 1
         self.total_latency_ms += latency_ms
+        self._h_completions.observe(latency_ms / 1000.0)
+        self._c_requests.inc()
+        if cached_hit:
+            self._c_cache_hits.inc()
+        if coalesced:
+            self._c_coalesced.inc()
         payload = {"completion": completion, "latency_ms": latency_ms, "cached": cached_hit}
         if coalesced:
             payload["coalesced"] = True
@@ -138,6 +185,16 @@ class PredictionService:
             if not isinstance(prompt, str) or not prompt.strip():
                 raise ServingError("every prompt must be a non-empty string")
         budget = max_new_tokens or self.max_new_tokens
+        with self.obs.tracer.span("serving.predict_batch", batch_size=len(prompts)) as span:
+            self._g_inflight.inc()
+            try:
+                payload = self._predict_batch(prompts, budget)
+            finally:
+                self._g_inflight.dec()
+            span.set(decoded=payload["decoded"])
+            return payload
+
+    def _predict_batch(self, prompts: list[str], budget: int) -> dict:
         started = time.perf_counter()
         completions: dict[str, str] = {}
         cached_flags: dict[str, bool] = {}
@@ -169,6 +226,9 @@ class PredictionService:
             self.request_count += len(prompts)
             self.batch_request_count += 1
             self.total_latency_ms += latency_ms
+        self._h_batch.observe(latency_ms / 1000.0)
+        self._c_requests.inc(len(prompts))
+        self._c_batch_requests.inc()
         return {
             "completions": [completions[prompt] for prompt in prompts],
             "cached": [cached_flags[prompt] for prompt in prompts],
@@ -193,9 +253,38 @@ class PredictionService:
                 "cache": self.cache.stats(),
                 "mean_latency_ms": mean_latency,
             }
+        report["inflight"] = self._g_inflight.value
+        tracer = self.obs.tracer
+        report["tracing"] = {
+            "enabled": tracer.enabled,
+            "spans_buffered": len(tracer),
+            "spans_recorded": tracer.total_recorded,
+        }
         if self.engine is not None:
             report["engine"] = self.engine.stats()
         return report
+
+    def metrics(self) -> dict:
+        """The ``/v1/metrics`` payload: full snapshot across the stack.
+
+        ``metrics`` holds every counter/gauge/histogram registered against
+        the shared registry (serving latencies plus, when the engine shares
+        its Observability, queue-wait/prefill/decode histograms); the
+        ``engine`` section repeats the scheduler and prefix-cache counters
+        so hit rates are available even to metrics-only scrapers.
+        """
+        tracer = self.obs.tracer
+        payload = {
+            "metrics": self.obs.metrics.snapshot(),
+            "tracing": {
+                "enabled": tracer.enabled,
+                "spans_buffered": len(tracer),
+                "spans_recorded": tracer.total_recorded,
+            },
+        }
+        if self.engine is not None:
+            payload["engine"] = self.engine.stats()
+        return payload
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -217,6 +306,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(self.service.health())
         elif self.path == "/v1/stats":
             self._send_json(self.service.stats())
+        elif self.path == "/v1/metrics":
+            self._send_json(self.service.metrics())
         else:
             self._send_json({"error": f"unknown path {self.path}"}, status=404)
 

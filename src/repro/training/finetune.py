@@ -7,6 +7,8 @@ checkpoint selected by BLEU on the validation set.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.dataset.prompt import FinetuneSample, prediction_snippet
@@ -15,6 +17,7 @@ from repro.metrics.bleu import sentence_bleu
 from repro.model.checkpoints import restore_weights, snapshot_weights
 from repro.model.lm import WisdomModel
 from repro.nn.optim import Adam, CosineSchedule, clip_grad_norm
+from repro.obs import NULL_TRACER, Observability
 from repro.training.trainer import TrainingHistory, pad_sequences
 
 
@@ -49,11 +52,17 @@ def finetune(
     seed: int = 0,
     select_best_by_bleu: bool = True,
     validation_subset: int = 16,
+    obs: Observability | None = None,
 ) -> TrainingHistory:
     """Fine-tune in place; restores the best-validation-BLEU checkpoint.
 
     Samples are bucketed by length before padding so batches stay dense.
+    ``obs`` (optional, falls back to the model's attached Observability)
+    records per-step timings plus the ``training.validation_s`` histogram
+    around each validation-BLEU evaluation.
     """
+    if obs is None:
+        obs = model.obs
     if not train_samples:
         raise ValueError("no training samples")
     window = model.config.n_positions
@@ -73,25 +82,45 @@ def finetune(
         warmup_steps=min(10, len(batches)),
         final_fraction=0.05,
     )
+    if obs is not None:
+        step_histogram = obs.metrics.histogram("training.step_s")
+        step_counter = obs.metrics.counter("training.steps")
+        token_counter = obs.metrics.counter("training.tokens")
+        throughput_gauge = obs.metrics.gauge("training.tokens_per_s")
+        validation_histogram = obs.metrics.histogram("training.validation_s")
+    tracer = obs.tracer if obs is not None else NULL_TRACER
     history = TrainingHistory()
     best_bleu = -1.0
     best_weights = None
     step = 0
-    for _ in range(epochs):
+    for epoch in range(epochs):
         order = rng.permutation(len(batches))
         epoch_losses = []
-        for batch_index in order:
-            ids, targets = batches[batch_index]
-            model.network.zero_grad()
-            loss = model.network.loss_and_backward(ids, targets)
-            clip_grad_norm(model.network.parameters(), 1.0)
-            optimizer.step(schedule.lr_at(step))
-            history.step_losses.append(loss)
-            epoch_losses.append(loss)
-            step += 1
+        with tracer.span("training.epoch", epoch=epoch, batches=len(batches)):
+            for batch_index in order:
+                ids, targets = batches[batch_index]
+                step_started = time.perf_counter() if obs is not None else 0.0
+                model.network.zero_grad()
+                loss = model.network.loss_and_backward(ids, targets)
+                clip_grad_norm(model.network.parameters(), 1.0)
+                optimizer.step(schedule.lr_at(step))
+                if obs is not None:
+                    elapsed = time.perf_counter() - step_started
+                    step_histogram.observe(elapsed)
+                    step_counter.inc()
+                    token_counter.inc(int(ids.size))
+                    if elapsed > 0:
+                        throughput_gauge.set(ids.size / elapsed)
+                history.step_losses.append(loss)
+                epoch_losses.append(loss)
+                step += 1
         history.epoch_losses.append(float(np.mean(epoch_losses)))
         if select_best_by_bleu and validation_samples:
-            bleu = validation_bleu(model, validation_samples, max_samples=validation_subset)
+            validation_started = time.perf_counter()
+            with tracer.span("training.validation", epoch=epoch):
+                bleu = validation_bleu(model, validation_samples, max_samples=validation_subset)
+            if obs is not None:
+                validation_histogram.observe(time.perf_counter() - validation_started)
             history.validation_losses.append(-bleu)
             if bleu > best_bleu:
                 best_bleu = bleu

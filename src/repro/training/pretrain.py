@@ -15,6 +15,7 @@ from repro.dataset.packing import next_token_targets, pack_documents
 from repro.model.lm import WisdomModel
 from repro.nn.optim import Adam, LinearSchedule
 from repro.nn.transformer import DecoderLM
+from repro.obs import NULL_TRACER, Observability
 from repro.tokenizer.bpe import BpeTokenizer
 from repro.training.trainer import TrainingHistory, run_epoch
 
@@ -28,11 +29,14 @@ def pretrain(
     learning_rate: float = 1e-3,
     seed: int = 0,
     max_batches_per_epoch: int | None = None,
+    obs: Observability | None = None,
 ) -> TrainingHistory:
     """Pre-train ``network`` on a packed corpus; returns the loss history.
 
     ``max_batches_per_epoch`` caps compute for large corpora (a uniformly
-    random subset of windows is seen each epoch).
+    random subset of windows is seen each epoch).  ``obs`` (optional)
+    collects per-step timings and wraps each epoch in a
+    ``training.epoch`` span.
     """
     window = network.config.n_positions
     rows = pack_documents(corpus, tokenizer, window)
@@ -49,24 +53,29 @@ def pretrain(
         final_fraction=0.1,
     )
     history = TrainingHistory()
+    tracer = obs.tracer if obs is not None else None
     step = 0
-    for _ in range(epochs):
+    for epoch in range(epochs):
         if max_batches_per_epoch is not None and rows.shape[0] > max_batches_per_epoch * batch_size:
             chosen = rng.choice(rows.shape[0], size=max_batches_per_epoch * batch_size, replace=False)
             epoch_rows, epoch_targets = rows[chosen], targets[chosen]
         else:
             epoch_rows, epoch_targets = rows, targets
-        _, steps = run_epoch(
-            network,
-            optimizer,
-            epoch_rows,
-            epoch_targets,
-            batch_size,
-            rng,
-            schedule=schedule,
-            step_offset=step,
-            history=history,
-        )
+        with (tracer or NULL_TRACER).span(
+            "training.epoch", epoch=epoch, rows=int(epoch_rows.shape[0])
+        ):
+            _, steps = run_epoch(
+                network,
+                optimizer,
+                epoch_rows,
+                epoch_targets,
+                batch_size,
+                rng,
+                schedule=schedule,
+                step_offset=step,
+                history=history,
+                obs=obs,
+            )
         step += steps
     return history
 
@@ -79,6 +88,7 @@ def continue_pretraining(
     learning_rate: float = 5e-4,
     seed: int = 0,
     max_batches_per_epoch: int | None = None,
+    obs: Observability | None = None,
 ) -> TrainingHistory:
     """Extend an existing model's pretraining with new data.
 
@@ -95,4 +105,5 @@ def continue_pretraining(
         learning_rate=learning_rate,
         seed=seed,
         max_batches_per_epoch=max_batches_per_epoch,
+        obs=obs if obs is not None else model.obs,
     )

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.nn.transformer import DecoderLM
+from repro.obs import Observability
 
 
 @dataclass
@@ -47,16 +49,37 @@ def run_epoch(
     step_offset: int = 0,
     max_grad_norm: float = 1.0,
     history: TrainingHistory | None = None,
+    obs: Observability | None = None,
 ) -> tuple[float, int]:
-    """Train one epoch; returns (mean loss, steps executed)."""
+    """Train one epoch; returns (mean loss, steps executed).
+
+    When ``obs`` is given, each optimizer step feeds the
+    ``training.step_s`` histogram and the ``training.steps`` /
+    ``training.tokens`` counters, and the ``training.tokens_per_s`` gauge
+    tracks the most recent step's throughput.
+    """
+    if obs is not None:
+        step_histogram = obs.metrics.histogram("training.step_s")
+        step_counter = obs.metrics.counter("training.steps")
+        token_counter = obs.metrics.counter("training.tokens")
+        throughput_gauge = obs.metrics.gauge("training.tokens_per_s")
     losses: list[float] = []
     step = step_offset
     for batch_ids, batch_targets in iterate_batches(rows, targets, batch_size, rng):
+        step_started = time.perf_counter() if obs is not None else 0.0
         model.zero_grad()
         loss = model.loss_and_backward(batch_ids, batch_targets)
         clip_grad_norm(model.parameters(), max_grad_norm)
         learning_rate = schedule.lr_at(step) if schedule is not None else None
         optimizer.step(learning_rate)
+        if obs is not None:
+            elapsed = time.perf_counter() - step_started
+            tokens = int(batch_ids.size)
+            step_histogram.observe(elapsed)
+            step_counter.inc()
+            token_counter.inc(tokens)
+            if elapsed > 0:
+                throughput_gauge.set(tokens / elapsed)
         losses.append(loss)
         if history is not None:
             history.step_losses.append(loss)

@@ -25,7 +25,7 @@ def checkpoint_dir(tmp_path_factory, tiny_tokenizer, tiny_config):
 class TestParser:
     def test_subcommands_exist(self):
         parser = build_parser()
-        for command in ("train", "generate", "evaluate", "serve", "score", "synthesize"):
+        for command in ("train", "generate", "evaluate", "serve", "score", "synthesize", "obs"):
             args = None
             try:
                 args = parser.parse_args([command, "--help"])
@@ -80,3 +80,49 @@ class TestSynthesize:
         out = capsys.readouterr().out
         document = yamlio.loads(out)
         assert "hosts" in document[0]
+
+
+class TestObs:
+    @pytest.fixture()
+    def span_dump(self, tmp_path):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        with tracer.span("engine.request", request_id=0):
+            with tracer.span("engine.decode"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(path)
+        return str(path)
+
+    def test_spans_render_as_tree(self, span_dump, capsys):
+        code = main(["obs", "--spans", span_dump])
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert lines[0].startswith("engine.request")
+        assert lines[1].startswith("  engine.decode")
+
+    def test_spans_json_output(self, span_dump, capsys):
+        code = main(["obs", "--spans", span_dump, "--json"])
+        assert code == 0
+        spans = json.loads(capsys.readouterr().out)
+        assert [span["name"] for span in spans] == ["engine.decode", "engine.request"]
+
+    def test_url_fetches_metrics_snapshot(self, tiny_tokenizer, tiny_network, capsys):
+        from repro.model.lm import WisdomModel
+        from repro.serving.service import PredictionService, RestServer
+
+        model = WisdomModel("cli-obs", tiny_tokenizer, tiny_network)
+        service = PredictionService(model, engine=model.engine(max_batch_size=2))
+        with RestServer(service) as server:
+            service.predict("- name: install nginx\n", max_new_tokens=3)
+            code = main(["obs", "--url", server.url])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving.requests" in out
+        assert "tracing: enabled=False" in out
+
+    def test_url_and_spans_mutually_exclusive(self, span_dump):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "--url", "http://x", "--spans", span_dump])

@@ -141,6 +141,38 @@ class TestPrefixCache:
         assert cache.lookup([1, 1, 9]) is not None
         assert cache.stats()["evictions"] == 1
 
+    def test_clear_preserves_lifetime_counters(self):
+        cache = PrefixCache(capacity=2)
+        cache.lookup([9, 9, 9])  # miss
+        cache.insert([1, 1, 1], [_fake_kv(3)])
+        cache.lookup([1, 1, 1, 2])  # hit
+        before = cache.stats()
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.lookup([1, 1, 1, 2]) is None  # entries really are gone
+        after = cache.stats()
+        assert after["entries"] == 0
+        assert after["hits"] == before["hits"]
+        assert after["misses"] == before["misses"] + 1  # the probe above
+        assert after["tokens_reused"] == before["tokens_reused"]
+        assert after["evictions"] == 0  # clearing is not eviction
+
+    def test_engine_stats_monotonic_across_cache_clear(self, trained_model):
+        engine = InferenceEngine(trained_model)
+        prompt = [1, 2, 3, 4, 1, 2, 3, 4]
+        engine.generate_batch([prompt], max_new_tokens=4)
+        engine.generate_batch([prompt + [1]], max_new_tokens=4)
+        before = engine.stats()
+        engine.prefix_cache.clear()
+        engine.generate_batch([prompt], max_new_tokens=4)
+        after = engine.stats()
+        for key in ("completed_requests", "requests_submitted", "decode_tokens"):
+            assert after[key] > before[key]
+        for key in ("hits", "misses", "tokens_reused"):
+            assert after["prefix_cache"][key] >= before["prefix_cache"][key], (
+                f"prefix_cache.{key} went backwards across clear()"
+            )
+
     def test_snapshot_is_isolated_from_caller(self):
         cache = PrefixCache()
         kv = _fake_kv(3)

@@ -97,6 +97,46 @@ class TestLruCache:
         assert cache.stats()["hit_rate"] == 1.0
 
 
+class TestCounterResetSemantics:
+    """clear() reclaims entries; lifetime counters never move backwards."""
+
+    def test_clear_preserves_lifetime_counters(self):
+        cache = LruCache(4)
+        cache.get("a")  # miss
+        cache.put("a", "1")
+        cache.get("a")  # hit
+        cache.put("b", "2")
+        before = cache.stats()
+        cache.clear()
+        after = cache.stats()
+        assert len(cache) == 0 and after["size"] == 0
+        assert cache.get("a") is None  # entries really are gone
+        for key in ("hits", "misses", "evictions"):
+            assert after[key] >= before[key], f"{key} went backwards on clear"
+        assert after["hits"] == before["hits"]
+        assert after["evictions"] == before["evictions"]
+
+    def test_counters_stay_monotonic_across_clears(self):
+        cache = LruCache(2)
+        observed = []
+        for round_index in range(3):
+            cache.put("k", str(round_index))
+            cache.get("k")
+            cache.get("absent")
+            observed.append((cache.hits, cache.misses))
+            cache.clear()
+        for earlier, later in zip(observed, observed[1:]):
+            assert later[0] > earlier[0]
+            assert later[1] > earlier[1]
+
+    def test_clear_does_not_count_as_eviction(self):
+        cache = LruCache(2)
+        cache.put("a", "1")
+        cache.put("b", "2")
+        cache.clear()
+        assert cache.evictions == 0
+
+
 class TestPredictionService:
     def test_predict_and_cache(self):
         completer = _StubCompleter()
