@@ -9,6 +9,8 @@ Mirrors the workflows a user of the released system would run::
     python -m repro.cli score --reference ref.yml --prediction pred.yml
     python -m repro.cli obs --url http://127.0.0.1:8181
     python -m repro.cli obs --spans /tmp/trace.jsonl
+    python -m repro.cli obs --runlog /tmp/run.jsonl [--compare /tmp/run2.jsonl]
+    python -m repro.cli profile --size 350M --mode generate --trace /tmp/prof.json
 
 Every subcommand is a thin shell over the library API; all heavy lifting
 stays importable and testable.
@@ -107,9 +109,23 @@ def _cmd_score(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
-    from repro.obs import load_spans_jsonl
+    from repro.obs import read_spans_jsonl
     from repro.obs.report import format_metrics_snapshot, format_span_tree
+    from repro.obs.runlog import compare_runlogs, format_runlog, load_runlog
 
+    if args.compare and not args.runlog:
+        print("--compare requires --runlog", file=sys.stderr)
+        return 2
+    if args.runlog:
+        primary = load_runlog(args.runlog)
+        if args.json:
+            print(json.dumps(primary.summary(), indent=2))
+            return 0
+        if args.compare:
+            print(compare_runlogs(primary, load_runlog(args.compare)))
+        else:
+            print(format_runlog(primary))
+        return 0
     if args.url:
         from repro.serving.client import PredictionClient
 
@@ -130,11 +146,73 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             print()
             print(json.dumps({"engine": engine}, indent=2))
         return 0
-    spans = load_spans_jsonl(args.spans)
+    spans, skipped = read_spans_jsonl(args.spans)
+    if skipped:
+        print(f"warning: skipped {skipped} corrupt line(s) in {args.spans}", file=sys.stderr)
     if args.json:
         print(json.dumps([span.to_dict() for span in spans], indent=2))
         return 0
     print(format_span_tree(spans))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.model.config import SIZE_PRESETS, transformer_config
+    from repro.nn.parameter import numpy_rng
+    from repro.nn.sampling import generate_greedy
+    from repro.nn.transformer import DecoderLM
+    from repro.obs import OpProfiler, Tracer
+    from repro.obs.export import export_chrome_trace
+    from repro.obs.report import format_op_table
+
+    config = transformer_config(args.vocab, SIZE_PRESETS[args.size], args.context)
+    network = DecoderLM(config, numpy_rng(args.seed))
+    profiler = OpProfiler(track_memory=args.track_memory).attach(network)
+    tracer = Tracer(capacity=8192)
+    rng = np.random.default_rng(args.seed)
+    seq = min(args.seq, config.n_positions - 1)
+    ids = rng.integers(0, config.vocab_size, size=(args.batch, seq)).astype(np.int64)
+    if args.track_memory:
+        profiler.start_memory_tracking()
+    if args.mode == "forward":
+        network.forward(ids, training=False)
+    elif args.mode == "backward":
+        targets = np.roll(ids, -1, axis=1)
+        targets[:, -1] = -1
+        network.loss_and_backward(ids, targets)
+    else:  # generate: prefill + short greedy decode through the KV cache
+        prompt = [int(token) for token in ids[0]]
+        generate_greedy(network, prompt, max_new_tokens=args.new_tokens, tracer=tracer)
+    if args.track_memory:
+        profiler.stop_memory_tracking()
+    stats = profiler.stats()
+    if args.json:
+        print(json.dumps(profiler.snapshot(), indent=2))
+    else:
+        title = (
+            f"Hot ops: {args.size} / context {args.context} / {args.mode} "
+            f"(batch {args.batch if args.mode != 'generate' else 1})"
+        )
+        print(format_op_table(stats, top=args.top, title=title))
+        total_flops = sum(stat.flops for stat in stats)
+        total_self = sum(stat.self_s for stat in stats)
+        print()
+        print(
+            f"total: {total_flops / 1e9:.3f} GFLOP in {total_self * 1e3:.1f}ms self time "
+            f"({total_flops / total_self / 1e9:.2f} GFLOP/s)"
+            if total_self > 0
+            else f"total: {total_flops / 1e9:.3f} GFLOP"
+        )
+        print(f"tensor high-water mark: {profiler.alloc_high_water_bytes / 1e6:.2f} MB (analytic)")
+        if profiler.tracemalloc_peak_bytes:
+            print(f"process peak (tracemalloc): {profiler.tracemalloc_peak_bytes / 1e6:.2f} MB")
+    if args.trace:
+        spans = tracer.spans() if args.mode == "generate" else []
+        written = export_chrome_trace(args.trace, spans=spans, op_events=profiler.events())
+        print(f"chrome trace ({written} events) written to {args.trace}", file=sys.stderr)
+    profiler.detach()
     return 0
 
 
@@ -186,13 +264,38 @@ def build_parser() -> argparse.ArgumentParser:
     score.set_defaults(handler=_cmd_score)
 
     obs = subparsers.add_parser(
-        "obs", help="pretty-print a /v1/metrics snapshot or a JSONL span dump"
+        "obs", help="pretty-print a /v1/metrics snapshot, a JSONL span dump or a training run log"
     )
     source = obs.add_mutually_exclusive_group(required=True)
     source.add_argument("--url", help="base URL of a running repro serve instance")
     source.add_argument("--spans", help="path to a Tracer.export_jsonl dump")
+    source.add_argument("--runlog", help="path to a RunLog JSONL training record")
+    obs.add_argument("--compare", help="second run log to diff against --runlog")
     obs.add_argument("--json", action="store_true", help="emit raw JSON instead of tables")
     obs.set_defaults(handler=_cmd_obs)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="op-level FLOPs/roofline profile of a forward/backward or a short generation",
+    )
+    profile.add_argument("--size", choices=("350M", "2.7B", "6B"), default="350M")
+    profile.add_argument(
+        "--context", type=int, default=1024, help="paper-scale context window (512/1024/2048)"
+    )
+    profile.add_argument("--vocab", type=int, default=512, help="vocabulary size")
+    profile.add_argument("--mode", choices=("forward", "backward", "generate"), default="generate")
+    profile.add_argument("--batch", type=int, default=2)
+    profile.add_argument("--seq", type=int, default=32, help="prompt/sequence length in tokens")
+    profile.add_argument("--new-tokens", type=int, default=16, dest="new_tokens")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--top", type=int, default=12, help="rows in the hot-op table")
+    profile.add_argument("--trace", help="write a Chrome trace-event JSON file here")
+    profile.add_argument(
+        "--track-memory", action="store_true", dest="track_memory",
+        help="also sample tracemalloc for the true process peak",
+    )
+    profile.add_argument("--json", action="store_true", help="emit the raw profiler snapshot")
+    profile.set_defaults(handler=_cmd_profile)
 
     synthesize = subparsers.add_parser("synthesize", help="emit synthetic Ansible YAML")
     synthesize.add_argument("--count", type=int, default=1)

@@ -26,7 +26,7 @@ from repro.engine.request import GenerationRequest
 from repro.errors import EngineError
 from repro.nn.sampling import GenerationResult, plan_prompt
 from repro.nn.transformer import DecoderLM
-from repro.obs import Observability, Tracer
+from repro.obs import Observability, OpProfiler, Tracer
 
 
 class InferenceEngine:
@@ -71,6 +71,16 @@ class InferenceEngine:
     def attach_tracer(self, tracer: Tracer) -> None:
         """Route request-lifecycle and decode-step spans to ``tracer``."""
         self.obs.attach_tracer(tracer)
+
+    def attach_profiler(self, profiler: OpProfiler) -> None:
+        """Record per-op FLOPs/latency for every decode through ``profiler``.
+
+        Hooks the network's layer methods in place; the profiler's hot-op
+        table then attributes prefill/decode wall time below the request
+        level — which matmuls, attention scores and norms burn it.
+        """
+        self.obs.attach_profiler(profiler)
+        profiler.attach(self.network)
 
     @classmethod
     def from_model(cls, model, **kwargs) -> "InferenceEngine":
@@ -211,4 +221,11 @@ class InferenceEngine:
             report["requests_submitted"] = self._next_request_id
             if self.prefix_cache is not None:
                 report["prefix_cache"] = self.prefix_cache.stats()
+            profiler = self.obs.profiler
+            if profiler.enabled and profiler.total_calls:
+                report["profile"] = {
+                    "ops_profiled": profiler.total_calls,
+                    "total_flops": profiler.total_flops,
+                    "alloc_high_water_bytes": profiler.alloc_high_water_bytes,
+                }
             return report

@@ -12,7 +12,7 @@ import numpy as np
 from repro.errors import GenerationError
 from repro.nn.sampling import generate_greedy, generate_sampled
 from repro.nn.transformer import DecoderLM, TransformerConfig
-from repro.obs import Observability, Tracer
+from repro.obs import NULL_PROFILER, Observability, OpProfiler, Tracer
 from repro.tokenizer.bpe import BpeTokenizer
 
 
@@ -70,6 +70,28 @@ class WisdomModel:
             self._obs.attach_tracer(tracer)
         if self._engine is not None:
             self._engine.attach_tracer(tracer)
+        return self
+
+    def attach_profiler(self, profiler: OpProfiler) -> "WisdomModel":
+        """Hook every layer op in the network to record into ``profiler``.
+
+        Wraps each layer instance's forward/backward, so every subsequent
+        :meth:`complete`, :meth:`complete_batch`, training step or raw
+        network call feeds the profiler's per-op FLOPs/roofline
+        aggregates.  Call :meth:`detach_profiler` to unhook; a disabled
+        profiler left attached costs one attribute check per op call.
+        """
+        if self._obs is None:
+            self._obs = Observability()
+        self._obs.attach_profiler(profiler)
+        profiler.attach(self.network)
+        return self
+
+    def detach_profiler(self) -> "WisdomModel":
+        """Remove profiler hooks and restore the null profiler."""
+        if self._obs is not None and self._obs.profiler is not NULL_PROFILER:
+            self._obs.profiler.detach()
+            self._obs.profiler = NULL_PROFILER
         return self
 
     @property

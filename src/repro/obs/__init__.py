@@ -1,24 +1,37 @@
-"""Observability: request-level tracing and process-local metrics.
+"""Observability: tracing, metrics, op profiling and training run logs.
 
 The operational substrate for the serving stack — the paper's system runs
 as a latency-sensitive editor service, and you cannot operate (or
-optimise) one without knowing where time goes.  Two primitives:
+optimise) one without knowing where time goes.  Four primitives:
 
 * :mod:`repro.obs.trace` — a span tracer with context-manager/decorator
   API, parent/child nesting, a bounded ring buffer and JSONL export;
 * :mod:`repro.obs.metrics` — thread-safe counters, gauges and
-  fixed-bucket histograms with percentile summaries.
+  fixed-bucket histograms with percentile summaries;
+* :mod:`repro.obs.profile` — an op-level profiler hooking every layer's
+  forward/backward with analytic FLOPs, bytes-moved and roofline
+  accounting (achieved GFLOP/s, arithmetic intensity);
+* :mod:`repro.obs.runlog` — a structured JSONL training-run recorder
+  with rendering and a two-run compare mode.
 
-:class:`Observability` bundles one of each and is what instrumented
-components (:class:`~repro.engine.engine.InferenceEngine`,
+:mod:`repro.obs.export` turns all of it into standard formats: Chrome
+trace-event JSON (Perfetto-loadable span + op timelines) and Prometheus
+text exposition (served via ``GET /v1/metrics?format=prometheus``).
+
+:class:`Observability` bundles a tracer, a metrics registry and a
+profiler, and is what instrumented components
+(:class:`~repro.engine.engine.InferenceEngine`,
 :class:`~repro.serving.service.PredictionService`, the training loops)
-accept.  The default posture is *metrics on, tracing off*: metrics are
-cheap enough to always collect, while span tracing is opt-in via
-:meth:`Observability.with_tracing` or the components' ``attach_tracer``
-hooks, and must never change what the model generates.
+accept.  The default posture is *metrics on, tracing and profiling off*:
+metrics are cheap enough to always collect, while span tracing and op
+profiling are opt-in via :meth:`Observability.with_tracing` /
+:meth:`Observability.attach_profiler` (or the components'
+``attach_tracer`` / ``attach_profiler`` hooks), and must never change
+what the model generates.
 
 Surfaced through ``GET /v1/metrics``, the extended ``/v1/stats`` and the
-``repro obs`` CLI subcommand (see :mod:`repro.obs.report`).
+``repro obs`` / ``repro profile`` CLI subcommands (see
+:mod:`repro.obs.report`).
 """
 
 from __future__ import annotations
@@ -32,22 +45,30 @@ from repro.obs.metrics import (
     exponential_buckets,
     linear_buckets,
 )
-from repro.obs.trace import NULL_TRACER, Span, Tracer, load_spans_jsonl
+from repro.obs.profile import NULL_PROFILER, OpEvent, OpProfiler, OpStat
+from repro.obs.trace import NULL_TRACER, Span, Tracer, load_spans_jsonl, read_spans_jsonl
 
 
 class Observability:
-    """A tracer plus a metrics registry, shared across a serving stack.
+    """A tracer, metrics registry and profiler shared across a stack.
 
     Components cache instrument handles from :attr:`metrics` at
     construction time, so the registry is fixed for the object's lifetime;
-    the tracer, by contrast, may be swapped in later via
-    :meth:`attach_tracer` (that is what makes tracing default-off cheap —
-    the slot holds a disabled tracer until someone attaches a real one).
+    the tracer and profiler, by contrast, may be swapped in later via
+    :meth:`attach_tracer` / :meth:`attach_profiler` (that is what makes
+    tracing and profiling default-off cheap — the slots hold disabled
+    instances until someone attaches real ones).
     """
 
-    def __init__(self, tracer: Tracer | None = None, metrics: MetricsRegistry | None = None):
+    def __init__(
+        self,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        profiler: OpProfiler | None = None,
+    ):
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
 
     @classmethod
     def with_tracing(cls, capacity: int = 4096) -> "Observability":
@@ -58,8 +79,16 @@ class Observability:
     def tracing_enabled(self) -> bool:
         return self.tracer.enabled
 
+    @property
+    def profiling_enabled(self) -> bool:
+        return self.profiler.enabled
+
     def attach_tracer(self, tracer: Tracer) -> None:
         self.tracer = tracer
+
+    def attach_profiler(self, profiler: OpProfiler) -> None:
+        """Adopt ``profiler``; the owner of the layer tree attaches it."""
+        self.profiler = profiler
 
 
 __all__ = [
@@ -68,6 +97,7 @@ __all__ = [
     "Span",
     "NULL_TRACER",
     "load_spans_jsonl",
+    "read_spans_jsonl",
     "MetricsRegistry",
     "Counter",
     "Gauge",
@@ -75,4 +105,8 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "exponential_buckets",
     "linear_buckets",
+    "OpProfiler",
+    "OpStat",
+    "OpEvent",
+    "NULL_PROFILER",
 ]

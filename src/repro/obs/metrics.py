@@ -227,6 +227,11 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._metrics)
 
+    def instruments(self) -> dict[str, Counter | Gauge | Histogram]:
+        """Shallow snapshot of name -> instrument (for exporters)."""
+        with self._lock:
+            return dict(self._metrics)
+
     def snapshot(self) -> dict:
         """JSON-ready view: counters, gauges, histogram summaries."""
         with self._lock:

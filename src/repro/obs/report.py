@@ -1,13 +1,16 @@
-"""Human-readable rendering of metric snapshots and span dumps.
+"""Human-readable rendering of metric snapshots, span dumps and op profiles.
 
-Backs the ``repro obs`` CLI subcommand: turns the JSON payload of
-``GET /v1/metrics`` (or a local :meth:`MetricsRegistry.snapshot`) into
-ASCII tables, and a list of :class:`~repro.obs.trace.Span` objects into an
-indented call tree with durations.
+Backs the ``repro obs`` and ``repro profile`` CLI subcommands: turns the
+JSON payload of ``GET /v1/metrics`` (or a local
+:meth:`MetricsRegistry.snapshot`) into ASCII tables, a list of
+:class:`~repro.obs.trace.Span` objects into an indented call tree with
+durations, and :class:`~repro.obs.profile.OpStat` aggregates into a
+hot-op table sorted by self time.
 """
 
 from __future__ import annotations
 
+from repro.obs.profile import OpStat
 from repro.obs.trace import Span
 from repro.utils.tables import format_table
 
@@ -64,6 +67,45 @@ def format_metrics_snapshot(snapshot: dict) -> str:
     if not sections:
         return "(no metrics recorded)"
     return "\n\n".join(sections)
+
+
+def _format_count(value: float) -> str:
+    """Human scale for FLOPs / bytes: 1.23G, 45.6M, 789k."""
+    for threshold, suffix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.2f}{suffix}"
+    return f"{value:.0f}"
+
+
+def format_op_table(stats: list[OpStat], top: int | None = None, title: str = "Hot ops") -> str:
+    """Render profiler aggregates, hottest self-time first.
+
+    Columns are the roofline coordinates: analytic FLOPs and bytes moved,
+    achieved GFLOP/s over self time, and arithmetic intensity (FLOPs per
+    byte).
+    """
+    if not stats:
+        return "(no ops profiled)"
+    chosen = stats[: top if top is not None else len(stats)]
+    rows = []
+    for stat in chosen:
+        rows.append(
+            [
+                stat.name,
+                str(stat.calls),
+                _format_seconds(stat.self_s),
+                _format_seconds(stat.total_s),
+                _format_count(stat.flops),
+                _format_count(stat.bytes_moved) + "B",
+                f"{stat.achieved_gflops:.2f}",
+                f"{stat.arithmetic_intensity:.2f}",
+            ]
+        )
+    return format_table(
+        ["op", "calls", "self", "total", "flops", "bytes", "GFLOP/s", "flops/byte"],
+        rows,
+        title=title,
+    )
 
 
 def format_span_tree(spans: list[Span]) -> str:

@@ -1,0 +1,221 @@
+"""Structured JSONL training-run recording and comparison.
+
+A :class:`RunLog` appends one JSON object per line to a file as training
+progresses — a run header, one ``step`` record per optimizer step (loss,
+pre-clip gradient norm, learning rate, tokens and tokens/s), one
+``epoch`` record per epoch, and one ``validation`` record per validation
+pass.  JSONL keeps recording crash-safe: every record is flushed whole,
+and a process killed mid-write costs at most the final line (the loader
+skips corrupt lines, mirroring :func:`repro.obs.trace.read_spans_jsonl`).
+
+The reader side (:func:`load_runlog`, :func:`format_runlog`,
+:func:`compare_runlogs`) backs ``repro obs --runlog`` and its two-run
+compare mode — the before/after artifact for optimisation PRs: run a
+training job on each side of a change, then diff step time, tokens/s and
+final loss from the logs instead of re-measuring by hand.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.utils.tables import format_table
+
+
+class RunLog:
+    """Append-only JSONL recorder for one training run.
+
+    Use as a context manager or call :meth:`close`; every ``log_*`` call
+    writes and flushes one line immediately.
+    """
+
+    def __init__(self, path: str | Path, run_id: str = "run", meta: dict | None = None):
+        self.path = Path(path)
+        self.run_id = run_id
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._write({"kind": "run", "run_id": run_id, **(meta or {})})
+
+    def _write(self, payload: dict) -> None:
+        self._handle.write(json.dumps(payload, sort_keys=True))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def log_step(
+        self,
+        step: int,
+        loss: float,
+        grad_norm: float | None = None,
+        learning_rate: float | None = None,
+        tokens: int | None = None,
+        step_s: float | None = None,
+    ) -> None:
+        record = {"kind": "step", "step": step, "loss": float(loss)}
+        if grad_norm is not None:
+            record["grad_norm"] = float(grad_norm)
+        if learning_rate is not None:
+            record["lr"] = float(learning_rate)
+        if tokens is not None:
+            record["tokens"] = int(tokens)
+        if step_s is not None:
+            record["step_s"] = float(step_s)
+            if tokens and step_s > 0:
+                record["tokens_per_s"] = tokens / step_s
+        self._write(record)
+
+    def log_epoch(self, epoch: int, mean_loss: float, steps: int | None = None) -> None:
+        record = {"kind": "epoch", "epoch": epoch, "mean_loss": float(mean_loss)}
+        if steps is not None:
+            record["steps"] = int(steps)
+        self._write(record)
+
+    def log_validation(self, epoch: int, **scores: float) -> None:
+        """One validation pass; ``scores`` are metric name -> value."""
+        record = {"kind": "validation", "epoch": epoch}
+        for name, value in scores.items():
+            record[name] = float(value)
+        self._write(record)
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "RunLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@dataclass
+class RunLogData:
+    """A parsed run log, grouped by record kind."""
+
+    run: dict = field(default_factory=dict)
+    steps: list[dict] = field(default_factory=list)
+    epochs: list[dict] = field(default_factory=list)
+    validations: list[dict] = field(default_factory=list)
+    skipped: int = 0  # corrupt lines dropped while loading
+
+    @property
+    def run_id(self) -> str:
+        return str(self.run.get("run_id", "run"))
+
+    @property
+    def final_loss(self) -> float:
+        if self.epochs:
+            return float(self.epochs[-1]["mean_loss"])
+        if self.steps:
+            return float(self.steps[-1]["loss"])
+        return float("nan")
+
+    def mean(self, kind: str, key: str) -> float:
+        """Mean of ``key`` over the records of ``kind`` that carry it."""
+        records = {"step": self.steps, "epoch": self.epochs, "validation": self.validations}[kind]
+        values = [float(record[key]) for record in records if key in record]
+        return sum(values) / len(values) if values else float("nan")
+
+    def summary(self) -> dict:
+        """Headline numbers for rendering and run-to-run comparison."""
+        return {
+            "run_id": self.run_id,
+            "steps": len(self.steps),
+            "epochs": len(self.epochs),
+            "final_loss": self.final_loss,
+            "mean_step_s": self.mean("step", "step_s"),
+            "mean_tokens_per_s": self.mean("step", "tokens_per_s"),
+            "mean_grad_norm": self.mean("step", "grad_norm"),
+            "total_tokens": sum(int(record.get("tokens", 0)) for record in self.steps),
+        }
+
+
+def load_runlog(path: str | Path) -> RunLogData:
+    """Parse a :class:`RunLog` file, skipping corrupt lines."""
+    data = RunLogData()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                kind = record.get("kind")
+            except (json.JSONDecodeError, AttributeError):
+                data.skipped += 1
+                continue
+            if kind == "run":
+                data.run = record
+            elif kind == "step":
+                data.steps.append(record)
+            elif kind == "epoch":
+                data.epochs.append(record)
+            elif kind == "validation":
+                data.validations.append(record)
+            else:
+                data.skipped += 1
+    return data
+
+
+def _fmt(value: float, digits: int = 4) -> str:
+    if value != value:  # NaN
+        return "-"
+    return f"{value:.{digits}g}"
+
+
+def format_runlog(data: RunLogData) -> str:
+    """Render one run: headline summary plus the per-epoch trajectory."""
+    summary = data.summary()
+    lines = [
+        f"run: {summary['run_id']}  steps={summary['steps']} epochs={summary['epochs']} "
+        f"tokens={summary['total_tokens']}",
+        f"final loss {_fmt(summary['final_loss'])}  "
+        f"mean step {_fmt(summary['mean_step_s'])}s  "
+        f"mean {_fmt(summary['mean_tokens_per_s'])} tokens/s  "
+        f"mean grad norm {_fmt(summary['mean_grad_norm'])}",
+    ]
+    if data.skipped:
+        lines.append(f"({data.skipped} corrupt line(s) skipped)")
+    if data.epochs:
+        validations = {int(record["epoch"]): record for record in data.validations}
+        rows = []
+        for record in data.epochs:
+            epoch = int(record["epoch"])
+            validation = validations.get(epoch, {})
+            scores = " ".join(
+                f"{key}={_fmt(float(value))}"
+                for key, value in sorted(validation.items())
+                if key not in ("kind", "epoch")
+            )
+            rows.append([str(epoch), _fmt(float(record["mean_loss"])), scores or "-"])
+        lines.append("")
+        lines.append(format_table(["epoch", "mean_loss", "validation"], rows, title="Epochs"))
+    return "\n".join(lines)
+
+
+def compare_runlogs(a: RunLogData, b: RunLogData) -> str:
+    """Side-by-side before/after table with relative deltas.
+
+    For throughput higher is better, for loss and step time lower is
+    better; the delta column is simply ``b / a`` so the reader applies
+    the direction — this renderer does not editorialise.
+    """
+    summary_a, summary_b = a.summary(), b.summary()
+    rows = []
+    for key in ("final_loss", "mean_step_s", "mean_tokens_per_s", "mean_grad_norm",
+                "steps", "epochs", "total_tokens"):
+        value_a = float(summary_a[key])
+        value_b = float(summary_b[key])
+        if value_a and value_a == value_a and value_b == value_b:
+            ratio = f"{value_b / value_a:.3f}x"
+        else:
+            ratio = "-"
+        rows.append([key, _fmt(value_a), _fmt(value_b), ratio])
+    return format_table(
+        ["metric", summary_a["run_id"], summary_b["run_id"], "b/a"],
+        rows,
+        title="Run comparison",
+    )
+
+
+__all__ = ["RunLog", "RunLogData", "load_runlog", "format_runlog", "compare_runlogs"]

@@ -35,6 +35,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.errors import ObservabilityError
+
 
 @dataclass(frozen=True)
 class Span:
@@ -259,14 +261,41 @@ class Tracer:
         return len(buffered)
 
 
-def load_spans_jsonl(path: str | Path) -> list[Span]:
-    """Read a :meth:`Tracer.export_jsonl` dump back into :class:`Span`s."""
+def read_spans_jsonl(path: str | Path, strict: bool = False) -> tuple[list[Span], int]:
+    """Read a :meth:`Tracer.export_jsonl` dump; returns (spans, skipped).
+
+    A dump can end mid-line when the exporting process is killed during
+    :meth:`Tracer.export_jsonl`, so corrupt lines — invalid JSON, or JSON
+    missing a span field — are skipped and counted rather than poisoning
+    the whole file.  Pass ``strict=True`` to raise on the first bad line
+    instead.
+    """
     spans: list[Span] = []
+    skipped = 0
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+        for line_number, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
-                spans.append(Span.from_dict(json.loads(line)))
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                spans.append(Span.from_dict(payload))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+                if strict:
+                    raise ObservabilityError(
+                        f"corrupt span on line {line_number} of {path}: {error}"
+                    ) from error
+                skipped += 1
+    return spans, skipped
+
+
+def load_spans_jsonl(path: str | Path) -> list[Span]:
+    """Read a :meth:`Tracer.export_jsonl` dump back into :class:`Span`s.
+
+    Corrupt lines (e.g. a truncated trailing line) are skipped; use
+    :func:`read_spans_jsonl` to also get the skipped count.
+    """
+    spans, _ = read_spans_jsonl(path)
     return spans
 
 

@@ -73,3 +73,12 @@ class PredictionClient:
     def metrics(self) -> dict:
         """Full observability snapshot from ``/v1/metrics``."""
         return self._request("GET", "/v1/metrics")
+
+    def metrics_prometheus(self) -> str:
+        """Prometheus text exposition from ``/v1/metrics?format=prometheus``."""
+        url = self.base_url + "/v1/metrics?format=prometheus"
+        try:
+            with urllib.request.urlopen(url, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.URLError as error:
+            raise ServingError(f"cannot reach service at {url}: {error}") from error

@@ -46,9 +46,11 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
 
 from repro.errors import ServingError
 from repro.obs import Observability
+from repro.obs.export import prometheus_exposition
 from repro.serving.cache import LruCache
 
 
@@ -286,6 +288,17 @@ class PredictionService:
             payload["engine"] = self.engine.stats()
         return payload
 
+    def metrics_prometheus(self) -> str:
+        """The ``/v1/metrics?format=prometheus`` body: text exposition.
+
+        Same registry as the JSON snapshot, rendered in the line protocol
+        a Prometheus server scrapes (``# TYPE`` headers, cumulative
+        histogram buckets) — point a scrape job at the endpoint and every
+        serving/engine/training instrument lands in one time series
+        database.
+        """
+        return prometheus_exposition(self.obs.metrics)
+
 
 class _Handler(BaseHTTPRequestHandler):
     service: PredictionService  # set by the server factory
@@ -301,13 +314,29 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, text: str, status: int = 200, content_type: str = "text/plain; version=0.0.4") -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def do_GET(self) -> None:
-        if self.path == "/v1/health":
+        parsed = urlparse(self.path)
+        query = parse_qs(parsed.query)
+        if parsed.path == "/v1/health":
             self._send_json(self.service.health())
-        elif self.path == "/v1/stats":
+        elif parsed.path == "/v1/stats":
             self._send_json(self.service.stats())
-        elif self.path == "/v1/metrics":
-            self._send_json(self.service.metrics())
+        elif parsed.path == "/v1/metrics":
+            wire_format = (query.get("format") or ["json"])[0]
+            if wire_format == "prometheus":
+                self._send_text(self.service.metrics_prometheus())
+            elif wire_format == "json":
+                self._send_json(self.service.metrics())
+            else:
+                self._send_json({"error": f"unknown metrics format {wire_format!r}"}, status=400)
         else:
             self._send_json({"error": f"unknown path {self.path}"}, status=404)
 

@@ -18,6 +18,7 @@ from repro.model.checkpoints import restore_weights, snapshot_weights
 from repro.model.lm import WisdomModel
 from repro.nn.optim import Adam, CosineSchedule, clip_grad_norm
 from repro.obs import NULL_TRACER, Observability
+from repro.obs.runlog import RunLog
 from repro.training.trainer import TrainingHistory, pad_sequences
 
 
@@ -53,13 +54,17 @@ def finetune(
     select_best_by_bleu: bool = True,
     validation_subset: int = 16,
     obs: Observability | None = None,
+    runlog: RunLog | None = None,
 ) -> TrainingHistory:
     """Fine-tune in place; restores the best-validation-BLEU checkpoint.
 
     Samples are bucketed by length before padding so batches stay dense.
     ``obs`` (optional, falls back to the model's attached Observability)
     records per-step timings plus the ``training.validation_s`` histogram
-    around each validation-BLEU evaluation.
+    around each validation-BLEU evaluation; the ``training.grad_norm``
+    and ``training.learning_rate`` gauges track the latest step.
+    ``runlog`` (optional) appends per-step / per-epoch / per-validation
+    JSONL records for ``repro obs --runlog``.
     """
     if obs is None:
         obs = model.obs
@@ -87,7 +92,10 @@ def finetune(
         step_counter = obs.metrics.counter("training.steps")
         token_counter = obs.metrics.counter("training.tokens")
         throughput_gauge = obs.metrics.gauge("training.tokens_per_s")
+        grad_norm_gauge = obs.metrics.gauge("training.grad_norm")
+        lr_gauge = obs.metrics.gauge("training.learning_rate")
         validation_histogram = obs.metrics.histogram("training.validation_s")
+    observing = obs is not None or runlog is not None
     tracer = obs.tracer if obs is not None else NULL_TRACER
     history = TrainingHistory()
     best_bleu = -1.0
@@ -99,28 +107,46 @@ def finetune(
         with tracer.span("training.epoch", epoch=epoch, batches=len(batches)):
             for batch_index in order:
                 ids, targets = batches[batch_index]
-                step_started = time.perf_counter() if obs is not None else 0.0
+                step_started = time.perf_counter() if observing else 0.0
                 model.network.zero_grad()
                 loss = model.network.loss_and_backward(ids, targets)
-                clip_grad_norm(model.network.parameters(), 1.0)
-                optimizer.step(schedule.lr_at(step))
-                if obs is not None:
+                grad_norm = clip_grad_norm(model.network.parameters(), 1.0)
+                learning_rate = schedule.lr_at(step)
+                optimizer.step(learning_rate)
+                if observing:
                     elapsed = time.perf_counter() - step_started
-                    step_histogram.observe(elapsed)
-                    step_counter.inc()
-                    token_counter.inc(int(ids.size))
-                    if elapsed > 0:
-                        throughput_gauge.set(ids.size / elapsed)
+                    if obs is not None:
+                        step_histogram.observe(elapsed)
+                        step_counter.inc()
+                        token_counter.inc(int(ids.size))
+                        grad_norm_gauge.set(grad_norm)
+                        lr_gauge.set(learning_rate)
+                        if elapsed > 0:
+                            throughput_gauge.set(ids.size / elapsed)
+                    if runlog is not None:
+                        runlog.log_step(
+                            step,
+                            loss,
+                            grad_norm=grad_norm,
+                            learning_rate=learning_rate,
+                            tokens=int(ids.size),
+                            step_s=elapsed,
+                        )
                 history.step_losses.append(loss)
                 epoch_losses.append(loss)
                 step += 1
-        history.epoch_losses.append(float(np.mean(epoch_losses)))
+        mean_epoch_loss = float(np.mean(epoch_losses))
+        history.epoch_losses.append(mean_epoch_loss)
+        if runlog is not None:
+            runlog.log_epoch(epoch, mean_epoch_loss, steps=len(batches))
         if select_best_by_bleu and validation_samples:
             validation_started = time.perf_counter()
             with tracer.span("training.validation", epoch=epoch):
                 bleu = validation_bleu(model, validation_samples, max_samples=validation_subset)
             if obs is not None:
                 validation_histogram.observe(time.perf_counter() - validation_started)
+            if runlog is not None:
+                runlog.log_validation(epoch, bleu=bleu)
             history.validation_losses.append(-bleu)
             if bleu > best_bleu:
                 best_bleu = bleu

@@ -16,6 +16,7 @@ from repro.model.lm import WisdomModel
 from repro.nn.optim import Adam, LinearSchedule
 from repro.nn.transformer import DecoderLM
 from repro.obs import NULL_TRACER, Observability
+from repro.obs.runlog import RunLog
 from repro.tokenizer.bpe import BpeTokenizer
 from repro.training.trainer import TrainingHistory, run_epoch
 
@@ -30,13 +31,15 @@ def pretrain(
     seed: int = 0,
     max_batches_per_epoch: int | None = None,
     obs: Observability | None = None,
+    runlog: RunLog | None = None,
 ) -> TrainingHistory:
     """Pre-train ``network`` on a packed corpus; returns the loss history.
 
     ``max_batches_per_epoch`` caps compute for large corpora (a uniformly
     random subset of windows is seen each epoch).  ``obs`` (optional)
     collects per-step timings and wraps each epoch in a
-    ``training.epoch`` span.
+    ``training.epoch`` span; ``runlog`` (optional) appends per-step and
+    per-epoch JSONL records for ``repro obs --runlog``.
     """
     window = network.config.n_positions
     rows = pack_documents(corpus, tokenizer, window)
@@ -64,7 +67,7 @@ def pretrain(
         with (tracer or NULL_TRACER).span(
             "training.epoch", epoch=epoch, rows=int(epoch_rows.shape[0])
         ):
-            _, steps = run_epoch(
+            mean_loss, steps = run_epoch(
                 network,
                 optimizer,
                 epoch_rows,
@@ -75,7 +78,10 @@ def pretrain(
                 step_offset=step,
                 history=history,
                 obs=obs,
+                runlog=runlog,
             )
+        if runlog is not None:
+            runlog.log_epoch(epoch, mean_loss, steps=steps)
         step += steps
     return history
 
@@ -89,6 +95,7 @@ def continue_pretraining(
     seed: int = 0,
     max_batches_per_epoch: int | None = None,
     obs: Observability | None = None,
+    runlog: RunLog | None = None,
 ) -> TrainingHistory:
     """Extend an existing model's pretraining with new data.
 
@@ -106,4 +113,5 @@ def continue_pretraining(
         seed=seed,
         max_batches_per_epoch=max_batches_per_epoch,
         obs=obs if obs is not None else model.obs,
+        runlog=runlog,
     )

@@ -10,6 +10,7 @@ import numpy as np
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.nn.transformer import DecoderLM
 from repro.obs import Observability
+from repro.obs.runlog import RunLog
 
 
 @dataclass
@@ -50,36 +51,56 @@ def run_epoch(
     max_grad_norm: float = 1.0,
     history: TrainingHistory | None = None,
     obs: Observability | None = None,
+    runlog: RunLog | None = None,
 ) -> tuple[float, int]:
     """Train one epoch; returns (mean loss, steps executed).
 
     When ``obs`` is given, each optimizer step feeds the
     ``training.step_s`` histogram and the ``training.steps`` /
-    ``training.tokens`` counters, and the ``training.tokens_per_s`` gauge
-    tracks the most recent step's throughput.
+    ``training.tokens`` counters; the ``training.tokens_per_s``,
+    ``training.grad_norm`` and ``training.learning_rate`` gauges track
+    the most recent step — the same per-step facts a ``runlog`` records,
+    so ``/v1/metrics`` and the run log agree on what a training step did.
+    ``runlog`` (optional) appends one JSONL record per step.
     """
     if obs is not None:
         step_histogram = obs.metrics.histogram("training.step_s")
         step_counter = obs.metrics.counter("training.steps")
         token_counter = obs.metrics.counter("training.tokens")
         throughput_gauge = obs.metrics.gauge("training.tokens_per_s")
+        grad_norm_gauge = obs.metrics.gauge("training.grad_norm")
+        lr_gauge = obs.metrics.gauge("training.learning_rate")
+    observing = obs is not None or runlog is not None
     losses: list[float] = []
     step = step_offset
     for batch_ids, batch_targets in iterate_batches(rows, targets, batch_size, rng):
-        step_started = time.perf_counter() if obs is not None else 0.0
+        step_started = time.perf_counter() if observing else 0.0
         model.zero_grad()
         loss = model.loss_and_backward(batch_ids, batch_targets)
-        clip_grad_norm(model.parameters(), max_grad_norm)
+        grad_norm = clip_grad_norm(model.parameters(), max_grad_norm)
         learning_rate = schedule.lr_at(step) if schedule is not None else None
         optimizer.step(learning_rate)
-        if obs is not None:
+        if observing:
             elapsed = time.perf_counter() - step_started
             tokens = int(batch_ids.size)
-            step_histogram.observe(elapsed)
-            step_counter.inc()
-            token_counter.inc(tokens)
-            if elapsed > 0:
-                throughput_gauge.set(tokens / elapsed)
+            if obs is not None:
+                step_histogram.observe(elapsed)
+                step_counter.inc()
+                token_counter.inc(tokens)
+                grad_norm_gauge.set(grad_norm)
+                if learning_rate is not None:
+                    lr_gauge.set(learning_rate)
+                if elapsed > 0:
+                    throughput_gauge.set(tokens / elapsed)
+            if runlog is not None:
+                runlog.log_step(
+                    step,
+                    loss,
+                    grad_norm=grad_norm,
+                    learning_rate=learning_rate,
+                    tokens=tokens,
+                    step_s=elapsed,
+                )
         losses.append(loss)
         if history is not None:
             history.step_losses.append(loss)

@@ -25,7 +25,7 @@ def checkpoint_dir(tmp_path_factory, tiny_tokenizer, tiny_config):
 class TestParser:
     def test_subcommands_exist(self):
         parser = build_parser()
-        for command in ("train", "generate", "evaluate", "serve", "score", "synthesize", "obs"):
+        for command in ("train", "generate", "evaluate", "serve", "score", "synthesize", "obs", "profile"):
             args = None
             try:
                 args = parser.parse_args([command, "--help"])
@@ -126,3 +126,100 @@ class TestObs:
     def test_url_and_spans_mutually_exclusive(self, span_dump):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["obs", "--url", "http://x", "--spans", span_dump])
+
+    def test_corrupt_span_line_warns_but_renders(self, span_dump, capsys):
+        with open(span_dump, "a", encoding="utf-8") as handle:
+            handle.write('{"truncated')
+        code = main(["obs", "--spans", span_dump])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith("engine.request")
+        assert "skipped 1 corrupt line(s)" in captured.err
+
+
+class TestObsRunlog:
+    @pytest.fixture()
+    def runlog_pair(self, tmp_path):
+        from repro.obs.runlog import RunLog
+
+        paths = []
+        for run_id, step_s in (("before", 0.2), ("after", 0.1)):
+            path = tmp_path / f"{run_id}.jsonl"
+            with RunLog(path, run_id=run_id) as log:
+                for step in range(3):
+                    log.log_step(step, 2.0 - 0.2 * step, grad_norm=1.0,
+                                 learning_rate=1e-3, tokens=32, step_s=step_s)
+                log.log_epoch(0, 1.8, steps=3)
+            paths.append(str(path))
+        return paths
+
+    def test_runlog_renders_summary(self, runlog_pair, capsys):
+        code = main(["obs", "--runlog", runlog_pair[0]])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run: before" in out
+        assert "Epochs" in out
+
+    def test_runlog_json_summary(self, runlog_pair, capsys):
+        code = main(["obs", "--runlog", runlog_pair[0], "--json"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["run_id"] == "before"
+        assert summary["steps"] == 3
+
+    def test_compare_two_runs(self, runlog_pair, capsys):
+        code = main(["obs", "--runlog", runlog_pair[0], "--compare", runlog_pair[1]])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Run comparison" in out
+        assert "2.000x" in out  # tokens/s doubled in the "after" run
+
+    def test_compare_requires_runlog(self, runlog_pair, tmp_path, capsys):
+        with pytest.raises(SystemExit):  # no source at all
+            main(["obs", "--compare", runlog_pair[1]])
+        capsys.readouterr()
+        from repro.obs import Tracer
+
+        dump = tmp_path / "spans.jsonl"
+        Tracer().export_jsonl(dump)
+        code = main(["obs", "--spans", str(dump), "--compare", runlog_pair[1]])
+        assert code == 2
+        assert "--compare requires --runlog" in capsys.readouterr().err
+
+
+class TestProfile:
+    BASE = ["profile", "--size", "350M", "--context", "16", "--vocab", "64",
+            "--batch", "1", "--seq", "8"]
+
+    def test_forward_mode_prints_hot_op_table(self, capsys):
+        code = main(self.BASE + ["--mode", "forward"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Hot ops" in out
+        assert "Linear.forward" in out
+        assert "GFLOP/s" in out
+
+    def test_backward_mode_includes_backward_ops(self, capsys):
+        code = main(self.BASE + ["--mode", "backward"])
+        assert code == 0
+        assert "Linear.backward" in capsys.readouterr().out
+
+    def test_generate_mode_writes_chrome_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        code = main(self.BASE + ["--mode", "generate", "--new-tokens", "4",
+                                 "--trace", str(trace)])
+        assert code == 0
+        payload = json.loads(trace.read_text())
+        intervals = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert intervals
+        names = {e["name"] for e in intervals}
+        assert any(name.startswith("Linear.") for name in names)
+        assert any(name.startswith("sampling.") for name in names)
+
+    def test_json_snapshot(self, capsys):
+        code = main(self.BASE + ["--mode", "forward", "--json"])
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["total_calls"] > 0
+        assert snapshot["total_flops"] > 0
+        assert any(op["name"] == "Linear.forward" for op in snapshot["ops"])

@@ -28,6 +28,7 @@ from repro.obs import (
     exponential_buckets,
     linear_buckets,
     load_spans_jsonl,
+    read_spans_jsonl,
 )
 from repro.obs.report import format_metrics_snapshot, format_span_tree
 
@@ -199,6 +200,49 @@ class TestJsonlRoundTrip:
         assert loaded[0].attrs == {}
 
 
+class TestCorruptSpanLines:
+    """Regression: a dump truncated mid-write must not poison the load."""
+
+    def export_three_spans(self, tmp_path):
+        tracer = Tracer()
+        for index in range(3):
+            tracer.record(f"span-{index}", float(index), float(index) + 0.5)
+        path = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(path)
+        return path, tracer.spans()
+
+    def test_truncated_trailing_line_skipped_and_counted(self, tmp_path):
+        path, spans = self.export_three_spans(tmp_path)
+        text = path.read_text()
+        path.write_text(text[: len(text) - 15])  # kill -9 mid final write
+        loaded, skipped = read_spans_jsonl(path)
+        assert loaded == spans[:2]
+        assert skipped == 1
+        assert load_spans_jsonl(path) == spans[:2]
+
+    def test_json_line_missing_span_fields_skipped(self, tmp_path):
+        path, spans = self.export_three_spans(tmp_path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"valid_json": "but not a span"}\n')
+            handle.write('["a list, not an object"]\n')
+        loaded, skipped = read_spans_jsonl(path)
+        assert loaded == spans
+        assert skipped == 2
+
+    def test_strict_mode_raises_with_line_number(self, tmp_path):
+        path, _ = self.export_three_spans(tmp_path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"truncated')
+        with pytest.raises(ObservabilityError, match="line 4"):
+            read_spans_jsonl(path, strict=True)
+
+    def test_clean_file_reports_zero_skipped(self, tmp_path):
+        path, spans = self.export_three_spans(tmp_path)
+        loaded, skipped = read_spans_jsonl(path)
+        assert loaded == spans
+        assert skipped == 0
+
+
 class TestCounter:
     def test_monotonic(self):
         counter = Counter("c")
@@ -269,6 +313,42 @@ class TestHistogram:
             exponential_buckets(0, 2, 3)
         with pytest.raises(ObservabilityError):
             linear_buckets(0, 0, 3)
+
+    def test_bucket_helpers_single_bucket(self):
+        assert exponential_buckets(0.5, 2, 1) == (0.5,)
+        assert linear_buckets(3, 1, 1) == (3,)
+        histogram = Histogram("h", buckets=exponential_buckets(1.0, 2, 1))
+        histogram.observe(0.5)
+        histogram.observe(2.0)
+        counts = dict(histogram.bucket_counts())
+        assert counts[1.0] == 1 and counts[float("inf")] == 1
+
+    def test_bucket_helpers_reject_inverted_bounds(self):
+        # factor <= 1 / width <= 0 would make bounds non-increasing
+        with pytest.raises(ObservabilityError):
+            exponential_buckets(1, 1, 3)
+        with pytest.raises(ObservabilityError):
+            exponential_buckets(1, 0.5, 3)
+        with pytest.raises(ObservabilityError):
+            linear_buckets(10, -5, 3)
+        with pytest.raises(ObservabilityError):
+            exponential_buckets(1, 2, 0)
+        with pytest.raises(ObservabilityError):
+            linear_buckets(0, 1, 0)
+
+    def test_observations_beyond_last_edge_land_in_overflow(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        for value in (2.001, 50.0, 1e12):
+            histogram.observe(value)
+        counts = dict(histogram.bucket_counts())
+        assert counts[float("inf")] == 3
+        assert counts[1.0] == 0 and counts[2.0] == 0
+        assert histogram.count == 3
+        # percentile estimates clamp to the observed range, not +inf
+        assert histogram.percentile(99) <= 1e12
+        summary = histogram.summary()
+        assert summary["max"] == 1e12
+        assert summary["p50"] <= summary["max"]
 
     def test_duplicate_bounds_rejected(self):
         with pytest.raises(ObservabilityError):

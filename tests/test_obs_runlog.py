@@ -1,0 +1,137 @@
+"""Tests for repro.obs.runlog (JSONL training-run recorder + compare).
+
+The recorder's contract: every record is one flushed JSON line, so a
+crash costs at most the trailing line and the loader shrugs it off;
+summaries aggregate only the records that carry a field; and the
+two-run compare renders b/a ratios without editorialising.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.runlog import RunLog, compare_runlogs, format_runlog, load_runlog
+from repro.training import run_epoch
+
+
+class TestWriteReadRoundTrip:
+    def test_records_grouped_by_kind(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLog(path, run_id="demo", meta={"model": "tiny"}) as log:
+            log.log_step(0, 2.0, grad_norm=1.5, learning_rate=1e-3, tokens=64, step_s=0.5)
+            log.log_step(1, 1.8)
+            log.log_epoch(0, 1.9, steps=2)
+            log.log_validation(0, bleu=12.5, exact_match=0.1)
+        data = load_runlog(path)
+        assert data.run_id == "demo"
+        assert data.run["model"] == "tiny"
+        assert [record["loss"] for record in data.steps] == [2.0, 1.8]
+        assert data.steps[0]["tokens_per_s"] == 128.0
+        assert "tokens_per_s" not in data.steps[1]  # no timing given
+        assert data.epochs == [{"kind": "epoch", "epoch": 0, "mean_loss": 1.9, "steps": 2}]
+        assert data.validations[0]["bleu"] == 12.5
+        assert data.skipped == 0
+
+    def test_every_line_is_json(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLog(path) as log:
+            log.log_step(0, 1.0)
+            log.log_epoch(0, 1.0)
+        for line in path.read_text().splitlines():
+            json.loads(line)  # raises if any line is not self-contained JSON
+
+    def test_summary_and_final_loss(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLog(path) as log:
+            for step in range(4):
+                log.log_step(step, 2.0 - 0.5 * step, tokens=10, step_s=0.1)
+            log.log_epoch(0, 1.25, steps=4)
+        summary = load_runlog(path).summary()
+        assert summary["steps"] == 4
+        assert summary["final_loss"] == 1.25  # epoch mean wins over last step
+        assert summary["total_tokens"] == 40
+        assert summary["mean_step_s"] == 0.1
+
+    def test_final_loss_falls_back_to_last_step(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLog(path) as log:
+            log.log_step(0, 3.0)
+        assert load_runlog(path).final_loss == 3.0
+
+
+class TestCorruptLines:
+    def test_truncated_trailing_line_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLog(path) as log:
+            log.log_step(0, 2.0)
+            log.log_step(1, 1.5)
+        # simulate a process killed mid-write: chop the last line in half
+        text = path.read_text()
+        path.write_text(text[: len(text) - 12])
+        data = load_runlog(path)
+        assert [record["loss"] for record in data.steps] == [2.0]
+        assert data.skipped == 1
+        assert "corrupt line(s) skipped" in format_runlog(data)
+
+    def test_unknown_kind_counts_as_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"kind": "mystery"}\n{"kind": "step", "step": 0, "loss": 1.0}\n')
+        data = load_runlog(path)
+        assert data.skipped == 1
+        assert len(data.steps) == 1
+
+
+class TestRendering:
+    def write_run(self, path, run_id="a", step_s=0.1):
+        with RunLog(path, run_id=run_id) as log:
+            for step in range(3):
+                log.log_step(step, 2.0 - 0.3 * step, grad_norm=1.0,
+                             learning_rate=1e-3, tokens=32, step_s=step_s)
+            log.log_epoch(0, 1.7, steps=3)
+            log.log_validation(0, bleu=20.0)
+
+    def test_format_runlog_shows_epoch_table(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        self.write_run(path)
+        text = format_runlog(load_runlog(path))
+        assert "run: a" in text
+        assert "Epochs" in text
+        assert "bleu=20" in text
+
+    def test_compare_shows_throughput_ratio(self, tmp_path):
+        path_a, path_b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self.write_run(path_a, run_id="before", step_s=0.2)
+        self.write_run(path_b, run_id="after", step_s=0.1)
+        text = compare_runlogs(load_runlog(path_a), load_runlog(path_b))
+        assert "before" in text and "after" in text
+        assert "2.000x" in text  # tokens/s doubled
+        assert "0.500x" in text  # step time halved
+
+
+class TestTrainerIntegration:
+    def test_run_epoch_writes_step_records(self, tmp_path):
+        import numpy as np
+
+        from repro.model import SIZE_350M, transformer_config
+        from repro.nn.optim import Adam, LinearSchedule
+        from repro.nn.parameter import numpy_rng
+        from repro.nn.transformer import DecoderLM
+
+        network = DecoderLM(transformer_config(32, SIZE_350M, 16), numpy_rng(0))
+        rng = np.random.default_rng(0)
+        rows = rng.integers(1, 32, size=(4, 8)).astype(np.int64)
+        targets = np.roll(rows, -1, axis=1)
+        targets[:, -1] = -1
+        path = tmp_path / "train.jsonl"
+        schedule = LinearSchedule(peak_lr=1e-3, total_steps=2)
+        with RunLog(path, run_id="epoch-test") as log:
+            run_epoch(network, Adam(network.parameters()), rows, targets,
+                      batch_size=2, rng=rng, schedule=schedule, runlog=log)
+        data = load_runlog(path)
+        assert len(data.steps) == 2  # 4 rows / batch 2
+        for record in data.steps:
+            assert record["loss"] > 0
+            assert record["grad_norm"] > 0
+            assert record["lr"] > 0
+            assert record["tokens"] == 16
+            assert record["tokens_per_s"] > 0

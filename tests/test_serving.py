@@ -360,6 +360,35 @@ class TestRestRoundTrip:
             assert "hits" in engine_stats["prefix_cache"]
             assert engine_stats["prefill_tokens"] > 0
 
+    def test_http_metrics_prometheus(self):
+        from repro.obs.export import parse_prometheus
+
+        service = PredictionService(_StubCompleter())
+        with RestServer(service) as server:
+            client = PredictionClient(server.url)
+            client.complete("- name: install nginx\n")
+            text = client.metrics_prometheus()
+        parsed = parse_prometheus(text)  # raises on any unparseable line
+        assert "# TYPE serving_requests_total counter" in text
+        assert parsed["serving_requests_total"]["samples"][0][2] == 1.0
+        assert parsed["serving_completions_s"]["type"] == "histogram"
+        buckets = [s for s in parsed["serving_completions_s"]["samples"]
+                   if s[0] == "serving_completions_s_bucket"]
+        assert buckets[-1][1]["le"] == "+Inf"
+
+    def test_http_metrics_json_default_and_bad_format(self):
+        import json as json_module
+        import urllib.request
+
+        service = PredictionService(_StubCompleter())
+        with RestServer(service) as server:
+            with urllib.request.urlopen(f"{server.url}/v1/metrics") as response:
+                payload = json_module.loads(response.read())
+            assert "counters" in payload["metrics"]
+            with pytest.raises(urllib.error.HTTPError) as error_info:
+                urllib.request.urlopen(f"{server.url}/v1/metrics?format=xml")
+            assert error_info.value.code == 400
+
     def test_unknown_path_404(self):
         service = PredictionService(_StubCompleter())
         with RestServer(service) as server:
