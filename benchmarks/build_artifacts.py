@@ -17,6 +17,7 @@ import time
 sys.path.insert(0, os.path.dirname(__file__))
 
 from common import PROFILES, build_results  # noqa: E402
+from test_kv_arena import REPORT_FILE, run_kv_arena_bench  # noqa: E402
 
 
 def main() -> None:
@@ -24,6 +25,11 @@ def main() -> None:
     started = time.time()
     print(f"building benchmark artifacts with profile={profile.name}")
     results = build_results(profile)
+    kv_report = run_kv_arena_bench()
+    print(
+        f"kv arena: {kv_report['speedup']}x decode speedup over dense "
+        f"concatenate -> {REPORT_FILE.name}"
+    )
     print(f"done in {time.time() - started:.0f}s")
     print(f"tables: {sorted(k for k in results if k.startswith('table') or k == 'throughput')}")
 

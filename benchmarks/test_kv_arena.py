@@ -1,0 +1,200 @@
+"""X4 — paged KV-cache arena vs the legacy concatenate decode path.
+
+The decode hot path claim of the KV-arena PR, measured: at generation
+length >= 256 the arena path (in-place block appends, cached masks, score
+scratch reuse) must deliver >= 1.5x the dense-concatenate path's decode
+tokens/second, and its per-step cache-append traffic must stay flat in
+sequence length while the dense path's grows linearly.  The float16
+storage mode must roughly halve peak resident KV bytes.  Results are
+written to ``benchmarks/_artifacts/BENCH_kv_arena.json`` so the perf
+trajectory is tracked from this PR onward (``build_artifacts.py`` emits
+the same report for the definitive run).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.model import SIZE_350M, transformer_config
+from repro.nn.kv_arena import KVArena
+from repro.nn.parameter import numpy_rng
+from repro.nn.transformer import DecoderLM
+from repro.obs import OpProfiler
+from repro.utils.tables import format_table
+
+ARTIFACTS_DIR = Path(__file__).parent / "_artifacts"
+REPORT_FILE = ARTIFACTS_DIR / "BENCH_kv_arena.json"
+
+PROMPT_LENGTH = 16
+DECODE_STEPS = 272  # generation length past the >=256 acceptance bar
+N_POSITIONS = 320
+
+
+def _build_network() -> DecoderLM:
+    return DecoderLM(transformer_config(512, SIZE_350M, N_POSITIONS), numpy_rng(0))
+
+
+def _timed_decode(network: DecoderLM, caches, steps: int):
+    """Prefill outside the clock, then time ``steps`` single-token decodes.
+
+    Returns (tokens_per_second, per-step cache-append bytes series).
+    """
+    rng = np.random.default_rng(11)
+    prompt = rng.integers(0, network.config.vocab_size, size=PROMPT_LENGTH)
+    logits = network.forward_incremental(prompt[None, :].astype(np.int64), caches)
+    token = int(logits[0, -1].argmax())
+    append_bytes = []
+    step = np.empty((1, 1), dtype=np.int64)
+    started = time.perf_counter()
+    for _ in range(steps):
+        step[0, 0] = token
+        logits = network.forward_incremental(step, caches)
+        token = int(logits[0, -1].argmax())
+        append_bytes.append(sum(cache.last_append_moved_bytes for cache in caches))
+    elapsed = time.perf_counter() - started
+    return steps / elapsed, append_bytes
+
+
+def _profiled_attention_bytes(network: DecoderLM, caches, steps: int) -> float:
+    """Total attention-op bytes moved over ``steps`` decodes, per the PR-3 profiler."""
+    profiler = OpProfiler()
+    profiler.attach(network)
+    try:
+        _timed_decode(network, caches, steps)
+        for stat in profiler.stats():
+            if stat.name == "CausalSelfAttention.forward_incremental":
+                return stat.bytes_moved
+        return 0.0
+    finally:
+        profiler.detach()
+
+
+def _halves(series: list) -> tuple[float, float]:
+    mid = len(series) // 2
+    return float(np.mean(series[:mid])), float(np.mean(series[mid:]))
+
+
+def run_kv_arena_bench(network: DecoderLM | None = None, steps: int = DECODE_STEPS) -> dict:
+    """Measure arena vs dense decode and write ``BENCH_kv_arena.json``."""
+    network = network or _build_network()
+    config = network.config
+
+    dense_tps, dense_bytes = _timed_decode(network, network.new_dense_cache(), steps)
+    arena = KVArena(block_size=32)
+    arena_caches = network.new_cache(arena)
+    arena_tps, arena_bytes = _timed_decode(network, arena_caches, steps)
+    arena_peak = arena.peak_bytes_in_use
+    for cache in arena_caches:
+        cache.release()
+
+    arena_fp16 = KVArena(block_size=32, dtype=np.float16)
+    fp16_caches = network.new_cache(arena_fp16)
+    fp16_tps, _ = _timed_decode(network, fp16_caches, steps)
+    fp16_peak = arena_fp16.peak_bytes_in_use
+    for cache in fp16_caches:
+        cache.release()
+
+    # Dense has no allocator: peak resident is the final concatenated K/V,
+    # and each append transiently holds old + new copies simultaneously.
+    per_token = 2 * config.n_layers * config.dim * 4
+    dense_final = (PROMPT_LENGTH + steps) * per_token
+
+    profiler_dense = _profiled_attention_bytes(network, network.new_dense_cache(), 64)
+    profile_arena_obj = KVArena(block_size=32)
+    profiler_arena = _profiled_attention_bytes(network, network.new_cache(profile_arena_obj), 64)
+
+    dense_first, dense_second = _halves(dense_bytes)
+    arena_first, arena_second = _halves(arena_bytes)
+    report = {
+        "config": {
+            "dim": config.dim,
+            "n_layers": config.n_layers,
+            "n_heads": config.n_heads,
+            "n_positions": config.n_positions,
+            "prompt_length": PROMPT_LENGTH,
+            "decode_steps": steps,
+        },
+        "dense_tokens_per_second": round(dense_tps, 2),
+        "arena_tokens_per_second": round(arena_tps, 2),
+        "arena_fp16_tokens_per_second": round(fp16_tps, 2),
+        "speedup": round(arena_tps / dense_tps, 3),
+        "append_bytes_per_step": {
+            "dense_first_half_mean": dense_first,
+            "dense_second_half_mean": dense_second,
+            "arena_first_half_mean": arena_first,
+            "arena_second_half_mean": arena_second,
+        },
+        "peak_kv_bytes": {
+            "arena_fp32": arena_peak,
+            "arena_fp16": fp16_peak,
+            "dense_final_resident": dense_final,
+            "dense_transient_append": 2 * dense_final,
+        },
+        "profiler_attention_bytes_64_steps": {
+            "dense": profiler_dense,
+            "arena": profiler_arena,
+        },
+        "arena_stats": arena.stats(),
+    }
+    ARTIFACTS_DIR.mkdir(exist_ok=True)
+    REPORT_FILE.write_text(json.dumps(report, indent=2))
+    return report
+
+
+@pytest.fixture(scope="module")
+def report() -> dict:
+    return run_kv_arena_bench()
+
+
+@pytest.mark.slow
+def test_arena_decode_speedup(report):
+    rows = [
+        ["dense concatenate", f"{report['dense_tokens_per_second']:.1f}", "1.00x"],
+        ["paged arena", f"{report['arena_tokens_per_second']:.1f}", f"{report['speedup']:.2f}x"],
+        [
+            "paged arena fp16",
+            f"{report['arena_fp16_tokens_per_second']:.1f}",
+            f"{report['arena_fp16_tokens_per_second'] / report['dense_tokens_per_second']:.2f}x",
+        ],
+    ]
+    print()
+    print(
+        format_table(
+            ["KV path", "decode tokens/s", "speedup"],
+            rows,
+            title=f"Paged KV arena vs dense concatenate ({DECODE_STEPS} generated tokens)",
+        )
+    )
+    assert report["speedup"] >= 1.5
+
+
+@pytest.mark.slow
+def test_arena_append_traffic_is_flat(report):
+    halves = report["append_bytes_per_step"]
+    # Dense concatenation moves the whole cache per step: traffic grows
+    # with sequence length (second half of the run clearly above the first).
+    assert halves["dense_second_half_mean"] > 1.5 * halves["dense_first_half_mean"]
+    # Arena appends are in place: amortized flat (growth copies average out).
+    assert halves["arena_second_half_mean"] <= 2.0 * halves["arena_first_half_mean"]
+    # The profiler sees the same story at the attention-op level.
+    profiled = report["profiler_attention_bytes_64_steps"]
+    assert profiled["arena"] < profiled["dense"]
+
+
+@pytest.mark.slow
+def test_fp16_storage_halves_peak_bytes(report):
+    peaks = report["peak_kv_bytes"]
+    assert peaks["arena_fp16"] <= 0.6 * peaks["arena_fp32"]
+    rows = [
+        ["arena fp32", f"{peaks['arena_fp32']:,}"],
+        ["arena fp16", f"{peaks['arena_fp16']:,}"],
+        ["dense final resident", f"{peaks['dense_final_resident']:,}"],
+        ["dense transient (append)", f"{peaks['dense_transient_append']:,}"],
+    ]
+    print()
+    print(format_table(["KV storage", "peak bytes"], rows, title="Peak KV-cache bytes"))

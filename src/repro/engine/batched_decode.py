@@ -17,6 +17,13 @@ which is what makes a decode step a single batched ``forward_incremental``
 call.  Retiring a row drops its batch row and trims any columns that
 became all-padding, so the remaining rows' window budgets are unaffected
 by neighbours that finished earlier.
+
+Storage lives in a :class:`~repro.nn.kv_arena.KVArena`: the steady-state
+decode step appends K/V columns in place and reuses persistent pending /
+positions / padding-mask buffers (left-pad widths only change when batch
+membership changes, so the mask is rebuilt on admit/retire, not per step).
+Batch reshapes (admission, retirement) copy once into a fresh slab —
+never per decoded token.
 """
 
 from __future__ import annotations
@@ -26,7 +33,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import EngineError
-from repro.nn.attention import KVCache
+from repro.nn.kv_arena import KVArena, KVCache
 from repro.nn.sampling import GenerationResult, plan_prompt
 from repro.nn.transformer import DecoderLM
 
@@ -42,17 +49,11 @@ class BatchRow:
     pending: int  # last sampled token; its K/V joins the cache on the next step
 
 
-def _pad_left(array: np.ndarray, pad: int) -> np.ndarray:
-    """Prepend ``pad`` zero columns along the sequence axis of (B, H, T, D)."""
-    if pad == 0:
-        return array
-    return np.pad(array, ((0, 0), (0, 0), (pad, 0), (0, 0)))
-
-
 def prefill_single(
     model: DecoderLM,
     prompt_ids: list[int],
     seeded_caches: list[KVCache] | None = None,
+    arena: KVArena | None = None,
 ) -> tuple[list[KVCache], int, int]:
     """Prefill one prompt at batch size 1, optionally atop prefix-cache K/V.
 
@@ -62,7 +63,7 @@ def prefill_single(
     sequential :func:`~repro.nn.sampling.generate_greedy` prefill, which is
     what makes engine outputs token-identical to sequential decoding.
     """
-    caches = seeded_caches if seeded_caches is not None else model.new_cache()
+    caches = seeded_caches if seeded_caches is not None else model.new_cache(arena)
     offset = caches[0].length
     suffix = prompt_ids[offset:]
     if not suffix:
@@ -74,10 +75,15 @@ def prefill_single(
 class DecodingBatch:
     """Left-padded lockstep decoding over shared per-layer KV caches."""
 
-    def __init__(self, model: DecoderLM):
+    def __init__(self, model: DecoderLM, arena: KVArena | None = None):
         self.model = model
-        self.caches: list[KVCache] = model.new_cache()
+        self.arena = arena
+        self.caches: list[KVCache] = model.new_cache(arena)
         self.rows: list[BatchRow] = []
+        # Per-step scratch, valid until batch membership changes.
+        self._pending: np.ndarray | None = None
+        self._positions: np.ndarray | None = None
+        self._mask: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -90,10 +96,40 @@ class DecodingBatch:
     def active_footprint(self) -> int:
         return sum(row.real_length for row in self.rows)
 
+    def _refresh_step_scratch(self) -> None:
+        """Rebuild pending/positions/mask buffers after membership changes.
+
+        Row pad widths are invariant across decode steps (every row gains
+        one column per step, so ``total - real_length`` is constant), which
+        is why the padding mask can persist: each step slices it to the
+        current width instead of reallocating.
+        """
+        batch = len(self.rows)
+        if not batch:
+            self._pending = self._positions = self._mask = None
+            return
+        self._pending = np.empty((batch, 1), dtype=np.int64)
+        self._positions = np.array([[row.real_length] for row in self.rows], dtype=np.int64)
+        total = self.total_columns
+        pads = [total - row.real_length for row in self.rows]
+        if any(pads):
+            width = self.model.config.n_positions + 1
+            mask = np.zeros((batch, width), dtype=bool)
+            for b, pad in enumerate(pads):
+                mask[b, :pad] = True
+            self._mask = mask
+        else:
+            self._mask = None
+
     # -- admission ----------------------------------------------------------
 
     def admit(self, row_caches: list[KVCache], pending: int, payload: object) -> BatchRow:
-        """Merge one prefilled batch-1 cache into the shared batched caches."""
+        """Merge one prefilled batch-1 cache into the shared batched caches.
+
+        The first admission steals the row's slabs outright (zero copies);
+        later admissions copy both operands once into a fresh right-aligned
+        slab — the only per-request copy on the decode side.
+        """
         if len(row_caches) != len(self.caches):
             raise EngineError(
                 f"row has {len(row_caches)} layer caches, model has {len(self.caches)}"
@@ -104,20 +140,14 @@ class DecodingBatch:
         row = BatchRow(payload=payload, real_length=real_length, pending=pending)
         if not self.rows:
             for shared, own in zip(self.caches, row_caches):
-                shared.keys, shared.values = own.keys, own.values
+                shared.take_from(own)
         else:
-            total = self.total_columns
-            width = max(total, real_length)
+            width = max(self.total_columns, real_length)
             for shared, own in zip(self.caches, row_caches):
-                shared.keys = np.concatenate(
-                    [_pad_left(shared.keys, width - total), _pad_left(own.keys, width - real_length)],
-                    axis=0,
-                )
-                shared.values = np.concatenate(
-                    [_pad_left(shared.values, width - total), _pad_left(own.values, width - real_length)],
-                    axis=0,
-                )
+                shared.merge_row(own, width)
+                own.release()
         self.rows.append(row)
+        self._refresh_step_scratch()
         return row
 
     def admit_prompts(self, prompts: list[list[int]], payloads: list[object]) -> list[int]:
@@ -147,13 +177,16 @@ class DecodingBatch:
             ids[b, pad:] = prompt
             positions[b, pad:] = np.arange(lengths[b])
             mask[b, :pad] = True
-        self.caches = self.model.new_cache()
+        for cache in self.caches:
+            cache.release()
+        self.caches = self.model.new_cache(self.arena)
         logits = self.model.forward_incremental(
             ids, self.caches, positions, mask if width > min(lengths) else None
         )
         first_tokens = [int(row.argmax()) for row in logits[:, -1, :]]
         for b, payload in enumerate(payloads):
             self.rows.append(BatchRow(payload=payload, real_length=lengths[b], pending=first_tokens[b]))
+        self._refresh_step_scratch()
         return first_tokens
 
     # -- decoding -----------------------------------------------------------
@@ -167,17 +200,13 @@ class DecodingBatch:
         """
         if not self.rows:
             raise EngineError("decode step on an empty batch")
-        batch = len(self.rows)
         total = self.total_columns + 1
-        x = np.array([[row.pending] for row in self.rows], dtype=np.int64)
-        positions = np.array([[row.real_length] for row in self.rows], dtype=np.int64)
-        pads = [total - (row.real_length + 1) for row in self.rows]
-        mask: np.ndarray | None = None
-        if any(pads):
-            mask = np.zeros((batch, total), dtype=bool)
-            for b, pad in enumerate(pads):
-                mask[b, :pad] = True
-        logits = self.model.forward_incremental(x, self.caches, positions, mask)
+        pending = self._pending
+        for b, row in enumerate(self.rows):
+            pending[b, 0] = row.pending
+        mask = self._mask[:, :total] if self._mask is not None else None
+        logits = self.model.forward_incremental(pending, self.caches, self._positions, mask)
+        self._positions += 1
         for row in self.rows:
             row.real_length += 1
         return [int(row.argmax()) for row in logits[:, -1, :]]
@@ -194,12 +223,15 @@ class DecodingBatch:
         keep = [i for i in range(len(self.rows)) if i not in dropped]
         self.rows = [self.rows[i] for i in keep]
         if not self.rows:
-            self.caches = self.model.new_cache()
+            for cache in self.caches:
+                cache.release()
+            self.caches = self.model.new_cache(self.arena)
+            self._refresh_step_scratch()
             return retired
         trim = self.total_columns - max(row.real_length for row in self.rows)
         for cache in self.caches:
-            cache.keys = cache.keys[keep, :, trim:]
-            cache.values = cache.values[keep, :, trim:]
+            cache.select_rows(keep, trim)
+        self._refresh_step_scratch()
         return retired
 
 

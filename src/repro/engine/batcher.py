@@ -34,6 +34,7 @@ from repro.engine.batched_decode import DecodingBatch, prefill_single
 from repro.engine.prefix_cache import PrefixCache
 from repro.engine.request import GenerationRequest, RequestState
 from repro.errors import EngineError
+from repro.nn.kv_arena import KVArena
 from repro.nn.transformer import DecoderLM
 from repro.obs import Observability
 from repro.obs.metrics import linear_buckets
@@ -69,10 +70,12 @@ class ContinuousBatcher:
         max_batch_tokens: int | None = None,
         prefix_cache: PrefixCache | None = None,
         obs: Observability | None = None,
+        arena: KVArena | None = None,
     ):
         if max_batch_size < 1:
             raise EngineError(f"max_batch_size must be >= 1, got {max_batch_size}")
         self.model = model
+        self.arena = arena
         self.max_batch_size = max_batch_size
         self.max_batch_tokens = (
             max_batch_tokens
@@ -82,7 +85,7 @@ class ContinuousBatcher:
         if self.max_batch_tokens < 1:
             raise EngineError(f"max_batch_tokens must be >= 1, got {self.max_batch_tokens}")
         self.prefix_cache = prefix_cache
-        self.batch = DecodingBatch(model)
+        self.batch = DecodingBatch(model, arena)
         self.queue: deque[GenerationRequest] = deque()
         # -- accounting --
         self.completed = 0
@@ -156,7 +159,9 @@ class ContinuousBatcher:
             else:
                 self._c_prefix_misses.inc()
         forward_started = time.perf_counter()
-        caches, first_token, prefilled = prefill_single(self.model, request.prompt_ids, seeded)
+        caches, first_token, prefilled = prefill_single(
+            self.model, request.prompt_ids, seeded, arena=self.arena
+        )
         self._h_prefill_forward.observe(time.perf_counter() - forward_started)
         self.prefill_tokens += prefilled
         self._c_prefill_tokens.inc(prefilled)
@@ -168,6 +173,8 @@ class ContinuousBatcher:
             request.finish(reason)
             self.completed += 1
             self._c_retired.inc()
+            for cache in caches:
+                cache.release()  # prefix-cache claims, if any, keep the slabs alive
             return
         request.begin_decode()
         self.batch.admit(caches, pending=first_token, payload=request)

@@ -24,6 +24,7 @@ from repro.engine.batcher import ContinuousBatcher
 from repro.engine.prefix_cache import PrefixCache
 from repro.engine.request import GenerationRequest
 from repro.errors import EngineError
+from repro.nn.kv_arena import DEFAULT_BLOCK_SIZE, KVArena
 from repro.nn.sampling import GenerationResult, plan_prompt
 from repro.nn.transformer import DecoderLM
 from repro.obs import Observability, OpProfiler, Tracer
@@ -44,6 +45,8 @@ class InferenceEngine:
         default_max_new_tokens: int = 96,
         stop_ids: frozenset[int] | set[int] = frozenset(),
         obs: Observability | None = None,
+        kv_block_size: int = DEFAULT_BLOCK_SIZE,
+        kv_dtype: str = "float32",
     ):
         self.network = network
         self.tokenizer = tokenizer
@@ -51,6 +54,11 @@ class InferenceEngine:
         self.default_max_new_tokens = default_max_new_tokens
         self.default_stop_ids = frozenset(stop_ids)
         self.obs = obs if obs is not None else Observability()
+        # One paged arena owns every KV byte this engine touches — decode
+        # batches, prefills and prefix-cache claims all share its slabs.
+        # ``kv_dtype="float16"`` halves resident cache bytes (attention
+        # math stays float32); ``kv_block_size`` sets slab granularity.
+        self.kv_arena = KVArena(block_size=kv_block_size, dtype=kv_dtype)
         self.prefix_cache = PrefixCache(prefix_cache_capacity) if prefix_cache_capacity else None
         self.batcher = ContinuousBatcher(
             network,
@@ -58,6 +66,7 @@ class InferenceEngine:
             max_batch_tokens=max_batch_tokens,
             prefix_cache=self.prefix_cache,
             obs=self.obs,
+            arena=self.kv_arena,
         )
         self._lock = threading.Lock()
         self._next_request_id = 0
@@ -219,6 +228,7 @@ class InferenceEngine:
         with self._lock:
             report = self.batcher.stats()
             report["requests_submitted"] = self._next_request_id
+            report["kv_arena"] = self.kv_arena.stats()
             if self.prefix_cache is not None:
                 report["prefix_cache"] = self.prefix_cache.stats()
             profiler = self.obs.profiler

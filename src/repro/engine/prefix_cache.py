@@ -5,8 +5,17 @@ whole playbook buffer on every keystroke, so consecutive prompts share a
 long common prefix.  Because keys and values in a causal model depend only
 on the tokens at or before their position, the per-layer K/V arrays
 computed while prefilling one prompt are bit-identical to what any later
-prompt with the same token prefix would recompute — so we snapshot them
-and let later requests skip that part of prefill entirely.
+prompt with the same token prefix would recompute — so we keep them
+reachable and let later requests skip that part of prefill entirely.
+
+Storage is zero-copy: an entry holds per-layer
+:class:`~repro.nn.kv_arena.SlabRef` claims on the arena slabs the prefill
+already wrote, not array snapshots.  ``insert`` freezes the claimed
+columns; ``lookup`` hands back reader :class:`KVCache` aliases over them.
+Copy-on-write in the arena keeps sharers safe: the common case — a
+continuation appending right after the frozen columns — extends the slab
+in place for free, while a divergent continuation copies its own prefix
+out before writing.  Dropping an entry merely releases the claim.
 
 Entries are stored per *truncated* prompt (positions are absolute, so the
 post-truncation token sequence is the correct cache key) and evicted LRU.
@@ -21,22 +30,34 @@ from collections import OrderedDict
 
 import numpy as np
 
-from repro.nn.attention import KVCache
+from repro.nn.kv_arena import KVCache, SlabRef
 
-# One stored layer: (rotated keys, values), each of shape (1, H, T, D).
-LayerSnapshot = tuple[np.ndarray, np.ndarray]
+
+class _Entry:
+    """One stored prefix: its token ids (as an array) and per-layer claims."""
+
+    __slots__ = ("key_array", "refs")
+
+    def __init__(self, key_array: np.ndarray, refs: list[SlabRef]):
+        self.key_array = key_array
+        self.refs = refs
+
+    def release(self) -> None:
+        for ref in self.refs:
+            ref.release()
 
 
 class PrefixCache:
-    """LRU map from token-id prefixes to per-layer K/V snapshots."""
+    """LRU map from token-id prefixes to per-layer arena slab claims."""
 
     def __init__(self, capacity: int = 32):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._entries: OrderedDict[tuple[int, ...], list[LayerSnapshot]] = OrderedDict()
+        self._entries: OrderedDict[tuple[int, ...], _Entry] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.skipped = 0
         self.evictions = 0
         self.tokens_reused = 0
 
@@ -44,54 +65,59 @@ class PrefixCache:
         return len(self._entries)
 
     @staticmethod
-    def _common_prefix(a: tuple[int, ...], b: tuple[int, ...]) -> int:
-        matched = 0
-        for x, y in zip(a, b):
-            if x != y:
-                break
-            matched += 1
-        return matched
+    def _common_prefix(a: np.ndarray, b: np.ndarray) -> int:
+        """Length of the common prefix of two int arrays, vectorized."""
+        limit = min(a.size, b.size)
+        if limit == 0:
+            return 0
+        equal = a[:limit] == b[:limit]
+        return limit if equal.all() else int(np.argmin(equal))
 
     def lookup(self, prompt_ids: list[int] | tuple[int, ...]) -> tuple[int, list[KVCache]] | None:
         """Best reusable prefix for ``prompt_ids``.
 
         Returns ``(matched_length, seeded_caches)`` — fresh per-layer
-        :class:`KVCache` objects holding *copies* of the matched K/V
-        columns — or ``None`` when nothing matches.  The match is capped
-        at ``len(prompt_ids) - 1`` so at least one token remains for live
-        prefill.
+        reader :class:`KVCache` aliases over the matched arena columns,
+        zero bytes copied — or ``None`` when nothing matches.  The match
+        is capped at ``len(prompt_ids) - 1`` so at least one token remains
+        for live prefill.  Prompts too short to ever match are counted as
+        ``skipped``, not ``misses``, so ``hit_rate`` reflects prompts the
+        cache actually scanned.
         """
         prompt = tuple(prompt_ids)
         usable_limit = len(prompt) - 1
         if usable_limit < 1:
-            self.misses += 1
+            self.skipped += 1
             return None
+        prompt_array = np.asarray(prompt, dtype=np.int64)
+        first = prompt_array[0]
         best_key: tuple[int, ...] | None = None
         best_len = 0
-        for key in self._entries:
-            usable = min(self._common_prefix(prompt, key), usable_limit)
+        for key, entry in self._entries.items():
+            # O(1) reject before the vectorized compare: a differing first
+            # token can never beat best_len >= 0 matches.
+            if entry.key_array[0] != first:
+                continue
+            usable = min(self._common_prefix(prompt_array, entry.key_array), usable_limit)
             if usable > best_len:
                 best_key, best_len = key, usable
         if best_key is None:
             self.misses += 1
             return None
         self._entries.move_to_end(best_key)
-        snapshots = self._entries[best_key]
-        caches: list[KVCache] = []
-        for keys, values in snapshots:
-            cache = KVCache()
-            cache.keys = keys[:, :, :best_len].copy()
-            cache.values = values[:, :, :best_len].copy()
-            caches.append(cache)
+        entry = self._entries[best_key]
+        caches = [ref.alias(best_len) for ref in entry.refs]
         self.hits += 1
         self.tokens_reused += best_len
         return best_len, caches
 
     def insert(self, prompt_ids: list[int] | tuple[int, ...], caches: list[KVCache]) -> bool:
-        """Snapshot a freshly prefilled prompt's K/V columns.
+        """Claim a freshly prefilled prompt's K/V columns — zero copies.
 
-        Skipped when an existing entry already covers this prompt (the
-        prompt is a prefix of a stored key).  Returns True if stored.
+        Takes :meth:`~repro.nn.kv_arena.KVCache.share` refs on the live
+        caches' slabs, freezing the prompt's columns in place.  Skipped
+        when an existing entry already covers this prompt (the prompt is a
+        prefix of a stored key).  Returns True if stored.
         """
         prompt = tuple(prompt_ids)
         if not prompt:
@@ -101,28 +127,30 @@ class PrefixCache:
                 self._entries.move_to_end(key)
                 return False
         length = len(prompt)
-        snapshots: list[LayerSnapshot] = []
         for cache in caches:
-            if cache.keys is None or cache.length < length:
+            if not isinstance(cache, KVCache) or cache.length < length:
                 return False  # cache does not cover the prompt; nothing to store
-            snapshots.append(
-                (cache.keys[:, :, :length].copy(), cache.values[:, :, :length].copy())
-            )
-        self._entries[prompt] = snapshots
+        entry = _Entry(
+            np.asarray(prompt, dtype=np.int64), [cache.share(length) for cache in caches]
+        )
+        self._entries[prompt] = entry
         self._entries.move_to_end(prompt)
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            _, evicted = self._entries.popitem(last=False)
+            evicted.release()
             self.evictions += 1
         return True
 
     def clear(self) -> None:
-        """Drop every stored snapshot, keeping the lifetime counters.
+        """Drop every stored claim, keeping the lifetime counters.
 
         ``hits``/``misses``/``evictions``/``tokens_reused`` survive so any
         rate computed from :meth:`stats` stays monotonic across resets —
         clearing reclaims memory, it does not rewrite history.  Cleared
         entries are not counted as evictions (nothing displaced them).
         """
+        for entry in self._entries.values():
+            entry.release()
         self._entries.clear()
 
     def stats(self) -> dict:
@@ -132,6 +160,7 @@ class PrefixCache:
             "capacity": self.capacity,
             "hits": self.hits,
             "misses": self.misses,
+            "skipped": self.skipped,
             "evictions": self.evictions,
             "tokens_reused": self.tokens_reused,
             "hit_rate": self.hits / total if total else 0.0,

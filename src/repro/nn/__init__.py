@@ -1,6 +1,7 @@
 """Numpy neural-network substrate: layers, transformer, optimizer, sampling."""
 
-from repro.nn.attention import CausalSelfAttention, KVCache
+from repro.nn.attention import CausalSelfAttention, KVCache, causal_mask
+from repro.nn.kv_arena import DenseKVCache, KVArena, SlabRef, default_arena
 from repro.nn.layers import (
     Embedding,
     Layer,
@@ -10,10 +11,11 @@ from repro.nn.layers import (
     gelu,
     gelu_backward,
     softmax,
+    softmax_inplace,
 )
 from repro.nn.optim import Adam, CosineSchedule, LinearSchedule, clip_grad_norm
 from repro.nn.parameter import Parameter, numpy_rng
-from repro.nn.rotary import apply_rotary, apply_rotary_backward, rotary_tables
+from repro.nn.rotary import apply_rotary, apply_rotary_backward, rotary_tables, shared_rotary_tables
 from repro.nn.sampling import (
     GenerationResult,
     generate_beam,
@@ -26,6 +28,11 @@ from repro.nn.transformer import Block, DecoderLM, Mlp, TransformerConfig
 __all__ = [
     "CausalSelfAttention",
     "KVCache",
+    "causal_mask",
+    "DenseKVCache",
+    "KVArena",
+    "SlabRef",
+    "default_arena",
     "Embedding",
     "Layer",
     "LayerNorm",
@@ -34,6 +41,7 @@ __all__ = [
     "gelu",
     "gelu_backward",
     "softmax",
+    "softmax_inplace",
     "Adam",
     "CosineSchedule",
     "LinearSchedule",
@@ -43,6 +51,7 @@ __all__ = [
     "apply_rotary",
     "apply_rotary_backward",
     "rotary_tables",
+    "shared_rotary_tables",
     "GenerationResult",
     "generate_beam",
     "generate_greedy",

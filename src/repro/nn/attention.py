@@ -4,6 +4,12 @@ Matches the attention used by the CodeGen family: rotary-embedded queries
 and keys, scaled dot product, causal mask, learned output projection.  The
 layer supports an inference-time key/value cache so generation costs
 O(T) per new token instead of O(T^2).
+
+The decode hot path is allocation-free by design: K/V columns append in
+place into arena slabs (:mod:`repro.nn.kv_arena`), causal masks come from
+a memoized table keyed by ``(new_length, total, diagonal)``, rotary
+cos/sin tables are shared process-wide, the score matmul writes into a
+per-slab scratch buffer and masking + softmax run in place on it.
 """
 
 from __future__ import annotations
@@ -11,30 +17,38 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ShapeError
-from repro.nn.layers import Layer, Linear, softmax
-from repro.nn.rotary import apply_rotary, apply_rotary_backward, rotary_tables
+from repro.nn.kv_arena import DenseKVCache, KVArena, KVCache, default_arena  # noqa: F401 — re-exported
+from repro.nn.layers import Layer, Linear, softmax, softmax_inplace
+from repro.nn.rotary import apply_rotary, apply_rotary_backward, shared_rotary_tables
 
 NEG_INF = np.float32(-1e9)
 
+_MASK_CACHE: dict[tuple[int, int, int], np.ndarray | None] = {}
+_MASK_CACHE_LIMIT = 512
 
-class KVCache:
-    """Per-layer accumulated keys/values for incremental decoding."""
 
-    def __init__(self) -> None:
-        self.keys: np.ndarray | None = None
-        self.values: np.ndarray | None = None
+def causal_mask(new_length: int, total: int, diagonal: int) -> np.ndarray | None:
+    """Memoized boolean mask: True where query ``i`` must not see key ``j``.
 
-    @property
-    def length(self) -> int:
-        return 0 if self.keys is None else self.keys.shape[2]
-
-    def append(self, keys: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        if self.keys is None:
-            self.keys, self.values = keys, values
-        else:
-            self.keys = np.concatenate([self.keys, keys], axis=2)
-            self.values = np.concatenate([self.values, values], axis=2)
-        return self.keys, self.values
+    Equivalent to ``np.triu(np.ones((new_length, total), bool), k=diagonal)``
+    but built once per shape instead of once per forward call.  Returns
+    ``None`` when the mask would be all-False (every single-token decode
+    step: ``diagonal == total``), letting callers skip masking entirely.
+    The cached arrays are read-only.
+    """
+    key = (new_length, total, diagonal)
+    try:
+        return _MASK_CACHE[key]
+    except KeyError:
+        pass
+    mask = np.triu(np.ones((new_length, total), dtype=bool), k=diagonal)
+    entry: np.ndarray | None = mask if mask.any() else None
+    if entry is not None:
+        entry.flags.writeable = False
+    if len(_MASK_CACHE) >= _MASK_CACHE_LIMIT:
+        _MASK_CACHE.clear()
+    _MASK_CACHE[key] = entry
+    return entry
 
 
 class CausalSelfAttention(Layer):
@@ -51,7 +65,7 @@ class CausalSelfAttention(Layer):
         self.key_proj = Linear(f"{name}.k", dim, dim, rng, std=std, bias=False)
         self.value_proj = Linear(f"{name}.v", dim, dim, rng, std=std, bias=False)
         self.out_proj = Linear(f"{name}.o", dim, dim, rng, std=std)
-        self._cos, self._sin = rotary_tables(n_positions, self.head_dim)
+        self._cos, self._sin = shared_rotary_tables(n_positions, self.head_dim)
         self._cache: dict[str, np.ndarray] | None = None
 
     # -- shape helpers -----------------------------------------------------
@@ -81,8 +95,9 @@ class CausalSelfAttention(Layer):
 
         scale = 1.0 / np.sqrt(self.head_dim)
         scores = (rotated_queries @ rotated_keys.transpose(0, 1, 3, 2)) * scale
-        causal = np.triu(np.ones((length, length), dtype=bool), k=1)
-        scores = np.where(causal, NEG_INF, scores)
+        causal = causal_mask(length, length, 1)
+        if causal is not None:
+            np.copyto(scores, NEG_INF, where=causal)
         weights = softmax(scores, axis=-1)
         context = weights @ values
         merged = self._merge_heads(context)
@@ -136,6 +151,7 @@ class CausalSelfAttention(Layer):
         kv_cache: KVCache,
         positions: np.ndarray | None = None,
         key_padding_mask: np.ndarray | None = None,
+        rope: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> np.ndarray:
         """Inference forward for the new suffix ``x``, reusing cached K/V.
 
@@ -155,10 +171,21 @@ class CausalSelfAttention(Layer):
           over the post-append cache columns; ``True`` marks padding
           columns that no query may attend to.
 
+        ``rope`` optionally passes pre-gathered ``(cos, sin)`` slices so a
+        multi-layer model pays the rotary table gather once per step
+        instead of once per layer (:meth:`DecoderLM.forward_incremental`
+        does this); when given, it overrides ``positions`` for the rotary
+        math.
+
         Padding columns receive weight exactly 0.0 after the softmax (the
         ``NEG_INF`` score underflows), so a padded batched forward is
         numerically equivalent to per-row unpadded forwards up to float
         summation order.
+
+        Single-token steps through an arena-backed :class:`KVCache` are
+        allocation-free: scores target the slab's scratch buffer, the
+        causal mask is vacuous and skipped, masked fill and softmax run in
+        place.
         """
         batch, new_length, _ = x.shape
         offset = kv_cache.length
@@ -171,7 +198,9 @@ class CausalSelfAttention(Layer):
         keys = self._split_heads(self.key_proj.forward(x, training=False))
         values = self._split_heads(self.value_proj.forward(x, training=False))
 
-        if positions is None:
+        if rope is not None:
+            cos_new, sin_new = rope
+        elif positions is None:
             cos_new = self._cos[offset:total][None, None]
             sin_new = self._sin[offset:total][None, None]
         else:
@@ -191,16 +220,26 @@ class CausalSelfAttention(Layer):
 
         all_keys, all_values = kv_cache.append(rotated_keys, values)
         scale = 1.0 / np.sqrt(self.head_dim)
-        scores = (rotated_queries @ all_keys.transpose(0, 1, 3, 2)) * scale
-        causal = np.triu(np.ones((new_length, total), dtype=bool), k=offset + 1)
-        scores = np.where(causal, NEG_INF, scores)
+        scores = None
+        if new_length == 1:
+            scratch = getattr(kv_cache, "decode_scores", None)
+            if scratch is not None:
+                scores = scratch(self.n_heads)
+        if scores is not None:
+            np.matmul(rotated_queries, all_keys.transpose(0, 1, 3, 2), out=scores)
+            scores *= scale
+        else:
+            scores = (rotated_queries @ all_keys.transpose(0, 1, 3, 2)) * scale
+        causal = causal_mask(new_length, total, offset + 1)
+        if causal is not None:
+            np.copyto(scores, NEG_INF, where=causal)
         if key_padding_mask is not None:
             key_padding_mask = np.asarray(key_padding_mask, dtype=bool)
             if key_padding_mask.shape != (batch, total):
                 raise ShapeError(
                     f"key_padding_mask shape {key_padding_mask.shape} != (batch, total) {(batch, total)}"
                 )
-            scores = np.where(key_padding_mask[:, None, None, :], NEG_INF, scores)
-        weights = softmax(scores, axis=-1)
+            np.copyto(scores, NEG_INF, where=key_padding_mask[:, None, None, :])
+        weights = softmax_inplace(scores)
         context = weights @ all_values
         return self.out_proj.forward(self._merge_heads(context), training=False)

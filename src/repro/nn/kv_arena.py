@@ -1,0 +1,572 @@
+"""Paged KV-cache arena: preallocated block storage with copy-on-write sharing.
+
+The decode hot path used to pay O(T) memory traffic per generated token per
+layer just to *store* one new K/V column: ``np.concatenate`` reallocates and
+copies the whole cache on every append, so a length-T generation moves
+O(T^2) bytes per layer before attention reads a single key.  This module
+replaces that with an arena of reusable storage slabs:
+
+* :class:`KVArena` — the allocator.  It hands out :class:`ArenaSlab`
+  objects whose capacity is rounded up to a whole number of fixed-size
+  token *blocks* and pools released slabs for reuse, so steady-state
+  serving recycles memory instead of churning the allocator.  One arena is
+  shared by every layer and every request of an engine.
+* :class:`ArenaSlab` — refcounted K/V storage for one sequence batch:
+  ``k``/``v`` arrays of shape ``(B, H, capacity, D)`` plus an optional
+  float32 score scratch buffer reused by the decode softmax.
+* :class:`KVCache` — the per-layer cache handle the transformer decodes
+  through.  ``append`` writes new columns **in place**; capacity grows
+  geometrically (amortised O(1) copies per token); ``keys``/``values``
+  are zero-copy views.
+* :class:`SlabRef` — a read-only claim on a slab prefix, the currency of
+  the prefix cache.  Sharing is **copy-on-write**: a continuation that
+  appends right at the frozen high-water mark of an otherwise writer-free
+  slab extends it in place (the dominant "playbook buffer grew by a few
+  tokens" pattern costs zero copies); a continuation that would overwrite
+  another claim's columns copies its own prefix out first.
+
+Storage dtype is a knob: ``KVArena(dtype=np.float16)`` stores K/V in
+half precision (halving resident cache bytes) while all attention math
+stays float32 — reads convert on the fly, trading one O(T) upcast per
+step for half the memory footprint.
+
+:class:`DenseKVCache` preserves the pre-arena concatenate-on-append
+behaviour for equivalence tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+DEFAULT_BLOCK_SIZE = 32
+
+#: Storage dtypes the arena accepts; compute is always float32.
+SUPPORTED_KV_DTYPES = (np.dtype(np.float32), np.dtype(np.float16))
+
+
+class ArenaSlab:
+    """Refcounted K/V storage for one sequence batch over ``capacity`` columns.
+
+    ``refcount`` counts every live claim (cache handles and prefix-cache
+    refs); ``writers`` counts handles allowed to append in place (at most
+    one); ``frozen`` is the highest column claimed by any read-only
+    sharer — in-place writes below it are forbidden.
+    """
+
+    __slots__ = ("arena", "k", "v", "scores", "capacity", "refcount", "writers", "frozen", "managed")
+
+    def __init__(self) -> None:
+        self.arena: "KVArena | None" = None
+        self.k: np.ndarray | None = None
+        self.v: np.ndarray | None = None
+        self.scores: np.ndarray | None = None
+        self.capacity = 0
+        self.refcount = 0
+        self.writers = 0
+        self.frozen = 0
+        self.managed = False
+
+    @property
+    def nbytes(self) -> int:
+        total = 0
+        if self.k is not None:
+            total += self.k.nbytes
+        if self.v is not None:
+            total += self.v.nbytes
+        return total
+
+    def __del__(self) -> None:
+        # A slab garbage-collected with live claims (its caches were
+        # dropped without release()) must still surrender its byte
+        # accounting, or ``bytes_in_use`` drifts upward forever.
+        try:
+            if self.managed and self.refcount > 0 and self.arena is not None:
+                self.arena._forget(self)
+        except Exception:
+            pass  # interpreter shutdown
+
+
+class SlabRef:
+    """A read-only claim on the first ``length`` columns of a slab.
+
+    What the prefix cache stores instead of K/V copies: holding a ref
+    keeps the slab (and its first ``length`` columns) alive and immutable;
+    :meth:`alias` mints :class:`KVCache` reader handles over the claim.
+    """
+
+    __slots__ = ("slab", "length", "_released")
+
+    def __init__(self, slab: ArenaSlab, length: int):
+        self.slab = slab
+        self.length = length
+        self._released = False
+
+    def alias(self, length: int | None = None) -> "KVCache":
+        """A fresh reader cache over the first ``length`` claimed columns."""
+        if self._released:
+            raise ShapeError("alias of a released SlabRef")
+        use = self.length if length is None else length
+        if use > self.length:
+            raise ShapeError(f"alias length {use} exceeds claimed {self.length}")
+        cache = KVCache.__new__(KVCache)
+        cache._arena = self.slab.arena
+        cache._slab = self.slab
+        cache._length = use
+        cache._writer = False
+        cache.last_append_moved_bytes = 0
+        self.slab.refcount += 1
+        return cache
+
+    def release(self) -> None:
+        """Drop the claim; idempotent."""
+        if not self._released:
+            self._released = True
+            self.slab.arena.release(self.slab)
+
+
+class KVArena:
+    """Block-granular slab allocator shared across layers and requests."""
+
+    def __init__(
+        self,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        dtype: np.dtype | str = np.float32,
+        max_pooled: int = 64,
+    ):
+        if block_size < 1:
+            raise ShapeError(f"block_size must be >= 1, got {block_size}")
+        dtype = np.dtype(dtype)
+        if dtype not in SUPPORTED_KV_DTYPES:
+            raise ShapeError(f"kv dtype must be float32 or float16, got {dtype}")
+        self.block_size = block_size
+        self.dtype = dtype
+        self._pool: dict[tuple[int, int, int, int], list[ArenaSlab]] = {}
+        self._pooled = 0
+        self._max_pooled = max_pooled
+        self._lock = threading.Lock()
+        # -- lifetime counters (monotonic) --
+        self.slabs_allocated = 0
+        self.slabs_reused = 0
+        self.bytes_allocated = 0
+        self.bytes_copied = 0  # growth + copy-on-write + batch reshape copies
+        self.appends = 0
+        self.grow_copies = 0
+        self.cow_copies = 0
+        # -- occupancy (approximate: slabs dropped by GC are reconciled lazily) --
+        self.bytes_in_use = 0
+        self.peak_bytes_in_use = 0
+
+    def round_up(self, tokens: int) -> int:
+        """Smallest whole-block capacity covering ``tokens`` columns."""
+        blocks = (max(1, tokens) + self.block_size - 1) // self.block_size
+        return blocks * self.block_size
+
+    def acquire(self, batch: int, heads: int, head_dim: int, min_tokens: int) -> ArenaSlab:
+        """A writable slab of at least ``min_tokens`` columns (block-rounded)."""
+        capacity = self.round_up(min_tokens)
+        key = (batch, heads, capacity, head_dim)
+        slab: ArenaSlab | None = None
+        with self._lock:
+            stack = self._pool.get(key)
+            if stack:
+                slab = stack.pop()
+                self._pooled -= 1
+        if slab is not None:
+            self.slabs_reused += 1
+        else:
+            slab = ArenaSlab()
+            slab.arena = self
+            slab.k = np.empty((batch, heads, capacity, head_dim), dtype=self.dtype)
+            slab.v = np.empty((batch, heads, capacity, head_dim), dtype=self.dtype)
+            slab.capacity = capacity
+            slab.managed = True
+            self.slabs_allocated += 1
+            self.bytes_allocated += slab.nbytes
+        slab.refcount = 1
+        slab.writers = 1
+        slab.frozen = 0
+        self.bytes_in_use += slab.nbytes
+        if self.bytes_in_use > self.peak_bytes_in_use:
+            self.peak_bytes_in_use = self.bytes_in_use
+        return slab
+
+    def adopt(self) -> ArenaSlab:
+        """An empty unmanaged slab wrapping caller-provided arrays.
+
+        Used by the ``KVCache.keys``/``values`` setters; unmanaged slabs
+        are never pooled and excluded from byte accounting.
+        """
+        slab = ArenaSlab()
+        slab.arena = self
+        slab.refcount = 1
+        slab.writers = 1
+        return slab
+
+    def release(self, slab: ArenaSlab) -> None:
+        """Drop one claim; pool the slab once the last claim is gone."""
+        slab.refcount -= 1
+        if slab.refcount > 0:
+            return
+        slab.writers = 0
+        slab.frozen = 0
+        if not slab.managed:
+            return
+        self.bytes_in_use -= slab.nbytes
+        key = (slab.k.shape[0], slab.k.shape[1], slab.capacity, slab.k.shape[3])
+        with self._lock:
+            if self._pooled < self._max_pooled:
+                self._pool.setdefault(key, []).append(slab)
+                self._pooled += 1
+
+    def _forget(self, slab: ArenaSlab) -> None:
+        """Reconcile byte accounting for a slab dropped without release."""
+        self.bytes_in_use -= slab.nbytes
+        slab.refcount = 0
+
+    def stats(self) -> dict:
+        """JSON-ready allocator counters for engine/serving stats."""
+        return {
+            "block_size": self.block_size,
+            "dtype": self.dtype.name,
+            "slabs_allocated": self.slabs_allocated,
+            "slabs_reused": self.slabs_reused,
+            "slabs_pooled": self._pooled,
+            "bytes_allocated": self.bytes_allocated,
+            "bytes_in_use": self.bytes_in_use,
+            "peak_bytes_in_use": self.peak_bytes_in_use,
+            "bytes_copied": self.bytes_copied,
+            "appends": self.appends,
+            "grow_copies": self.grow_copies,
+            "cow_copies": self.cow_copies,
+        }
+
+
+_DEFAULT_ARENA: KVArena | None = None
+
+
+def default_arena() -> KVArena:
+    """The process-wide arena used by caches constructed without one."""
+    global _DEFAULT_ARENA
+    if _DEFAULT_ARENA is None:
+        _DEFAULT_ARENA = KVArena()
+    return _DEFAULT_ARENA
+
+
+class KVCache:
+    """Per-layer accumulated keys/values for incremental decoding.
+
+    A handle over arena-owned storage: ``append`` writes new columns in
+    place (never ``np.concatenate``), growing capacity geometrically in
+    whole blocks when exhausted, and honouring copy-on-write when the
+    underlying slab is shared with the prefix cache or a sibling request.
+    ``keys``/``values`` keep the historical array-attribute interface:
+    reading yields views (copies when that is the only way to stay
+    isolated from sharers), assigning adopts the array as fresh exclusive
+    storage.
+    """
+
+    __slots__ = ("_arena", "_slab", "_length", "_writer", "last_append_moved_bytes")
+
+    def __init__(self, arena: KVArena | None = None) -> None:
+        self._arena = arena if arena is not None else default_arena()
+        self._slab: ArenaSlab | None = None
+        self._length = 0
+        self._writer = False
+        #: Bytes physically moved (read+write) by the most recent append —
+        #: O(new columns) in place, O(length) when growth or COW copied.
+        self.last_append_moved_bytes = 0
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    @property
+    def batch_size(self) -> int:
+        return 0 if self._slab is None or self._slab.k is None else self._slab.k.shape[0]
+
+    @property
+    def capacity(self) -> int:
+        return 0 if self._slab is None else self._slab.capacity
+
+    @property
+    def is_shared(self) -> bool:
+        return self._slab is not None and self._slab.refcount > 1
+
+    def _exclusive(self) -> bool:
+        return self._writer and self._slab is not None and self._slab.refcount == 1
+
+    # -- array-attribute compatibility ---------------------------------------
+
+    def _read(self, array: np.ndarray | None) -> np.ndarray | None:
+        if array is None:
+            return None
+        view = array[:, :, : self._length]
+        if view.dtype != np.float32:
+            return view.astype(np.float32)
+        if not self._exclusive():
+            return view.copy()  # isolate sharers from caller mutation
+        return view
+
+    @property
+    def keys(self) -> np.ndarray | None:
+        return None if self._slab is None else self._read(self._slab.k)
+
+    @property
+    def values(self) -> np.ndarray | None:
+        return None if self._slab is None else self._read(self._slab.v)
+
+    def _adopt_slot(self, array: np.ndarray, slot: str) -> None:
+        if array.ndim != 4:
+            raise ShapeError(f"cache arrays must be (B, H, T, D), got shape {array.shape}")
+        array = np.ascontiguousarray(array, dtype=self._arena.dtype)
+        slab = self._slab
+        if slab is None or slab.managed or not self._exclusive():
+            self.release()
+            slab = self._slab = self._arena.adopt()
+            self._writer = True
+        setattr(slab, slot, array)
+        slab.capacity = array.shape[2]
+        slab.scores = None
+        self._length = array.shape[2]
+
+    @keys.setter
+    def keys(self, array: np.ndarray | None) -> None:
+        if array is None:
+            self.release()
+        else:
+            self._adopt_slot(array, "k")
+
+    @values.setter
+    def values(self, array: np.ndarray | None) -> None:
+        if array is None:
+            self.release()
+        else:
+            self._adopt_slot(array, "v")
+
+    # -- the hot path --------------------------------------------------------
+
+    def view(self) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """Zero-copy ``(keys, values)`` views over the live columns.
+
+        In float16 storage mode the views are upcast to float32 for
+        compute (one O(T) conversion — the documented fp16 tradeoff).
+        """
+        slab = self._slab
+        if slab is None or slab.k is None:
+            return None, None
+        k = slab.k[:, :, : self._length]
+        v = slab.v[:, :, : self._length]
+        if k.dtype != np.float32:
+            k = k.astype(np.float32)
+            v = v.astype(np.float32)
+        return k, v
+
+    def append(self, keys: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Write ``keys``/``values`` columns in place; return full views.
+
+        In-place unless capacity is exhausted (geometric growth, amortised
+        O(1) copies per token) or the slab is shared in a way that makes
+        the write unsafe (copy-on-write: the cache copies its own prefix
+        to a fresh slab, leaving every sharer's view intact).  A reader
+        whose view already spans the slab's frozen columns promotes to the
+        writer when the seat is free — the extend-the-prompt serving
+        pattern appends with zero copies.
+        """
+        if keys.ndim != 4 or keys.shape != values.shape:
+            raise ShapeError(f"append shapes {keys.shape} vs {values.shape} must match (B, H, T, D)")
+        batch, heads, new, head_dim = keys.shape
+        arena = self._arena
+        slab = self._slab
+        length = self._length
+        needed = length + new
+        moved = 0
+        if slab is not None and slab.k is not None and slab.k.shape[0] != batch:
+            raise ShapeError(f"append batch {batch} != cache batch {slab.k.shape[0]}")
+        if slab is None:
+            slab = self._slab = arena.acquire(batch, heads, head_dim, needed)
+            self._writer = True
+        else:
+            in_place = needed <= slab.capacity
+            if in_place and not self._writer:
+                if slab.writers == 0 and length >= slab.frozen:
+                    slab.writers = 1
+                    self._writer = True
+                else:
+                    in_place = False
+            if not in_place:
+                if slab.refcount > 1 and not self._writer:
+                    target = max(needed, slab.capacity)
+                    arena.cow_copies += 1
+                else:
+                    target = max(needed, 2 * slab.capacity)
+                    arena.grow_copies += 1
+                grown = arena.acquire(batch, heads, head_dim, target)
+                if length:
+                    grown.k[:, :, :length] = slab.k[:, :, :length]
+                    grown.v[:, :, :length] = slab.v[:, :, :length]
+                    copied = 2 * length * batch * heads * head_dim * grown.k.itemsize
+                    arena.bytes_copied += copied
+                    moved += 2 * copied
+                if self._writer:
+                    slab.writers -= 1
+                arena.release(slab)
+                slab = self._slab = grown
+                self._writer = True
+        slab.k[:, :, length:needed] = keys
+        slab.v[:, :, length:needed] = values
+        self._length = needed
+        arena.appends += 1
+        moved += 4 * new * batch * heads * head_dim * slab.k.itemsize  # read+write, K and V
+        self.last_append_moved_bytes = moved
+        return self.view()
+
+    def decode_scores(self, heads: int) -> np.ndarray | None:
+        """Reusable float32 score buffer of shape (B, H, 1, length).
+
+        Backs the allocation-free single-token attention step: the score
+        matmul writes here via ``out=`` and the softmax runs in place.
+        """
+        slab = self._slab
+        if slab is None or slab.k is None:
+            return None
+        batch = slab.k.shape[0]
+        scores = slab.scores
+        if scores is None or scores.shape[0] != batch or scores.shape[1] != heads:
+            scores = slab.scores = np.empty((batch, heads, 1, slab.capacity), dtype=np.float32)
+        return scores[:, :, :, : self._length]
+
+    # -- sharing (prefix cache) ----------------------------------------------
+
+    def share(self, length: int) -> SlabRef:
+        """A read-only claim on the first ``length`` columns — zero copies.
+
+        Freezes those columns: any sharer (including this cache) may keep
+        appending *beyond* them in place, but a write below the frozen
+        mark forces copy-on-write.
+        """
+        slab = self._slab
+        if slab is None or length > self._length:
+            raise ShapeError(f"cannot share {length} columns of a length-{self._length} cache")
+        slab.refcount += 1
+        if length > slab.frozen:
+            slab.frozen = length
+        return SlabRef(slab, length)
+
+    # -- batch layout (engine) -----------------------------------------------
+
+    def take_from(self, other: "KVCache") -> None:
+        """Steal ``other``'s storage (zero copy); ``other`` is left empty."""
+        self.release()
+        self._slab = other._slab
+        self._length = other._length
+        self._writer = other._writer
+        other._slab = None
+        other._length = 0
+        other._writer = False
+
+    def merge_row(self, own: "KVCache", width: int) -> None:
+        """Admit batch-1 ``own`` as a new bottom row, right-aligned at ``width``.
+
+        Copies both operands into a fresh ``(B+1, ...)`` slab (one copy per
+        admission event, never per decode step) with zeroed padding columns.
+        """
+        slab = self._slab
+        if slab is None or own._slab is None:
+            raise ShapeError("merge_row requires both caches to hold storage")
+        if own.batch_size != 1:
+            raise ShapeError(f"merge_row admits batch-1 rows, got batch {own.batch_size}")
+        batch = slab.k.shape[0]
+        heads, head_dim = slab.k.shape[1], slab.k.shape[3]
+        length = self._length
+        own_length = own._length
+        arena = self._arena
+        grown = arena.acquire(batch + 1, heads, head_dim, width)
+        pad_old = width - length
+        pad_new = width - own_length
+        if pad_old:
+            grown.k[:batch, :, :pad_old] = 0
+            grown.v[:batch, :, :pad_old] = 0
+        grown.k[:batch, :, pad_old:width] = slab.k[:, :, :length]
+        grown.v[:batch, :, pad_old:width] = slab.v[:, :, :length]
+        if pad_new:
+            grown.k[batch, :, :pad_new] = 0
+            grown.v[batch, :, :pad_new] = 0
+        grown.k[batch, :, pad_new:width] = own._slab.k[0, :, :own_length]
+        grown.v[batch, :, pad_new:width] = own._slab.v[0, :, :own_length]
+        arena.bytes_copied += 2 * (batch * length + own_length) * heads * head_dim * grown.k.itemsize
+        if self._writer:
+            slab.writers -= 1
+        arena.release(slab)
+        self._slab = grown
+        self._length = width
+        self._writer = True
+
+    def select_rows(self, keep: list[int], trim: int) -> None:
+        """Retain ``keep`` rows and drop ``trim`` leading (all-pad) columns."""
+        slab = self._slab
+        if slab is None:
+            raise ShapeError("select_rows on an empty cache")
+        heads, head_dim = slab.k.shape[1], slab.k.shape[3]
+        new_length = self._length - trim
+        arena = self._arena
+        grown = arena.acquire(len(keep), heads, head_dim, new_length)
+        for row, source in enumerate(keep):
+            grown.k[row, :, :new_length] = slab.k[source, :, trim : self._length]
+            grown.v[row, :, :new_length] = slab.v[source, :, trim : self._length]
+        arena.bytes_copied += 2 * len(keep) * new_length * heads * head_dim * grown.k.itemsize
+        if self._writer:
+            slab.writers -= 1
+        arena.release(slab)
+        self._slab = grown
+        self._length = new_length
+        self._writer = True
+
+    def release(self) -> None:
+        """Return the storage claim to the arena; the cache becomes empty."""
+        slab = self._slab
+        if slab is None:
+            return
+        if self._writer:
+            slab.writers -= 1
+        self._slab = None
+        self._length = 0
+        self._writer = False
+        self._arena.release(slab)
+
+
+class DenseKVCache:
+    """The pre-arena concatenate-on-append cache, kept as the reference path.
+
+    Every append reallocates and copies the whole accumulated K/V — O(T)
+    traffic per decode step, O(T^2) per generated sequence.  Equivalence
+    tests decode through both implementations and compare token-for-token;
+    ``benchmarks/test_kv_arena.py`` measures the speedup of retiring it.
+    """
+
+    def __init__(self) -> None:
+        self.keys: np.ndarray | None = None
+        self.values: np.ndarray | None = None
+        self.last_append_moved_bytes = 0
+
+    @property
+    def length(self) -> int:
+        return 0 if self.keys is None else self.keys.shape[2]
+
+    def view(self) -> tuple[np.ndarray | None, np.ndarray | None]:
+        return self.keys, self.values
+
+    def append(self, keys: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if self.keys is None:
+            self.keys, self.values = keys, values
+        else:
+            self.keys = np.concatenate([self.keys, keys], axis=2)
+            self.values = np.concatenate([self.values, values], axis=2)
+        # The concatenate read and wrote every accumulated element.
+        self.last_append_moved_bytes = 2 * (self.keys.nbytes + self.values.nbytes)
+        return self.keys, self.values

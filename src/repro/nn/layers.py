@@ -161,6 +161,19 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     return exped / exped.sum(axis=axis, keepdims=True)
 
 
+def softmax_inplace(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax computed in ``x``'s own storage.
+
+    Identical values to :func:`softmax` but zero temporaries proportional
+    to ``x`` — the decode hot path calls this on a reused score scratch
+    buffer every step.  Returns ``x``.
+    """
+    np.subtract(x, x.max(axis=axis, keepdims=True), out=x)
+    np.exp(x, out=x)
+    np.divide(x, x.sum(axis=axis, keepdims=True), out=x)
+    return x
+
+
 def cross_entropy(logits: np.ndarray, targets: np.ndarray, ignore_index: int = -1) -> tuple[float, np.ndarray]:
     """Mean token cross-entropy and its gradient w.r.t. logits.
 

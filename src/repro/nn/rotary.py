@@ -21,6 +21,33 @@ def rotary_tables(n_positions: int, head_dim: int, base: float = 10000.0) -> tup
     return np.cos(angles).astype(np.float32), np.sin(angles).astype(np.float32)
 
 
+_SHARED_TABLES: dict[tuple[int, int, float], tuple[np.ndarray, np.ndarray]] = {}
+_SHARED_TABLES_LIMIT = 32
+
+
+def shared_rotary_tables(
+    n_positions: int, head_dim: int, base: float = 10000.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Memoized, read-only cos/sin tables shared by every attention layer.
+
+    The tables depend only on ``(n_positions, head_dim, base)``, so one
+    copy serves all layers of all models in the process instead of each
+    :class:`~repro.nn.attention.CausalSelfAttention` materialising its own.
+    The arrays are marked non-writeable; callers needing a private mutable
+    copy should use :func:`rotary_tables`.
+    """
+    key = (n_positions, head_dim, base)
+    tables = _SHARED_TABLES.get(key)
+    if tables is None:
+        cos, sin = rotary_tables(n_positions, head_dim, base)
+        cos.flags.writeable = False
+        sin.flags.writeable = False
+        if len(_SHARED_TABLES) >= _SHARED_TABLES_LIMIT:
+            _SHARED_TABLES.clear()
+        tables = _SHARED_TABLES[key] = (cos, sin)
+    return tables
+
+
 def apply_rotary(x: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
     """Rotate ``x`` of shape (B, H, T, D) using tables sliced to T rows.
 

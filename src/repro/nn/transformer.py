@@ -14,7 +14,9 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.nn.attention import CausalSelfAttention, KVCache
+from repro.nn.kv_arena import DenseKVCache, KVArena
 from repro.nn.layers import Embedding, Layer, LayerNorm, Linear, cross_entropy, gelu, gelu_backward
+from repro.nn.rotary import shared_rotary_tables
 
 
 @dataclass(frozen=True)
@@ -91,11 +93,14 @@ class Block(Layer):
         kv_cache: KVCache,
         positions: np.ndarray | None = None,
         key_padding_mask: np.ndarray | None = None,
+        rope: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> np.ndarray:
         normalized = self.norm.forward(x, training=False)
         return (
             x
-            + self.attention.forward_incremental(normalized, kv_cache, positions, key_padding_mask)
+            + self.attention.forward_incremental(
+                normalized, kv_cache, positions, key_padding_mask, rope=rope
+            )
             + self.mlp.forward(normalized, training=False)
         )
 
@@ -109,6 +114,9 @@ class DecoderLM(Layer):
         self.blocks = [Block(f"h{i}", config, rng) for i in range(config.n_layers)]
         self.final_norm = LayerNorm("ln_f", config.dim)
         self.lm_head = Linear("lm_head", config.dim, config.vocab_size, rng, std=config.init_std)
+        # One rotary table for the whole model (and, being memoized, the
+        # whole process); each layer's attention holds the same arrays.
+        self._rotary = shared_rotary_tables(config.n_positions, config.dim // config.n_heads)
 
     # -- training -----------------------------------------------------------
 
@@ -145,8 +153,31 @@ class DecoderLM(Layer):
 
     # -- inference -----------------------------------------------------------
 
-    def new_cache(self) -> list[KVCache]:
-        return [KVCache() for _ in self.blocks]
+    def new_cache(self, arena: KVArena | None = None) -> list[KVCache]:
+        """Fresh per-layer arena-backed caches (default: the process arena)."""
+        return [KVCache(arena) for _ in self.blocks]
+
+    def new_dense_cache(self) -> list[DenseKVCache]:
+        """The legacy concatenate-on-append caches, for comparison runs."""
+        return [DenseKVCache() for _ in self.blocks]
+
+    def _rope_slices(
+        self, offset: int, batch: int, new_length: int, positions: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Gather rotary cos/sin for this step once, shared by every layer."""
+        cos, sin = self._rotary
+        if positions is None:
+            return cos[offset : offset + new_length][None, None], sin[offset : offset + new_length][None, None]
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.shape != (batch, new_length):
+            raise ShapeError(
+                f"positions shape {positions.shape} != (batch, new) {(batch, new_length)}"
+            )
+        if positions.size and int(positions.max()) >= self.config.n_positions:
+            raise ShapeError(
+                f"position {int(positions.max())} exceeds n_positions {self.config.n_positions}"
+            )
+        return cos[positions][:, None], sin[positions][:, None]
 
     def forward_incremental(
         self,
@@ -161,9 +192,11 @@ class DecoderLM(Layer):
         left-padded cache layout; see
         :meth:`repro.nn.attention.CausalSelfAttention.forward_incremental`.
         """
+        batch, new_length = ids.shape
+        rope = self._rope_slices(caches[0].length if caches else 0, batch, new_length, positions)
         hidden = self.token_embedding.forward(ids, training=False)
         for block, cache in zip(self.blocks, caches):
-            hidden = block.forward_incremental(hidden, cache, positions, key_padding_mask)
+            hidden = block.forward_incremental(hidden, cache, positions, key_padding_mask, rope=rope)
         hidden = self.final_norm.forward(hidden, training=False)
         return self.lm_head.forward(hidden, training=False)
 

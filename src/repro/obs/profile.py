@@ -188,7 +188,14 @@ def _attention_incremental_cost(layer):
     def cost(args, kwargs, result):
         # The cost function runs post-call, so kv_cache.length is the
         # post-append total the new queries actually attended over.
-        return _attention_shapes(heads, head_dim, dim, args[0], args[1].length)
+        cache = args[1]
+        flops, moved = _attention_shapes(heads, head_dim, dim, args[0], cache.length)
+        # Cache-append traffic is where the paged arena and the legacy
+        # concatenate path diverge: in-place arena appends report O(new)
+        # bytes per step, dense concatenation O(total) — the profiler
+        # makes that difference visible per decode step.
+        moved += float(getattr(cache, "last_append_moved_bytes", 0))
+        return flops, moved
 
     return cost
 

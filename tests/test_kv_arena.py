@@ -1,0 +1,298 @@
+"""Paged KV-arena: equivalence with the dense path, COW safety, zero-copy sharing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import InferenceEngine, PrefixCache, prefill_single
+from repro.errors import ShapeError
+from repro.nn.attention import causal_mask
+from repro.nn.kv_arena import DenseKVCache, KVArena, KVCache
+from repro.nn.parameter import numpy_rng
+from repro.nn.rotary import shared_rotary_tables
+from repro.nn.sampling import plan_prompt
+from repro.nn.transformer import DecoderLM, TransformerConfig
+
+
+@pytest.fixture(scope="module")
+def network() -> DecoderLM:
+    config = TransformerConfig(vocab_size=32, n_positions=96, dim=32, n_layers=2, n_heads=4)
+    return DecoderLM(config, numpy_rng(7))
+
+
+def _dense_greedy(network: DecoderLM, prompt_ids, max_new_tokens, stop_ids=frozenset()):
+    """Greedy decode through the legacy concatenate caches (reference path)."""
+    prompt, _ = plan_prompt(network.config.n_positions, prompt_ids, max_new_tokens)
+    caches = network.new_dense_cache()
+    logits = network.forward_incremental(np.array([prompt], dtype=np.int64), caches)
+    next_id = int(logits[0, -1].argmax())
+    window = network.config.n_positions
+    out: list[int] = []
+    while True:
+        if next_id in stop_ids:
+            break
+        out.append(next_id)
+        if len(out) >= max_new_tokens or len(prompt) + len(out) >= window:
+            break
+        logits = network.forward_incremental(np.array([[next_id]], dtype=np.int64), caches)
+        next_id = int(logits[0, -1].argmax())
+    return out
+
+
+class TestDenseEquivalence:
+    def test_single_row_decode_matches_dense(self, network):
+        prompt = [3, 1, 4, 1, 5, 9, 2, 6]
+        arena_caches = network.new_cache(KVArena(block_size=4))
+        dense_caches = network.new_dense_cache()
+        ids = np.array([prompt], dtype=np.int64)
+        logits_arena = network.forward_incremental(ids, arena_caches)
+        logits_dense = network.forward_incremental(ids, dense_caches)
+        np.testing.assert_allclose(logits_arena, logits_dense, rtol=1e-5, atol=1e-6)
+        token = int(logits_dense[0, -1].argmax())
+        for _ in range(30):
+            step = np.array([[token]], dtype=np.int64)
+            logits_arena = network.forward_incremental(step, arena_caches)
+            logits_dense = network.forward_incremental(step, dense_caches)
+            np.testing.assert_allclose(logits_arena, logits_dense, rtol=1e-5, atol=1e-6)
+            assert int(logits_arena[0, -1].argmax()) == int(logits_dense[0, -1].argmax())
+            token = int(logits_dense[0, -1].argmax())
+
+    def test_left_padded_batched_decode_matches_dense(self, network):
+        prompts = [[1, 2, 3], [4, 5, 6, 7, 8, 9, 10], [11], [3, 1, 4, 1, 5]]
+        engine = InferenceEngine(network, prefix_cache_capacity=0, max_batch_size=4)
+        results = engine.generate_batch(prompts, max_new_tokens=12)
+        for prompt, result in zip(prompts, results):
+            assert result.token_ids == _dense_greedy(network, prompt, 12)
+
+    def test_prefix_seeded_decode_matches_dense(self, network):
+        base = [7, 8, 9, 10, 11, 12, 13, 14]
+        extended = base + [15, 16]
+        engine = InferenceEngine(network, prefix_cache_capacity=8, max_batch_size=2)
+        engine.generate_batch([base], max_new_tokens=8)
+        seeded = engine.generate_batch([extended], max_new_tokens=8)[0]
+        assert engine.prefix_cache.hits >= 1  # the second call decoded off shared slabs
+        assert seeded.token_ids == _dense_greedy(network, extended, 8)
+
+    def test_float16_storage_stays_close_to_dense(self, network):
+        prompt = [2, 7, 1, 8, 2, 8]
+        caches = network.new_cache(KVArena(block_size=8, dtype=np.float16))
+        dense = network.new_dense_cache()
+        ids = np.array([prompt], dtype=np.int64)
+        logits_fp16 = network.forward_incremental(ids, caches)
+        logits_fp32 = network.forward_incremental(ids, dense)
+        np.testing.assert_allclose(logits_fp16, logits_fp32, rtol=0.0, atol=0.05)
+        token = int(logits_fp32[0, -1].argmax())
+        for _ in range(10):
+            step = np.array([[token]], dtype=np.int64)
+            logits_fp16 = network.forward_incremental(step, caches)
+            logits_fp32 = network.forward_incremental(step, dense)
+            np.testing.assert_allclose(logits_fp16, logits_fp32, rtol=0.0, atol=0.05)
+            token = int(logits_fp32[0, -1].argmax())
+        assert caches[0].keys.dtype == np.float32  # reads upcast for compute
+        assert engine_dtype(caches[0]) == np.float16
+
+
+def engine_dtype(cache: KVCache):
+    return cache._slab.k.dtype
+
+
+class TestCopyOnWrite:
+    @staticmethod
+    def _filled_cache(arena: KVArena, length: int, seed: int = 0) -> KVCache:
+        rng = np.random.default_rng(seed)
+        cache = KVCache(arena)
+        keys = rng.standard_normal((1, 2, length, 4)).astype(np.float32)
+        values = rng.standard_normal((1, 2, length, 4)).astype(np.float32)
+        cache.append(keys, values)
+        return cache
+
+    def test_sibling_views_survive_continuation_writes(self):
+        arena = KVArena(block_size=4)
+        cache = self._filled_cache(arena, 6)
+        frozen_keys = cache.keys.copy()
+        ref = cache.share(6)
+        cache.release()
+
+        first = ref.alias(6)
+        second = ref.alias(6)
+        extra = np.full((1, 2, 1, 4), 5.0, dtype=np.float32)
+        first.append(extra, extra)  # promotes to in-place writer (seat was free)
+        sibling_extra = np.full((1, 2, 1, 4), -3.0, dtype=np.float32)
+        second.append(sibling_extra, sibling_extra)  # must copy-on-write
+
+        assert arena.cow_copies == 1
+        np.testing.assert_array_equal(first.keys[:, :, :6], frozen_keys)
+        np.testing.assert_array_equal(second.keys[:, :, :6], frozen_keys)
+        np.testing.assert_array_equal(first.keys[:, :, 6], extra[:, :, 0])
+        np.testing.assert_array_equal(second.keys[:, :, 6], sibling_extra[:, :, 0])
+        # The stored claim still reads the original columns.
+        np.testing.assert_array_equal(ref.alias().keys, frozen_keys)
+
+    def test_writes_below_frozen_mark_are_never_in_place(self):
+        arena = KVArena(block_size=8)
+        cache = self._filled_cache(arena, 4)
+        ref = cache.share(4)
+        cache.release()
+        short = ref.alias(2)  # claims fewer columns than are frozen
+        original = ref.alias().keys.copy()
+        stomp = np.full((1, 2, 1, 4), 99.0, dtype=np.float32)
+        short.append(stomp, stomp)  # would overwrite frozen column 2 in place
+        assert arena.cow_copies == 1
+        np.testing.assert_array_equal(ref.alias().keys, original)
+
+    def test_share_beyond_length_rejected(self):
+        arena = KVArena(block_size=4)
+        cache = self._filled_cache(arena, 3)
+        with pytest.raises(ShapeError):
+            cache.share(5)
+
+
+class TestZeroCopySharing:
+    def test_insert_and_lookup_copy_nothing(self, network):
+        arena = KVArena(block_size=8)
+        prompt = [1, 2, 3, 4, 5]
+        caches, _, _ = prefill_single(network, prompt, arena=arena)
+        allocated = arena.slabs_allocated
+        copied = arena.bytes_copied
+        cache = PrefixCache(4)
+        assert cache.insert(prompt, caches)
+        hit = cache.lookup(prompt + [6])
+        assert hit is not None
+        matched, seeded = hit
+        assert matched == len(prompt)
+        assert arena.slabs_allocated == allocated
+        assert arena.bytes_copied == copied
+        assert seeded[0].length == len(prompt)
+
+    def test_keystroke_extension_appends_in_place(self, network):
+        """The dominant serving pattern — prompt grows by one token — is free."""
+        arena = KVArena(block_size=8)
+        prompt = [1, 2, 3, 4, 5]
+        caches, _, _ = prefill_single(network, prompt, arena=arena)
+        cache = PrefixCache(4)
+        assert cache.insert(prompt, caches)
+        for layer_cache in caches:
+            layer_cache.release()  # the request retired; writer seats free up
+        allocated = arena.slabs_allocated
+        copied = arena.bytes_copied
+        matched, seeded = cache.lookup(prompt + [6])
+        _, _, prefilled = prefill_single(network, prompt + [6], seeded_caches=seeded, arena=arena)
+        assert prefilled == 1
+        assert arena.cow_copies == 0
+        assert arena.slabs_allocated == allocated  # extended the shared slab in place
+        assert arena.bytes_copied == copied
+
+    def test_geometric_growth_amortizes_copies(self):
+        arena = KVArena(block_size=4)
+        cache = KVCache(arena)
+        column = np.ones((1, 2, 1, 4), dtype=np.float32)
+        for _ in range(256):
+            cache.append(column, column)
+        final_bytes = cache._slab.k.nbytes + cache._slab.v.nbytes
+        assert cache.length == 256
+        # Doubling growth copies each byte O(1) times on average.
+        assert arena.bytes_copied < 3 * final_bytes
+        assert arena.cow_copies == 0
+
+    def test_append_within_capacity_allocates_nothing(self):
+        arena = KVArena(block_size=32)
+        cache = KVCache(arena)
+        column = np.ones((1, 2, 1, 4), dtype=np.float32)
+        cache.append(column, column)
+        assert arena.slabs_allocated == 1
+        baseline = cache.last_append_moved_bytes
+        for _ in range(31):
+            cache.append(column, column)
+        assert arena.slabs_allocated == 1
+        assert arena.bytes_copied == 0
+        assert cache.last_append_moved_bytes == baseline  # flat per-step traffic
+
+    def test_dense_cache_traffic_grows_with_length(self):
+        cache = DenseKVCache()
+        column = np.ones((1, 2, 1, 4), dtype=np.float32)
+        cache.append(column, column)
+        early = cache.last_append_moved_bytes
+        for _ in range(31):
+            cache.append(column, column)
+        assert cache.length == 32
+        assert cache.last_append_moved_bytes > 10 * early  # O(T) per append
+
+
+class TestHotPathCaches:
+    def test_causal_mask_is_memoized_and_readonly(self):
+        a = causal_mask(4, 9, 6)
+        b = causal_mask(4, 9, 6)
+        assert a is b
+        assert not a.flags.writeable
+        expected = np.triu(np.ones((4, 9), dtype=bool), k=6)
+        np.testing.assert_array_equal(a, expected)
+
+    def test_vacuous_mask_is_none(self):
+        assert causal_mask(1, 5, 5) is None  # the every-decode-step shape
+
+    def test_rotary_tables_shared_across_layers_and_models(self, network):
+        cos0 = network.blocks[0].attention._cos
+        cos1 = network.blocks[1].attention._cos
+        assert cos0 is cos1
+        assert not cos0.flags.writeable
+        twin = DecoderLM(network.config, numpy_rng(99))
+        assert twin.blocks[0].attention._cos is cos0
+        cos, sin = shared_rotary_tables(network.config.n_positions, network.config.dim // network.config.n_heads)
+        assert cos is cos0
+
+
+class TestPrefixCacheAccounting:
+    def test_short_prompt_counts_as_skipped_not_miss(self):
+        cache = PrefixCache(4)
+        assert cache.lookup([5]) is None
+        stats = cache.stats()
+        assert stats["skipped"] == 1
+        assert stats["misses"] == 0
+        assert stats["hit_rate"] == 0.0
+        # Backward-compatible keys are all still present.
+        for key in ("entries", "capacity", "hits", "misses", "evictions", "tokens_reused", "hit_rate"):
+            assert key in stats
+
+    def test_vectorized_common_prefix_matches_reference(self):
+        rng = np.random.default_rng(3)
+
+        def reference(a, b):
+            matched = 0
+            for x, y in zip(a, b):
+                if x != y:
+                    break
+                matched += 1
+            return matched
+
+        for _ in range(50):
+            shared = rng.integers(0, 4, size=rng.integers(0, 12)).tolist()
+            a = shared + rng.integers(0, 4, size=rng.integers(0, 6)).tolist()
+            b = shared + rng.integers(4, 8, size=rng.integers(0, 6)).tolist()
+            got = PrefixCache._common_prefix(
+                np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)
+            )
+            assert got == reference(a, b)
+
+
+class TestEngineIntegration:
+    def test_engine_stats_expose_arena(self, network):
+        engine = InferenceEngine(network, prefix_cache_capacity=4, kv_block_size=16)
+        engine.generate_batch([[1, 2, 3], [4, 5]], max_new_tokens=6)
+        stats = engine.stats()
+        arena = stats["kv_arena"]
+        assert arena["block_size"] == 16
+        assert arena["dtype"] == "float32"
+        assert arena["appends"] > 0
+        assert arena["peak_bytes_in_use"] > 0
+        assert stats["prefix_cache"]["skipped"] == 0
+
+    def test_engine_float16_mode_runs(self, network):
+        engine = InferenceEngine(network, prefix_cache_capacity=4, kv_dtype="float16")
+        results = engine.generate_batch([[9, 8, 7, 6]], max_new_tokens=6)
+        assert results[0].token_ids
+        assert engine.stats()["kv_arena"]["dtype"] == "float16"
+
+    def test_invalid_kv_dtype_rejected(self, network):
+        with pytest.raises(ShapeError):
+            InferenceEngine(network, kv_dtype="int8")
