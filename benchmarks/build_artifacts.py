@@ -17,6 +17,10 @@ import time
 sys.path.insert(0, os.path.dirname(__file__))
 
 from common import PROFILES, build_results  # noqa: E402
+from test_degradation import (  # noqa: E402
+    REPORT_FILE as DEGRADATION_REPORT_FILE,
+    run_degradation_bench,
+)
 from test_kv_arena import REPORT_FILE, run_kv_arena_bench  # noqa: E402
 
 
@@ -29,6 +33,11 @@ def main() -> None:
     print(
         f"kv arena: {kv_report['speedup']}x decode speedup over dense "
         f"concatenate -> {REPORT_FILE.name}"
+    )
+    degradation = run_degradation_bench()
+    print(
+        f"degradation: shed rate {degradation['shed_rate']:.0%} at 2x saturation, "
+        f"p99 {degradation['latency_all']['p99_ms']}ms -> {DEGRADATION_REPORT_FILE.name}"
     )
     print(f"done in {time.time() - started:.0f}s")
     print(f"tables: {sorted(k for k in results if k.startswith('table') or k == 'throughput')}")

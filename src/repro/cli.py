@@ -227,6 +227,115 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Replay a seeded fault schedule against the engine; emit the event log.
+
+    Runs a tiny random-weight model through the continuous batcher under a
+    fake clock with deadlines, scheduled cancellations and injected
+    slab-allocation / decode-step faults.  Everything — model weights,
+    prompts, fault schedule, clock — derives from ``--seed``, so the JSONL
+    written to ``--out`` is byte-identical across runs of the same seed:
+    diff two runs to verify a failure reproduction, or bisect a seed range
+    to hunt for schedules that violate engine invariants.
+    """
+    from collections import deque
+
+    from repro.engine.batcher import ContinuousBatcher
+    from repro.engine.prefix_cache import PrefixCache
+    from repro.engine.request import GenerationRequest
+    from repro.faults import FakeClock, FaultInjector, use
+    from repro.nn.kv_arena import KVArena
+    from repro.nn.parameter import numpy_rng
+    from repro.nn.sampling import plan_prompt
+    from repro.nn.transformer import DecoderLM, TransformerConfig
+
+    rng = SeededRng(args.seed).child("chaos")
+    config = TransformerConfig(vocab_size=32, n_positions=48, dim=16, n_layers=2, n_heads=4)
+    network = DecoderLM(config, numpy_rng(args.seed))
+    fake = FakeClock()
+    injector = FaultInjector(seed=args.seed)
+    injector.on("kv_arena.acquire", probability=args.alloc_fault_rate, max_fires=4)
+    injector.on("engine.decode_step", probability=args.decode_fault_rate, max_fires=4)
+    injector.on(
+        "engine.decode_step", probability=args.slow_step_rate, error=None, delay_s=0.25, max_fires=4
+    )
+
+    with use(fake), injector:
+        arena = KVArena()
+        batcher = ContinuousBatcher(
+            network, max_batch_size=args.max_batch, prefix_cache=PrefixCache(8), arena=arena
+        )
+        requests: list[GenerationRequest] = []
+        for index in range(args.requests):
+            prompt = [rng.randint(1, config.vocab_size - 1) for _ in range(rng.randint(3, 12))]
+            planned, effective = plan_prompt(config.n_positions, prompt, 8)
+            requests.append(
+                GenerationRequest(
+                    request_id=index,
+                    prompt_ids=planned,
+                    max_new_tokens=8,
+                    effective_budget=effective,
+                    deadline_s=rng.uniform(0.3, 2.0) if rng.bernoulli(0.4) else None,
+                )
+            )
+        cancel_at: dict[int, list[GenerationRequest]] = {}
+        for request in requests:
+            if rng.bernoulli(0.2):
+                cancel_at.setdefault(rng.randint(1, 15), []).append(request)
+        arrivals = deque(requests)
+        step_index = 0
+        while True:
+            for _ in range(2):  # staggered arrival: two submissions per step
+                if arrivals:
+                    batcher.submit(arrivals.popleft())
+            for request in cancel_at.get(step_index, ()):
+                request.cancel()
+            more = batcher.step()
+            fake.advance(0.05)
+            step_index += 1
+            if not more and not arrivals:
+                break
+            if step_index > 10_000:  # max_fires caps make schedules finite; belt and braces
+                raise RuntimeError("chaos run failed to terminate")
+        batcher.prefix_cache.clear()
+        leaked = arena.stats()["bytes_in_use"]
+        events = [dict(event, kind="fault") for event in injector.events()]
+
+    for request in requests:
+        events.append(
+            {
+                "kind": "request",
+                "id": request.request_id,
+                "outcome": request.outcome,
+                "stop_reason": request.stop_reason,
+                "generated": len(request.generated),
+                "prefix_reused": request.prefix_reused,
+            }
+        )
+    stats = batcher.stats()
+    events.append(
+        {
+            "kind": "summary",
+            "seed": args.seed,
+            "steps": step_index,
+            "completed": stats["completed_requests"],
+            "cancelled": stats["cancelled_requests"],
+            "deadline_expired": stats["deadline_expired_requests"],
+            "shed": stats["shed_requests"],
+            "decode_faults": stats["decode_faults"],
+            "fault_events": len(injector.events()),
+            "arena_bytes_in_use": leaked,
+        }
+    )
+    body = "".join(json.dumps(event, sort_keys=True) + "\n" for event in events)
+    if args.out:
+        Path(args.out).write_text(body, encoding="utf-8")
+        print(f"{len(events)} events written to {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(body)
+    return 0 if leaked == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__.split("\n")[0])
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -302,6 +411,28 @@ def build_parser() -> argparse.ArgumentParser:
     synthesize.add_argument("--kind", choices=("playbook", "tasks"), default="tasks")
     synthesize.add_argument("--seed", type=int, default=0)
     synthesize.set_defaults(handler=_cmd_synthesize)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="replay a seeded fault schedule against the engine (JSONL event log)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--requests", type=int, default=12)
+    chaos.add_argument("--out", help="write the JSONL event log here (default: stdout)")
+    chaos.add_argument("--max-batch", type=int, default=4, dest="max_batch")
+    chaos.add_argument(
+        "--alloc-fault-rate", type=float, default=0.15, dest="alloc_fault_rate",
+        help="per-call probability of an injected KV slab allocation failure",
+    )
+    chaos.add_argument(
+        "--decode-fault-rate", type=float, default=0.1, dest="decode_fault_rate",
+        help="per-step probability of a failed (retried) decode step",
+    )
+    chaos.add_argument(
+        "--slow-step-rate", type=float, default=0.1, dest="slow_step_rate",
+        help="per-step probability of a 250ms (fake-clock) slow decode step",
+    )
+    chaos.set_defaults(handler=_cmd_chaos)
     return parser
 
 

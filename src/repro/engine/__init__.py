@@ -21,9 +21,10 @@ from repro.engine.batched_decode import BatchRow, DecodingBatch, generate_greedy
 from repro.engine.batcher import ContinuousBatcher, advance_request
 from repro.engine.engine import InferenceEngine
 from repro.engine.prefix_cache import PrefixCache
-from repro.engine.request import GenerationRequest, RequestState
+from repro.engine.request import ABNORMAL_STOP_REASONS, GenerationRequest, RequestState
 
 __all__ = [
+    "ABNORMAL_STOP_REASONS",
     "BatchRow",
     "DecodingBatch",
     "generate_greedy_batch",

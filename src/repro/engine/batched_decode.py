@@ -33,6 +33,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import EngineError
+from repro.faults.inject import shield
 from repro.nn.kv_arena import KVArena, KVCache
 from repro.nn.sampling import GenerationResult, plan_prompt
 from repro.nn.transformer import DecoderLM
@@ -68,7 +69,17 @@ def prefill_single(
     suffix = prompt_ids[offset:]
     if not suffix:
         raise EngineError("prefix cache covered the whole prompt; nothing to prefill")
-    logits = model.forward_incremental(np.array([suffix], dtype=np.int64), caches)
+    try:
+        logits = model.forward_incremental(np.array([suffix], dtype=np.int64), caches)
+    except BaseException:
+        # Prefill is the fault-injection point for allocation failures:
+        # layers appended before the fault hold live slabs, and the
+        # request is about to be shed — return every claim to the arena
+        # so shedding never leaks KV memory (seeded prefix-cache aliases
+        # included; their entry keeps the underlying slab alive).
+        for cache in caches:
+            cache.release()
+        raise
     return caches, int(logits[0, -1].argmax()), len(suffix)
 
 
@@ -138,14 +149,17 @@ class DecodingBatch:
         if real_length < 1:
             raise EngineError("cannot admit a row with an empty cache")
         row = BatchRow(payload=payload, real_length=real_length, pending=pending)
-        if not self.rows:
-            for shared, own in zip(self.caches, row_caches):
-                shared.take_from(own)
-        else:
-            width = max(self.total_columns, real_length)
-            for shared, own in zip(self.caches, row_caches):
-                shared.merge_row(own, width)
-                own.release()
+        # Shielded: a fault between per-layer merges would leave layers
+        # disagreeing on batch shape — allocation faults belong at prefill.
+        with shield():
+            if not self.rows:
+                for shared, own in zip(self.caches, row_caches):
+                    shared.take_from(own)
+            else:
+                width = max(self.total_columns, real_length)
+                for shared, own in zip(self.caches, row_caches):
+                    shared.merge_row(own, width)
+                    own.release()
         self.rows.append(row)
         self._refresh_step_scratch()
         return row
@@ -177,12 +191,13 @@ class DecodingBatch:
             ids[b, pad:] = prompt
             positions[b, pad:] = np.arange(lengths[b])
             mask[b, :pad] = True
-        for cache in self.caches:
-            cache.release()
-        self.caches = self.model.new_cache(self.arena)
-        logits = self.model.forward_incremental(
-            ids, self.caches, positions, mask if width > min(lengths) else None
-        )
+        with shield():
+            for cache in self.caches:
+                cache.release()
+            self.caches = self.model.new_cache(self.arena)
+            logits = self.model.forward_incremental(
+                ids, self.caches, positions, mask if width > min(lengths) else None
+            )
         first_tokens = [int(row.argmax()) for row in logits[:, -1, :]]
         for b, payload in enumerate(payloads):
             self.rows.append(BatchRow(payload=payload, real_length=lengths[b], pending=first_tokens[b]))
@@ -205,7 +220,10 @@ class DecodingBatch:
         for b, row in enumerate(self.rows):
             pending[b, 0] = row.pending
         mask = self._mask[:, :total] if self._mask is not None else None
-        logits = self.model.forward_incremental(pending, self.caches, self._positions, mask)
+        # Shielded: the forward appends one K/V column per layer; a fault
+        # between layers would leave the shared caches at mixed lengths.
+        with shield():
+            logits = self.model.forward_incremental(pending, self.caches, self._positions, mask)
         self._positions += 1
         for row in self.rows:
             row.real_length += 1
@@ -223,14 +241,16 @@ class DecodingBatch:
         keep = [i for i in range(len(self.rows)) if i not in dropped]
         self.rows = [self.rows[i] for i in keep]
         if not self.rows:
-            for cache in self.caches:
-                cache.release()
-            self.caches = self.model.new_cache(self.arena)
+            with shield():
+                for cache in self.caches:
+                    cache.release()
+                self.caches = self.model.new_cache(self.arena)
             self._refresh_step_scratch()
             return retired
         trim = self.total_columns - max(row.real_length for row in self.rows)
-        for cache in self.caches:
-            cache.select_rows(keep, trim)
+        with shield():
+            for cache in self.caches:
+                cache.select_rows(keep, trim)
         self._refresh_step_scratch()
         return retired
 

@@ -23,17 +23,29 @@ Prefill runs per request at batch size 1 (bit-identical to sequential
 decoding, and the point where the prefix cache plugs in); decode runs
 batched.  This mirrors the prefill/decode split of modern serving engines
 at laptop scale.
+
+Robustness: every step first *reaps* — cancelled or deadline-expired
+requests are retired from the queue and the active batch before any new
+work runs, so a cancelled mid-decode row frees its KV slabs within one
+step.  Prefill-time failures (KV slab allocation, injected faults) *shed*
+the one request being admitted instead of propagating; decode-step faults
+are transient (the step is skipped and retried).  Abnormal terminations
+invalidate any prefix-cache entry the request inserted, so partial work
+never seeds future prefills.  All timing reads the swappable
+:mod:`repro.faults.clock`, which is what makes deadline behaviour exact
+under a fake clock.
 """
 
 from __future__ import annotations
 
-import time
 from collections import deque
 
 from repro.engine.batched_decode import DecodingBatch, prefill_single
 from repro.engine.prefix_cache import PrefixCache
 from repro.engine.request import GenerationRequest, RequestState
-from repro.errors import EngineError
+from repro.errors import EngineError, InjectedFault
+from repro.faults import clock
+from repro.faults.inject import fire
 from repro.nn.kv_arena import KVArena
 from repro.nn.transformer import DecoderLM
 from repro.obs import Observability
@@ -89,6 +101,10 @@ class ContinuousBatcher:
         self.queue: deque[GenerationRequest] = deque()
         # -- accounting --
         self.completed = 0
+        self.cancelled = 0
+        self.deadline_expired = 0
+        self.shed = 0
+        self.decode_faults = 0
         self.decode_steps = 0
         self.decode_tokens = 0
         self.prefill_tokens = 0
@@ -111,6 +127,10 @@ class ContinuousBatcher:
         self._c_prefix_hits = metrics.counter("engine.prefix_cache_hits")
         self._c_prefix_misses = metrics.counter("engine.prefix_cache_misses")
         self._c_prefix_reused = metrics.counter("engine.prefix_tokens_reused")
+        self._c_cancelled = metrics.counter("engine.requests_cancelled")
+        self._c_deadline = metrics.counter("engine.requests_deadline_exceeded")
+        self._c_shed = metrics.counter("engine.requests_shed")
+        self._c_decode_faults = metrics.counter("engine.decode_faults")
 
     # -- introspection -------------------------------------------------------
 
@@ -144,6 +164,60 @@ class ContinuousBatcher:
             return True  # never let one oversized request wedge the queue
         return self.active_footprint + request.footprint <= self.max_batch_tokens
 
+    # -- abnormal termination ------------------------------------------------
+
+    def _finish_abnormal(self, request: GenerationRequest, reason: str) -> None:
+        """Terminate a live request with an abnormal outcome.
+
+        Besides the state transition, this invalidates any prefix-cache
+        entry the request inserted: K/V written on behalf of a request
+        that never completed must not seed future prefills.
+        """
+        request.finish(reason)
+        self._c_retired.inc()
+        if reason == "cancelled":
+            self.cancelled += 1
+            self._c_cancelled.inc()
+        elif reason == "deadline_exceeded":
+            self.deadline_expired += 1
+            self._c_deadline.inc()
+        elif reason == "shed":
+            self.shed += 1
+            self._c_shed.inc()
+        else:
+            raise EngineError(f"not an abnormal stop reason: {reason}")
+        if self.prefix_cache is not None and request.prefix_key is not None:
+            self.prefix_cache.remove(request.prefix_key)
+            request.prefix_key = None
+
+    def _reap_queue(self, now: float) -> None:
+        """Finish queued requests that were cancelled or expired while waiting."""
+        if not self.queue:
+            return
+        survivors: deque[GenerationRequest] = deque()
+        for request in self.queue:
+            if request.cancel_requested:
+                self._finish_abnormal(request, "cancelled")
+            elif request.expired(now):
+                self._finish_abnormal(request, "deadline_exceeded")
+            else:
+                survivors.append(request)
+        self.queue = survivors
+
+    def _reap_active(self, now: float) -> None:
+        """Retire cancelled / deadline-expired rows from the active batch."""
+        finished: list[int] = []
+        for position, row in enumerate(self.batch.rows):
+            request: GenerationRequest = row.payload
+            if request.cancel_requested:
+                self._finish_abnormal(request, "cancelled")
+                finished.append(position)
+            elif request.expired(now):
+                self._finish_abnormal(request, "deadline_exceeded")
+                finished.append(position)
+        if finished:
+            self.batch.retire(finished)
+
     def _admit_one(self) -> None:
         request = self.queue.popleft()
         request.begin_prefill()
@@ -158,15 +232,24 @@ class ContinuousBatcher:
                 self._c_prefix_reused.inc(request.prefix_reused)
             else:
                 self._c_prefix_misses.inc()
-        forward_started = time.perf_counter()
-        caches, first_token, prefilled = prefill_single(
-            self.model, request.prompt_ids, seeded, arena=self.arena
-        )
-        self._h_prefill_forward.observe(time.perf_counter() - forward_started)
+        forward_started = clock.now()
+        try:
+            caches, first_token, prefilled = prefill_single(
+                self.model, request.prompt_ids, seeded, arena=self.arena
+            )
+        except (InjectedFault, MemoryError):
+            # Admission failed (slab allocation or injected prefill fault).
+            # prefill_single already returned every cache claim to the
+            # arena; the one chargeable request is shed, the batch and the
+            # rest of the queue are untouched.
+            self._finish_abnormal(request, "shed")
+            return
+        self._h_prefill_forward.observe(clock.now() - forward_started)
         self.prefill_tokens += prefilled
         self._c_prefill_tokens.inc(prefilled)
         if self.prefix_cache is not None:
-            self.prefix_cache.insert(request.prompt_ids, caches)
+            if self.prefix_cache.insert(request.prompt_ids, caches):
+                request.prefix_key = tuple(request.prompt_ids)
         reason = advance_request(request, first_token, self.model.config.n_positions)
         if reason is not None:
             # Finished on its very first token — never occupies a batch row.
@@ -181,18 +264,32 @@ class ContinuousBatcher:
         self.peak_batch_size = max(self.peak_batch_size, self.active_size)
 
     def step(self) -> bool:
-        """Admit what fits, then run one batched decode step.
+        """Reap, admit what fits, then run one batched decode step.
 
         Returns True while there is more work (active rows or queued
-        requests), False once fully drained.
+        requests), False once fully drained.  An injected decode-step
+        fault is transient: the step is skipped (no state was touched)
+        and retried on the next call.
         """
+        now = clock.now()
+        self._reap_queue(now)
+        self._reap_active(now)
         while self.queue and self._admits(self.queue[0]):
             self._admit_one()
         if not self.batch.rows:
             return bool(self.queue)
-        step_started = time.perf_counter()
-        next_tokens = self.batch.step()
-        step_elapsed = time.perf_counter() - step_started
+        step_started = clock.now()
+        try:
+            # The seam fires *before* the model forward: a raising fault
+            # skips the whole step, leaving per-layer caches consistent; a
+            # delay fault slows the step on the shared clock.
+            fire("engine.decode_step", batch=len(self.batch.rows))
+            next_tokens = self.batch.step()
+        except InjectedFault:
+            self.decode_faults += 1
+            self._c_decode_faults.inc()
+            return True
+        step_elapsed = clock.now() - step_started
         self.decode_steps += 1
         self.occupancy_ticks += len(next_tokens)
         self.decode_tokens += len(next_tokens)
@@ -235,6 +332,10 @@ class ContinuousBatcher:
             "queue_depth": self.queue_depth,
             "active_requests": self.active_size,
             "completed_requests": self.completed,
+            "cancelled_requests": self.cancelled,
+            "deadline_expired_requests": self.deadline_expired,
+            "shed_requests": self.shed,
+            "decode_faults": self.decode_faults,
             "decode_steps": self.decode_steps,
             "decode_tokens": self.decode_tokens,
             "prefill_tokens": self.prefill_tokens,

@@ -112,6 +112,7 @@ class InferenceEngine:
         prompt_ids: list[int],
         max_new_tokens: int | None,
         stop_ids: frozenset[int] | set[int] | None,
+        deadline_s: float | None = None,
     ) -> GenerationRequest:
         budget_request = max_new_tokens or self.default_max_new_tokens
         prompt, effective = plan_prompt(
@@ -123,6 +124,7 @@ class InferenceEngine:
             max_new_tokens=budget_request,
             effective_budget=effective,
             stop_ids=frozenset(stop_ids) if stop_ids is not None else self.default_stop_ids,
+            deadline_s=deadline_s,
         )
         self._next_request_id += 1
         return request
@@ -132,18 +134,30 @@ class InferenceEngine:
         prompts: list[list[int]],
         max_new_tokens: int | None = None,
         stop_ids: frozenset[int] | set[int] | None = None,
+        deadline_s: float | None = None,
+        handles: list[GenerationRequest] | None = None,
     ) -> list[GenerationResult]:
         """Greedy-decode every prompt through the continuous batcher.
 
         Results come back in submission order and are token-identical to
-        running :func:`~repro.nn.sampling.generate_greedy` per prompt.
+        running :func:`~repro.nn.sampling.generate_greedy` per prompt —
+        when nothing interferes.  ``deadline_s`` bounds each request's
+        wall time (queueing included); a caller holding ``handles`` (the
+        live :class:`GenerationRequest` objects, appended before decoding
+        starts) may :meth:`~GenerationRequest.cancel` from another thread.
+        Interfered-with requests come back with *partial* results carrying
+        an abnormal ``stop_reason`` rather than raising — inspect
+        ``request.outcome`` (via ``handles``) or the result's stop reason.
         """
         if not prompts:
             return []
         with self._lock:
             requests = [
-                self._make_request(prompt, max_new_tokens, stop_ids) for prompt in prompts
+                self._make_request(prompt, max_new_tokens, stop_ids, deadline_s)
+                for prompt in prompts
             ]
+            if handles is not None:
+                handles.extend(requests)
             for request in requests:
                 self.batcher.submit(request)
             self.batcher.run()
@@ -179,6 +193,13 @@ class InferenceEngine:
             prefix_reused=request.prefix_reused,
             stop_reason=request.stop_reason,
         )
+        if request.prefill_started_at is None:
+            # Reaped straight from the queue (cancelled / expired / shed
+            # before admission): its whole life was queue wait.
+            tracer.record(
+                "engine.queue_wait", request.submitted_at, request.finished_at, parent_id=root
+            )
+            return
         prefill_end = (
             request.decode_started_at
             if request.decode_started_at is not None
@@ -206,7 +227,12 @@ class InferenceEngine:
 
     # -- text interface -------------------------------------------------------
 
-    def complete_batch(self, prompts: list[str], max_new_tokens: int | None = None) -> list[str]:
+    def complete_batch(
+        self,
+        prompts: list[str],
+        max_new_tokens: int | None = None,
+        deadline_s: float | None = None,
+    ) -> list[str]:
         """Tokenize, batch-decode, detokenize."""
         if self.tokenizer is None:
             raise EngineError("engine has no tokenizer; use generate_batch with token ids")
@@ -214,8 +240,40 @@ class InferenceEngine:
         for prompt, ids in zip(prompts, encoded):
             if not ids:
                 raise EngineError(f"prompt encodes to no tokens: {prompt!r}")
-        results = self.generate_batch(encoded, max_new_tokens)
+        results = self.generate_batch(encoded, max_new_tokens, deadline_s=deadline_s)
         return [self.tokenizer.decode(result.token_ids) for result in results]
+
+    def complete_batch_detailed(
+        self,
+        prompts: list[str],
+        max_new_tokens: int | None = None,
+        deadline_s: float | None = None,
+    ) -> list[dict]:
+        """Like :meth:`complete_batch`, but keeps the request disposition.
+
+        Returns one dict per prompt with ``completion`` (possibly partial
+        text), ``stop_reason`` and ``outcome`` — the serving layer routes
+        on ``outcome`` (e.g. shed → fallback completer, deadline → 504)
+        instead of parsing exceptions.
+        """
+        if self.tokenizer is None:
+            raise EngineError("engine has no tokenizer; use generate_batch with token ids")
+        encoded = [self.tokenizer.encode(prompt) for prompt in prompts]
+        for prompt, ids in zip(prompts, encoded):
+            if not ids:
+                raise EngineError(f"prompt encodes to no tokens: {prompt!r}")
+        handles: list[GenerationRequest] = []
+        results = self.generate_batch(
+            encoded, max_new_tokens, deadline_s=deadline_s, handles=handles
+        )
+        return [
+            {
+                "completion": self.tokenizer.decode(result.token_ids),
+                "stop_reason": result.stop_reason,
+                "outcome": request.outcome,
+            }
+            for result, request in zip(results, handles)
+        ]
 
     def complete(self, prompt: str, max_new_tokens: int = 96) -> str:
         """TextCompleter-compatible single completion (batch of one)."""

@@ -59,6 +59,7 @@ class PrefixCache:
         self.misses = 0
         self.skipped = 0
         self.evictions = 0
+        self.invalidations = 0
         self.tokens_reused = 0
 
     def __len__(self) -> int:
@@ -141,6 +142,23 @@ class PrefixCache:
             self.evictions += 1
         return True
 
+    def remove(self, prompt_ids: list[int] | tuple[int, ...]) -> bool:
+        """Drop the entry stored for exactly ``prompt_ids``, if present.
+
+        The batcher calls this when the request that inserted an entry
+        terminates abnormally (cancelled, deadline-expired, shed): K/V
+        written on behalf of a request that never completed is treated as
+        suspect and must not seed future prefills.  Releasing the claims
+        is what lets the arena reclaim the slabs — the chaos suite's
+        no-leak assertion depends on it.
+        """
+        entry = self._entries.pop(tuple(prompt_ids), None)
+        if entry is None:
+            return False
+        entry.release()
+        self.invalidations += 1
+        return True
+
     def clear(self) -> None:
         """Drop every stored claim, keeping the lifetime counters.
 
@@ -162,6 +180,7 @@ class PrefixCache:
             "misses": self.misses,
             "skipped": self.skipped,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "tokens_reused": self.tokens_reused,
             "hit_rate": self.hits / total if total else 0.0,
         }

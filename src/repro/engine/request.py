@@ -10,6 +10,20 @@ prefix cache); DECODE means the request occupies a row of the active batch
 and receives one token per engine step; FINISHED requests carry a
 :class:`~repro.nn.sampling.GenerationResult`.
 
+A request can leave the pipeline early from *any* pre-finished state:
+
+* its client calls :meth:`cancel` (thread-safe — a flag the scheduler
+  checks every step, so cancellation retires a mid-decode row without
+  waiting for its budget to drain);
+* its deadline expires (``deadline_s`` is relative to submission and
+  measured on the shared :mod:`repro.faults.clock`, so expiry includes
+  queueing time and is exactly testable under a fake clock);
+* the scheduler sheds it (admission failed, e.g. KV slab allocation).
+
+Every terminal request reports exactly one :attr:`outcome` —
+``completed``, ``cancelled``, ``deadline_exceeded`` or ``shed`` — the
+invariant the chaos suite asserts for arbitrary fault schedules.
+
 Timing is recorded at every transition so the engine can report queueing
 delay, prefill latency and decode latency separately.
 """
@@ -17,11 +31,14 @@ delay, prefill latency and decode latency separately.
 from __future__ import annotations
 
 import enum
-import time
 from dataclasses import dataclass, field
 
 from repro.errors import EngineError
+from repro.faults import clock
 from repro.nn.sampling import GenerationResult
+
+#: Terminal stop reasons that are *not* normal completions.
+ABNORMAL_STOP_REASONS = frozenset({"cancelled", "deadline_exceeded", "shed"})
 
 
 class RequestState(enum.Enum):
@@ -44,8 +61,12 @@ class GenerationRequest:
         effective_budget: tokens actually producible in the window
             (``min(max_new_tokens, n_positions - len(prompt_ids))``).
         stop_ids: token ids that terminate generation (not emitted).
+        deadline_s: optional wall budget relative to submission; the
+            absolute expiry is :attr:`deadline_at`.
         generated: tokens produced so far.
         prefix_reused: prompt tokens whose K/V came from the prefix cache.
+        prefix_key: the prefix-cache key this request inserted, if any —
+            invalidated should the request terminate abnormally.
     """
 
     request_id: int
@@ -53,14 +74,25 @@ class GenerationRequest:
     max_new_tokens: int
     effective_budget: int
     stop_ids: frozenset[int] = frozenset()
+    deadline_s: float | None = None
     state: RequestState = RequestState.QUEUED
     generated: list[int] = field(default_factory=list)
     stop_reason: str | None = None
     prefix_reused: int = 0
-    submitted_at: float = field(default_factory=time.perf_counter)
+    prefix_key: tuple[int, ...] | None = None
+    submitted_at: float = field(default_factory=clock.now)
+    deadline_at: float | None = None
     prefill_started_at: float | None = None
     decode_started_at: float | None = None
     finished_at: float | None = None
+    _cancel_requested: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None:
+            if self.deadline_s <= 0:
+                raise EngineError(f"deadline_s must be positive, got {self.deadline_s}")
+            if self.deadline_at is None:
+                self.deadline_at = self.submitted_at + self.deadline_s
 
     @property
     def prompt_length(self) -> int:
@@ -71,11 +103,54 @@ class GenerationRequest:
         return self.state is RequestState.FINISHED
 
     @property
+    def outcome(self) -> str | None:
+        """Terminal disposition, or None while the request is live.
+
+        One of ``completed`` / ``cancelled`` / ``deadline_exceeded`` /
+        ``shed`` — every admitted request ends in exactly one of these.
+        """
+        if not self.is_finished or self.stop_reason is None:
+            return None
+        if self.stop_reason in ABNORMAL_STOP_REASONS:
+            return self.stop_reason
+        return "completed"
+
+    @property
     def result(self) -> GenerationResult:
-        """The finished generation; raises until the request completes."""
+        """The finished generation; raises until the request terminates.
+
+        Abnormal terminations yield the *partial* generation with the
+        abnormal stop reason — callers decide whether partial output is
+        usable (the serving cache, for one, never stores it).
+        """
         if not self.is_finished or self.stop_reason is None:
             raise EngineError(f"request {self.request_id} is {self.state.value}, not finished")
         return GenerationResult(list(self.generated), self.stop_reason, self.effective_budget)
+
+    # -- cancellation / deadlines -------------------------------------------
+
+    def cancel(self) -> bool:
+        """Ask the scheduler to retire this request; safe from any thread.
+
+        Returns False (no-op) once the request has already finished.
+        Cancellation is cooperative: the flag is honoured at the next
+        scheduler step, so a cancelled decode row frees its KV slabs
+        within one step.
+        """
+        if self.is_finished:
+            return False
+        self._cancel_requested = True
+        return True
+
+    @property
+    def cancel_requested(self) -> bool:
+        return self._cancel_requested
+
+    def expired(self, now: float | None = None) -> bool:
+        """True once the deadline (if any) is at or behind the clock."""
+        if self.deadline_at is None:
+            return False
+        return (clock.now() if now is None else now) >= self.deadline_at
 
     # -- transitions --------------------------------------------------------
 
@@ -83,29 +158,29 @@ class GenerationRequest:
         if self.state is not RequestState.QUEUED:
             raise EngineError(f"request {self.request_id}: prefill from state {self.state.value}")
         self.state = RequestState.PREFILL
-        self.prefill_started_at = time.perf_counter()
+        self.prefill_started_at = clock.now()
 
     def begin_decode(self) -> None:
         if self.state is not RequestState.PREFILL:
             raise EngineError(f"request {self.request_id}: decode from state {self.state.value}")
         self.state = RequestState.DECODE
-        self.decode_started_at = time.perf_counter()
+        self.decode_started_at = clock.now()
 
     def finish(self, stop_reason: str) -> None:
         if self.state is RequestState.FINISHED:
             raise EngineError(f"request {self.request_id} already finished")
         self.state = RequestState.FINISHED
         self.stop_reason = stop_reason
-        self.finished_at = time.perf_counter()
+        self.finished_at = clock.now()
 
     # -- timing -------------------------------------------------------------
 
     def timings(self) -> dict[str, float]:
         """Seconds spent queued / in prefill / decoding (so far)."""
-        now = time.perf_counter()
-        prefill_start = self.prefill_started_at if self.prefill_started_at is not None else now
-        decode_start = self.decode_started_at
+        now = clock.now()
         end = self.finished_at if self.finished_at is not None else now
+        prefill_start = self.prefill_started_at if self.prefill_started_at is not None else end
+        decode_start = self.decode_started_at
         queued_s = max(0.0, prefill_start - self.submitted_at)
         if decode_start is None:
             prefill_s = max(0.0, end - prefill_start) if self.prefill_started_at is not None else 0.0

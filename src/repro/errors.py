@@ -100,6 +100,40 @@ class ServingError(ReproError):
     """Base class for serving-layer errors (:mod:`repro.serving`)."""
 
 
+class ServiceOverloadedError(ServingError):
+    """The service shed this request: its admission queue is full.
+
+    Maps to an HTTP 503.  :attr:`retry_after_s` is the server's hint for
+    how long a well-behaved client should back off before retrying; the
+    REST layer mirrors it in a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str = "service overloaded", retry_after_s: float | None = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceededError(ReproError):
+    """A request's deadline elapsed before generation completed (HTTP 504)."""
+
+
+class RequestCancelledError(ReproError):
+    """A request was cancelled by its client before completing."""
+
+
+class InjectedFault(ReproError):
+    """An error raised on purpose by the fault-injection harness.
+
+    Carries the seam name and the per-seam call index at which the fault
+    fired, so failures in chaos tests are attributable and replayable.
+    """
+
+    def __init__(self, message: str, seam: str | None = None, call: int | None = None):
+        super().__init__(message)
+        self.seam = seam
+        self.call = call
+
+
 class EngineError(ReproError):
     """Base class for inference-engine errors (:mod:`repro.engine`)."""
 

@@ -19,6 +19,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import CheckpointError
+from repro.faults.inject import fire
 from repro.model.lm import WisdomModel
 from repro.nn.parameter import numpy_rng
 from repro.nn.transformer import DecoderLM, TransformerConfig
@@ -51,6 +52,7 @@ def save_checkpoint(model: WisdomModel, directory: str | Path) -> Path:
 
 def load_checkpoint(directory: str | Path) -> WisdomModel:
     """Restore a :class:`WisdomModel` from a checkpoint directory."""
+    fire("checkpoint.read", path=str(directory))
     path = Path(directory)
     config_file = path / "config.json"
     if not config_file.exists():

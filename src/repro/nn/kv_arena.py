@@ -41,6 +41,7 @@ import threading
 import numpy as np
 
 from repro.errors import ShapeError
+from repro.faults.inject import fire
 
 DEFAULT_BLOCK_SIZE = 32
 
@@ -167,6 +168,9 @@ class KVArena:
 
     def acquire(self, batch: int, heads: int, head_dim: int, min_tokens: int) -> ArenaSlab:
         """A writable slab of at least ``min_tokens`` columns (block-rounded)."""
+        # Fault seam: chaos schedules model allocation failure here (the
+        # engine shields batch-reshape acquires; see repro.faults.inject).
+        fire("kv_arena.acquire", batch=batch, min_tokens=min_tokens)
         capacity = self.round_up(min_tokens)
         key = (batch, heads, capacity, head_dim)
         slab: ArenaSlab | None = None

@@ -1,13 +1,14 @@
 """Serving layer: REST service, client, cache, editor-plugin simulation."""
 
 from repro.serving.cache import LruCache
-from repro.serving.client import PredictionClient
+from repro.serving.client import PredictionClient, RetryPolicy
 from repro.serving.plugin import ESCAPE, EditorSession, Suggestion, TAB
 from repro.serving.service import PredictionService, RestServer
 
 __all__ = [
     "LruCache",
     "PredictionClient",
+    "RetryPolicy",
     "ESCAPE",
     "EditorSession",
     "Suggestion",

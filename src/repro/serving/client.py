@@ -1,4 +1,13 @@
-"""HTTP client for the prediction service (the "REST client" of the demo)."""
+"""HTTP client for the prediction service (the "REST client" of the demo).
+
+Besides the thin request wrappers, the client implements the polite half
+of the server's backpressure contract: a :class:`RetryPolicy` retries
+overload (503) and transport errors with exponential backoff plus seeded
+jitter, honouring the server's ``Retry-After`` hint as a floor on the
+wait.  Retries are opt-in (``max_retries=0`` by default) and sleep on the
+shared :mod:`repro.faults.clock`, so retry schedules are exact under a
+fake clock.
+"""
 
 from __future__ import annotations
 
@@ -6,17 +15,89 @@ import json
 import urllib.error
 import urllib.request
 
-from repro.errors import ServingError
+from repro.errors import DeadlineExceededError, ServiceOverloadedError, ServingError
+from repro.faults import clock
+from repro.utils.rng import SeededRng
+
+
+class RetryPolicy:
+    """Exponential backoff with jitter for overload / transport errors.
+
+    The delay before attempt ``n`` (1-based) is::
+
+        min(max_delay_s, base_delay_s * 2**(n-1)) * (1 + jitter * U[-1, 1])
+
+    floored at the server's ``Retry-After`` hint when one came back with
+    the 503.  Jitter draws from a :class:`~repro.utils.rng.SeededRng`, so
+    a policy constructed with the same seed backs off identically.
+    """
+
+    def __init__(
+        self,
+        max_retries: int = 3,
+        base_delay_s: float = 0.1,
+        max_delay_s: float = 5.0,
+        jitter: float = 0.25,
+        seed: int = 0,
+    ):
+        if max_retries < 0:
+            raise ServingError(f"max_retries must be >= 0, got {max_retries}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ServingError(f"jitter must be in [0, 1], got {jitter}")
+        self.max_retries = max_retries
+        self.base_delay_s = base_delay_s
+        self.max_delay_s = max_delay_s
+        self.jitter = jitter
+        self._rng = SeededRng(seed).child("client-retry")
+
+    def delay(self, attempt: int, retry_after_s: float | None = None) -> float:
+        """Seconds to wait before retry ``attempt`` (1-based)."""
+        backoff = min(self.max_delay_s, self.base_delay_s * (2 ** (attempt - 1)))
+        if self.jitter:
+            backoff *= 1.0 + self.jitter * self._rng.uniform(-1.0, 1.0)
+        if retry_after_s is not None:
+            backoff = max(backoff, retry_after_s)
+        return backoff
 
 
 class PredictionClient:
-    """Talks to a :class:`repro.serving.service.RestServer`."""
+    """Talks to a :class:`repro.serving.service.RestServer`.
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    ``retry_policy`` opts into backoff-retry of 503s and unreachable-host
+    errors; ``sleep`` is injectable for tests and defaults to the shared
+    faults clock (real ``time.sleep`` in production).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retry_policy: RetryPolicy | None = None,
+        sleep=None,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry_policy = retry_policy
+        self._sleep = sleep if sleep is not None else clock.sleep
+        self.retries = 0  # lifetime count of retry sleeps taken
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _raise_http(self, method: str, path: str, error: urllib.error.HTTPError) -> None:
+        try:
+            body = json.loads(error.read().decode("utf-8"))
+            message = body.get("error", str(error))
+        except (ValueError, json.JSONDecodeError):
+            body = {}
+            message = str(error)
+        if error.code == 503:
+            raise ServiceOverloadedError(
+                f"{method} {path} overloaded: {message}",
+                retry_after_s=body.get("retry_after_s"),
+            ) from error
+        if error.code == 504:
+            raise DeadlineExceededError(f"{method} {path} deadline exceeded: {message}") from error
+        raise ServingError(f"{method} {path} failed: {message}") from error
+
+    def _request_once(self, method: str, path: str, payload: dict | None = None) -> dict:
         url = self.base_url + path
         data = json.dumps(payload).encode("utf-8") if payload is not None else None
         request = urllib.request.Request(
@@ -29,14 +110,36 @@ class PredictionClient:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as error:
-            try:
-                body = json.loads(error.read().decode("utf-8"))
-                message = body.get("error", str(error))
-            except (ValueError, json.JSONDecodeError):
-                message = str(error)
-            raise ServingError(f"{method} {path} failed: {message}") from error
+            self._raise_http(method, path, error)
         except urllib.error.URLError as error:
             raise ServingError(f"cannot reach service at {url}: {error}") from error
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceOverloadedError as error:
+                if policy is None or attempt >= policy.max_retries:
+                    raise
+                attempt += 1
+                self.retries += 1
+                self._sleep(policy.delay(attempt, error.retry_after_s))
+            except DeadlineExceededError:
+                raise  # a later retry cannot beat an already-spent deadline
+            except ServingError as error:
+                # Transport-level failure (unreachable host); HTTP-level
+                # errors other than 503/504 raised above are not retried.
+                cause = error.__cause__
+                transport = isinstance(cause, urllib.error.URLError) and not isinstance(
+                    cause, urllib.error.HTTPError  # HTTPError subclasses URLError
+                )
+                if policy is None or attempt >= policy.max_retries or not transport:
+                    raise
+                attempt += 1
+                self.retries += 1
+                self._sleep(policy.delay(attempt))
 
     def complete(self, prompt: str, max_new_tokens: int = 96) -> str:
         """TextCompleter-compatible completion via HTTP."""
@@ -50,18 +153,32 @@ class PredictionClient:
         result = self.predict_batch(prompts, max_new_tokens)
         return result["completions"]
 
-    def predict_batch(self, prompts: list[str], max_new_tokens: int | None = None) -> dict:
+    def predict_batch(
+        self,
+        prompts: list[str],
+        max_new_tokens: int | None = None,
+        deadline_ms: float | None = None,
+    ) -> dict:
         """Full batch payload (completions + per-prompt cache flags + latency)."""
         payload: dict = {"prompts": prompts}
         if max_new_tokens is not None:
             payload["max_new_tokens"] = max_new_tokens
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
         return self._request("POST", "/v1/batch_completions", payload)
 
-    def predict(self, prompt: str, max_new_tokens: int | None = None) -> dict:
+    def predict(
+        self,
+        prompt: str,
+        max_new_tokens: int | None = None,
+        deadline_ms: float | None = None,
+    ) -> dict:
         """Full prediction payload (completion + latency + cache flag)."""
         payload: dict = {"prompt": prompt}
         if max_new_tokens is not None:
             payload["max_new_tokens"] = max_new_tokens
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
         return self._request("POST", "/v1/completions", payload)
 
     def health(self) -> dict:

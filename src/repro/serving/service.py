@@ -38,17 +38,38 @@ Two concurrency behaviours matter under load:
   :class:`~repro.engine.engine.InferenceEngine`, ``/v1/batch_completions``
   decodes all cache-missing prompts through the continuous batcher in one
   pass instead of sequentially.
+
+And three overload behaviours (the hardening layer):
+
+* **Admission control** — ``max_queue_depth`` bounds concurrent
+  generations; excess requests are *shed* before touching the model with
+  a typed :class:`~repro.errors.ServiceOverloadedError` carrying a
+  retry-after hint (HTTP 503 + ``Retry-After``).
+* **Graceful degradation** — with a ``fallback`` completer (e.g. the
+  n-gram baseline), saturated or engine-shed requests are served by the
+  fallback instead of erroring, flagged ``"degraded": true`` and never
+  cached.
+* **Deadlines** — ``deadline_s`` (or ``deadline_ms`` over HTTP) bounds a
+  request's wall time through the engine; expiry surfaces as
+  :class:`~repro.errors.DeadlineExceededError` (HTTP 504).  Partial
+  output from expired, cancelled or shed requests is never cached.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
-from repro.errors import ServingError
+from repro.errors import (
+    DeadlineExceededError,
+    RequestCancelledError,
+    ServiceOverloadedError,
+    ServingError,
+)
 from repro.obs import Observability
 from repro.obs.export import prometheus_exposition
 from repro.serving.cache import LruCache
@@ -61,6 +82,7 @@ class _InflightEntry:
         self.done = threading.Event()
         self.completion: str | None = None
         self.error: BaseException | None = None
+        self.degraded = False
 
 
 class PredictionService:
@@ -79,15 +101,30 @@ class PredictionService:
         max_new_tokens: int = 96,
         engine=None,
         obs: Observability | None = None,
+        max_queue_depth: int | None = None,
+        fallback=None,
+        default_deadline_s: float | None = None,
+        shed_retry_after_s: float = 0.5,
     ):
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ServingError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
         self.completer = completer
         self.engine = engine
+        self.fallback = fallback
         self.cache = LruCache(cache_capacity)
         self.max_new_tokens = max_new_tokens
+        self.max_queue_depth = max_queue_depth
+        self.default_deadline_s = default_deadline_s
+        self.shed_retry_after_s = shed_retry_after_s
         self.request_count = 0
         self.coalesced_count = 0
         self.batch_request_count = 0
+        self.shed_count = 0
+        self.degraded_count = 0
+        self.deadline_exceeded_count = 0
+        self.cancelled_count = 0
         self.total_latency_ms = 0.0
+        self._inflight_count = 0  # generations currently admitted (backpressure)
         self._lock = threading.Lock()
         self._inflight: dict[str, _InflightEntry] = {}
         # Share the engine's Observability unless the caller supplies one,
@@ -102,25 +139,113 @@ class PredictionService:
         self._c_batch_requests = metrics.counter("serving.batch_requests")
         self._c_cache_hits = metrics.counter("serving.cache_hits")
         self._c_coalesced = metrics.counter("serving.coalesced")
+        self._c_shed = metrics.counter("serving.shed")
+        self._c_degraded = metrics.counter("serving.degraded")
+        self._c_deadline = metrics.counter("serving.deadline_exceeded")
+        self._c_cancelled = metrics.counter("serving.cancelled")
         self._g_inflight = metrics.gauge("serving.inflight")
+
+    # -- admission / degradation ---------------------------------------------
+
+    def _try_admit(self) -> bool:
+        """Claim a generation slot; False when the service is saturated."""
+        with self._lock:
+            if self.max_queue_depth is not None and self._inflight_count >= self.max_queue_depth:
+                return False
+            self._inflight_count += 1
+            return True
+
+    def _release_admission(self) -> None:
+        with self._lock:
+            self._inflight_count -= 1
+
+    def _shed(self, reason: str) -> ServiceOverloadedError:
+        """Account a shed request and build the typed 503 to raise."""
+        with self._lock:
+            self.shed_count += 1
+        self._c_shed.inc()
+        return ServiceOverloadedError(
+            f"service overloaded ({reason}); retry after {self.shed_retry_after_s}s",
+            retry_after_s=self.shed_retry_after_s,
+        )
+
+    def _degrade(self, prompt: str, budget: int, reason: str) -> str:
+        """Serve ``prompt`` through the fallback completer (never cached).
+
+        Raises the typed 503 instead when no fallback is configured —
+        degradation is strictly better than shedding, shedding strictly
+        better than failing loudly mid-stack.
+        """
+        if self.fallback is None:
+            raise self._shed(reason)
+        completion = self.fallback.complete(prompt, max_new_tokens=budget)
+        with self._lock:
+            self.degraded_count += 1
+        self._c_degraded.inc()
+        return completion
+
+    def _generate(self, prompt: str, budget: int, deadline_s: float | None) -> tuple[str, bool]:
+        """One completion honouring deadlines; returns ``(text, degraded)``.
+
+        Routes through the engine's outcome-aware path when available so
+        shed / deadline / cancelled dispositions arrive as data, not
+        exceptions, and map onto serving behaviour here: shed requests
+        degrade to the fallback (or 503), expired ones raise the typed
+        504, cancelled ones the typed client-closed-request error.
+        """
+        if self.engine is not None and hasattr(self.engine, "complete_batch_detailed"):
+            detail = self.engine.complete_batch_detailed(
+                [prompt], max_new_tokens=budget, deadline_s=deadline_s
+            )[0]
+            outcome = detail["outcome"]
+            if outcome == "completed":
+                return detail["completion"], False
+            if outcome == "deadline_exceeded":
+                with self._lock:
+                    self.deadline_exceeded_count += 1
+                self._c_deadline.inc()
+                raise DeadlineExceededError(f"deadline of {deadline_s}s exceeded")
+            if outcome == "cancelled":
+                with self._lock:
+                    self.cancelled_count += 1
+                self._c_cancelled.inc()
+                raise RequestCancelledError("request cancelled")
+            return self._degrade(prompt, budget, f"engine {outcome} the request"), True
+        return self.completer.complete(prompt, max_new_tokens=budget), False
 
     # -- single prediction ---------------------------------------------------
 
-    def predict(self, prompt: str, max_new_tokens: int | None = None) -> dict:
-        """One prediction, served from cache or a coalesced in-flight twin."""
+    def predict(
+        self,
+        prompt: str,
+        max_new_tokens: int | None = None,
+        deadline_s: float | None = None,
+    ) -> dict:
+        """One prediction, served from cache or a coalesced in-flight twin.
+
+        Saturation (``max_queue_depth`` concurrent generations already
+        running) degrades to the fallback completer or sheds with a typed
+        503 *before* the model is touched; cache hits are still served
+        regardless, since they cost nothing.
+        """
         if not isinstance(prompt, str) or not prompt.strip():
             raise ServingError("prompt must be a non-empty string")
         budget = max_new_tokens or self.max_new_tokens
+        deadline = deadline_s if deadline_s is not None else self.default_deadline_s
         with self.obs.tracer.span("serving.predict") as span:
             self._g_inflight.inc()
             try:
-                payload = self._predict(prompt, budget)
+                payload = self._predict(prompt, budget, deadline)
             finally:
                 self._g_inflight.dec()
-            span.set(cached=payload["cached"], coalesced=bool(payload.get("coalesced")))
+            span.set(
+                cached=payload["cached"],
+                coalesced=bool(payload.get("coalesced")),
+                degraded=bool(payload.get("degraded")),
+            )
             return payload
 
-    def _predict(self, prompt: str, budget: int) -> dict:
+    def _predict(self, prompt: str, budget: int, deadline_s: float | None) -> dict:
         started = time.perf_counter()
         with self._lock:
             cached = self.cache.get(prompt)
@@ -135,27 +260,47 @@ class PredictionService:
             # Coalesce: another thread is already generating this prompt.
             entry.done.wait()
             if entry.error is not None:
+                if isinstance(entry.error, (ServingError, DeadlineExceededError, RequestCancelledError)):
+                    raise entry.error  # keep the typed status (503/504/...) for waiters
                 raise ServingError(f"coalesced request failed: {entry.error}") from entry.error
             with self._lock:
                 self.coalesced_count += 1
-                return self._account(entry.completion, started, cached_hit=True, coalesced=True)
+                return self._account(
+                    entry.completion, started, cached_hit=True, coalesced=True,
+                    degraded=entry.degraded,
+                )
         try:
-            completion = self.completer.complete(prompt, max_new_tokens=budget)
+            if self._try_admit():
+                try:
+                    completion, degraded = self._generate(prompt, budget, deadline_s)
+                finally:
+                    self._release_admission()
+            else:
+                completion, degraded = self._degrade(prompt, budget, "queue full"), True
             entry.completion = completion
+            entry.degraded = degraded
         except BaseException as error:
             entry.error = error
             raise
         finally:
             with self._lock:
                 self._inflight.pop(prompt, None)
-                if entry.error is None:
+                # Only normal completions are cacheable: degraded output
+                # comes from the fallback model, and erroring requests
+                # (shed / expired / cancelled) produced partial work.
+                if entry.error is None and not entry.degraded:
                     self.cache.put(prompt, entry.completion)
             entry.done.set()
         with self._lock:
-            return self._account(completion, started, cached_hit=False)
+            return self._account(completion, started, cached_hit=False, degraded=degraded)
 
     def _account(
-        self, completion: str, started: float, cached_hit: bool, coalesced: bool = False
+        self,
+        completion: str,
+        started: float,
+        cached_hit: bool,
+        coalesced: bool = False,
+        degraded: bool = False,
     ) -> dict:
         """Record latency and build a response payload (caller holds the lock)."""
         latency_ms = (time.perf_counter() - started) * 1000.0
@@ -170,16 +315,25 @@ class PredictionService:
         payload = {"completion": completion, "latency_ms": latency_ms, "cached": cached_hit}
         if coalesced:
             payload["coalesced"] = True
+        if degraded:
+            payload["degraded"] = True
         return payload
 
     # -- batch prediction ----------------------------------------------------
 
-    def predict_batch(self, prompts: list[str], max_new_tokens: int | None = None) -> dict:
+    def predict_batch(
+        self,
+        prompts: list[str],
+        max_new_tokens: int | None = None,
+        deadline_s: float | None = None,
+    ) -> dict:
         """Serve a whole batch, decoding cache misses together.
 
         Duplicate prompts within the batch run once.  Misses go through the
         engine's continuous batcher when one is attached, otherwise through
-        sequential ``completer.complete`` calls.
+        sequential ``completer.complete`` calls.  Under saturation the
+        whole batch degrades to the fallback (or sheds with a typed 503);
+        per-prompt engine sheds degrade individually.
         """
         if not isinstance(prompts, list) or not prompts:
             raise ServingError("prompts must be a non-empty list of strings")
@@ -187,19 +341,53 @@ class PredictionService:
             if not isinstance(prompt, str) or not prompt.strip():
                 raise ServingError("every prompt must be a non-empty string")
         budget = max_new_tokens or self.max_new_tokens
+        deadline = deadline_s if deadline_s is not None else self.default_deadline_s
         with self.obs.tracer.span("serving.predict_batch", batch_size=len(prompts)) as span:
             self._g_inflight.inc()
             try:
-                payload = self._predict_batch(prompts, budget)
+                payload = self._predict_batch(prompts, budget, deadline)
             finally:
                 self._g_inflight.dec()
             span.set(decoded=payload["decoded"])
             return payload
 
-    def _predict_batch(self, prompts: list[str], budget: int) -> dict:
+    def _complete_misses(
+        self, misses: list[str], budget: int, deadline_s: float | None
+    ) -> list[tuple[str, bool]]:
+        """Generate the cache-missing prompts; returns ``(text, degraded)`` pairs."""
+        if self.engine is not None and hasattr(self.engine, "complete_batch_detailed"):
+            details = self.engine.complete_batch_detailed(
+                misses, max_new_tokens=budget, deadline_s=deadline_s
+            )
+            results: list[tuple[str, bool]] = []
+            for prompt, detail in zip(misses, details):
+                outcome = detail["outcome"]
+                if outcome == "completed":
+                    results.append((detail["completion"], False))
+                elif outcome == "deadline_exceeded":
+                    with self._lock:
+                        self.deadline_exceeded_count += 1
+                    self._c_deadline.inc()
+                    raise DeadlineExceededError(f"deadline of {deadline_s}s exceeded")
+                elif outcome == "cancelled":
+                    with self._lock:
+                        self.cancelled_count += 1
+                    self._c_cancelled.inc()
+                    raise RequestCancelledError("request cancelled")
+                else:  # shed by the engine: degrade just this prompt
+                    results.append((self._degrade(prompt, budget, f"engine {outcome} the request"), True))
+            return results
+        if self.engine is not None:
+            return [(text, False) for text in self.engine.complete_batch(misses, max_new_tokens=budget)]
+        return [
+            (self.completer.complete(prompt, max_new_tokens=budget), False) for prompt in misses
+        ]
+
+    def _predict_batch(self, prompts: list[str], budget: int, deadline_s: float | None) -> dict:
         started = time.perf_counter()
         completions: dict[str, str] = {}
         cached_flags: dict[str, bool] = {}
+        degraded_flags: dict[str, bool] = {}
         misses: list[str] = []
         seen: set[str] = set()
         for prompt in prompts:
@@ -213,16 +401,20 @@ class PredictionService:
             else:
                 misses.append(prompt)
                 cached_flags[prompt] = False
+            degraded_flags[prompt] = False
         if misses:
-            if self.engine is not None:
-                generated = self.engine.complete_batch(misses, max_new_tokens=budget)
+            if self._try_admit():
+                try:
+                    generated = self._complete_misses(misses, budget, deadline_s)
+                finally:
+                    self._release_admission()
             else:
-                generated = [
-                    self.completer.complete(prompt, max_new_tokens=budget) for prompt in misses
-                ]
-            for prompt, completion in zip(misses, generated):
+                generated = [(self._degrade(prompt, budget, "queue full"), True) for prompt in misses]
+            for prompt, (completion, degraded) in zip(misses, generated):
                 completions[prompt] = completion
-                self.cache.put(prompt, completion)
+                degraded_flags[prompt] = degraded
+                if not degraded:
+                    self.cache.put(prompt, completion)
         latency_ms = (time.perf_counter() - started) * 1000.0
         with self._lock:
             self.request_count += len(prompts)
@@ -234,6 +426,7 @@ class PredictionService:
         return {
             "completions": [completions[prompt] for prompt in prompts],
             "cached": [cached_flags[prompt] for prompt in prompts],
+            "degraded": [degraded_flags[prompt] for prompt in prompts],
             "latency_ms": latency_ms,
             "batch_size": len(prompts),
             "decoded": len(misses),
@@ -251,11 +444,17 @@ class PredictionService:
                 "requests": self.request_count,
                 "batch_requests": self.batch_request_count,
                 "coalesced_requests": self.coalesced_count,
+                "shed_requests": self.shed_count,
+                "degraded_requests": self.degraded_count,
+                "deadline_exceeded_requests": self.deadline_exceeded_count,
+                "cancelled_requests": self.cancelled_count,
+                "max_queue_depth": self.max_queue_depth,
                 "cache_hit_rate": self.cache.hit_rate,
                 "cache": self.cache.stats(),
                 "mean_latency_ms": mean_latency,
             }
         report["inflight"] = self._g_inflight.value
+        report["fallback"] = getattr(self.fallback, "name", None) if self.fallback else None
         tracer = self.obs.tracer
         report["tracing"] = {
             "enabled": tracer.enabled,
@@ -344,20 +543,39 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             length = int(self.headers.get("Content-Length", "0"))
             payload = json.loads(self.rfile.read(length) or b"{}")
+            deadline_ms = payload.get("deadline_ms")
+            deadline_s = deadline_ms / 1000.0 if deadline_ms is not None else None
             if self.path == "/v1/completions":
                 result = self.service.predict(
                     payload.get("prompt", ""),
                     payload.get("max_new_tokens"),
+                    deadline_s=deadline_s,
                 )
             elif self.path == "/v1/batch_completions":
                 result = self.service.predict_batch(
                     payload.get("prompts", []),
                     payload.get("max_new_tokens"),
+                    deadline_s=deadline_s,
                 )
             else:
                 self._send_json({"error": f"unknown path {self.path}"}, status=404)
                 return
             self._send_json(result)
+        except ServiceOverloadedError as error:
+            retry_after = error.retry_after_s if error.retry_after_s is not None else 1.0
+            body = json.dumps(
+                {"error": str(error), "retry_after_s": retry_after}
+            ).encode("utf-8")
+            self.send_response(503)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Retry-After", str(max(1, math.ceil(retry_after))))
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except DeadlineExceededError as error:
+            self._send_json({"error": str(error)}, status=504)
+        except RequestCancelledError as error:
+            self._send_json({"error": str(error)}, status=408)
         except ServingError as error:
             self._send_json({"error": str(error)}, status=400)
         except (ValueError, json.JSONDecodeError) as error:

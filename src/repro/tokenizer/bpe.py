@@ -13,6 +13,7 @@ import re
 from collections import Counter
 
 from repro.errors import TokenizerError
+from repro.faults.inject import fire
 from repro.tokenizer.special import END_OF_TEXT, PAD, SEPARATOR, SPECIAL_TOKENS
 from repro.tokenizer.vocab import N_BYTES, Vocabulary
 
@@ -165,6 +166,7 @@ class BpeTokenizer:
         strings map to their reserved ids; otherwise they are encoded as
         plain bytes.
         """
+        fire("tokenizer.encode")
         ids: list[int] = []
         if allow_special:
             pieces = self._special_pattern.split(text)

@@ -21,6 +21,7 @@ from repro.engine import (
     generate_greedy_batch,
 )
 from repro.errors import EngineError
+from repro.faults import FakeClock, use
 from repro.nn.optim import Adam
 from repro.nn.parameter import numpy_rng
 from repro.nn.sampling import generate_greedy, plan_prompt
@@ -245,18 +246,37 @@ class TestContinuousBatcher:
         assert batcher.completed == 1
 
     def test_request_lifecycle_and_timing(self, trained_model):
-        batcher = ContinuousBatcher(trained_model, max_batch_size=2)
-        request = _request(trained_model, 0, [1, 2, 3, 4], max_new_tokens=4)
-        assert request.state is RequestState.QUEUED
-        batcher.submit(request)
-        batcher.run()
-        assert request.state is RequestState.FINISHED
-        timings = request.timings()
-        assert timings["queued_s"] >= 0.0
-        assert timings["prefill_s"] >= 0.0
-        assert timings["decode_s"] >= 0.0
+        # Timing runs on the swappable faults clock, so the assertions are
+        # exact equalities, not >= 0 smoke checks against the wall clock.
+        fake = FakeClock()
+        with use(fake):
+            batcher = ContinuousBatcher(trained_model, max_batch_size=2)
+            request = _request(trained_model, 0, [1, 2, 3, 4], max_new_tokens=4)
+            assert request.state is RequestState.QUEUED
+            fake.advance(0.25)  # the request sits queued for exactly 0.25s
+            batcher.submit(request)
+            batcher.run()
+            assert request.state is RequestState.FINISHED
+            timings = request.timings()
+            assert timings["queued_s"] == 0.25
+            assert timings["prefill_s"] == 0.0  # no clock advance inside run()
+            assert timings["decode_s"] == 0.0
         with pytest.raises(EngineError):
             request.finish("max_tokens")  # double-finish is a bug
+
+    def test_timings_exact_across_transitions(self, trained_model):
+        fake = FakeClock(start=10.0)
+        with use(fake):
+            request = _request(trained_model, 0, [1, 2], max_new_tokens=2)
+            fake.advance(0.25)
+            request.begin_prefill()
+            fake.advance(0.5)
+            request.begin_decode()
+            fake.advance(1.25)
+            request.finish("max_tokens")
+        # finished_at is pinned, so reading after the fake clock is gone
+        # still yields the exact phase durations.
+        assert request.timings() == {"queued_s": 0.25, "prefill_s": 0.5, "decode_s": 1.25}
 
     def test_result_before_finish_raises(self, trained_model):
         request = _request(trained_model, 0, [1, 2], max_new_tokens=2)

@@ -1,0 +1,74 @@
+"""Dedicated tests for repro.eval.truncation (first-task truncation policy).
+
+The paper truncates task generations to the first generated task and
+leaves NL→PB playbook generations untouched; these tests pin the
+boundary rules (siblings, dedents, document markers, blank lines) at
+several indents.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.prompt import GENERATION_TYPES, NL_TO_PB
+from repro.eval.truncation import truncate_generation, truncate_to_first_task
+
+FIRST_TASK = "  ansible.builtin.apt:\n    name: openssh-server\n    state: present\n"
+
+
+class TestTruncateToFirstTask:
+    def test_single_task_unchanged(self):
+        assert truncate_to_first_task(FIRST_TASK, 0) == FIRST_TASK
+
+    def test_sibling_task_cut(self):
+        overflow = FIRST_TASK + "- name: Start SSH server\n  service: {name: ssh}\n"
+        assert truncate_to_first_task(overflow, 0) == FIRST_TASK
+
+    def test_sibling_left_of_indent_cut(self):
+        indented = "      ansible.builtin.apt:\n        name: nginx\n"
+        overflow = indented + "  - name: another\n"
+        assert truncate_to_first_task(overflow, 4) == indented
+
+    def test_dedent_out_of_task_cut(self):
+        overflow = FIRST_TASK + "handlers:\n  - name: restart\n"
+        assert truncate_to_first_task(overflow, 0) == FIRST_TASK
+
+    def test_document_marker_cut(self):
+        overflow = FIRST_TASK + "---\n- hosts: all\n"
+        assert truncate_to_first_task(overflow, 0) == FIRST_TASK
+
+    def test_interior_blank_kept_trailing_stripped(self):
+        body = "  apt:\n\n    state: present\n"
+        assert truncate_to_first_task(body + "\n\n", 0) == body
+
+    def test_dash_line_deeper_than_indent_kept(self):
+        # A list item *inside* the task body (e.g. a with_items list) is
+        # not a sibling task: it sits right of the task's own dash column.
+        body = "  apt:\n    name:\n      - nginx\n      - curl\n"
+        assert truncate_to_first_task(body, 0) == body
+
+    def test_empty_body(self):
+        assert truncate_to_first_task("", 0) == ""
+        assert truncate_to_first_task("\n\n", 0) == ""
+
+    def test_cut_to_nothing(self):
+        assert truncate_to_first_task("- name: sibling immediately\n", 0) == ""
+
+
+class TestTruncateGeneration:
+    def test_playbooks_not_truncated(self):
+        playbook = "- hosts: all\n  tasks:\n    - name: a\n      ping:\n- hosts: web\n"
+        assert truncate_generation(playbook, 0, NL_TO_PB) == playbook
+
+    def test_playbook_trailing_newlines_normalised(self):
+        assert truncate_generation("- hosts: all\n\n\n", 0, NL_TO_PB) == "- hosts: all\n"
+
+    def test_blank_playbook_is_empty(self):
+        assert truncate_generation("   \n", 0, NL_TO_PB) == ""
+
+    @pytest.mark.parametrize(
+        "generation_type", [g for g in GENERATION_TYPES if g != NL_TO_PB]
+    )
+    def test_task_types_truncate(self, generation_type):
+        overflow = FIRST_TASK + "- name: Start SSH server\n  service: {name: ssh}\n"
+        assert truncate_generation(overflow, 0, generation_type) == FIRST_TASK

@@ -1,0 +1,600 @@
+"""Chaos tests: deadlines, cancellation, shedding and fault injection.
+
+The load-bearing property: under *any* seeded fault schedule, every
+admitted request terminates in exactly one of {completed, cancelled,
+deadline_exceeded, shed}, and all KV accounting returns to zero — no
+leaked slabs, no poisoned caches, no wedged queues.  Everything runs on
+the fake clock, so timing assertions are exact and schedules replay
+byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import ContinuousBatcher, GenerationRequest, InferenceEngine, PrefixCache
+from repro.errors import (
+    DeadlineExceededError,
+    InjectedFault,
+    ServiceOverloadedError,
+    ServingError,
+)
+from repro.faults import FakeClock, FaultInjector, KNOWN_SEAMS, fire, shield, use
+from repro.faults import clock as faults_clock
+from repro.nn.kv_arena import KVArena
+from repro.nn.optim import Adam
+from repro.nn.parameter import numpy_rng
+from repro.nn.sampling import generate_greedy, plan_prompt
+from repro.nn.transformer import DecoderLM, TransformerConfig
+from repro.serving.client import PredictionClient, RetryPolicy
+from repro.serving.service import PredictionService, RestServer
+from repro.utils.rng import SeededRng
+
+pytestmark = pytest.mark.faults
+
+TERMINAL_OUTCOMES = {"completed", "cancelled", "deadline_exceeded", "shed"}
+
+
+@pytest.fixture(scope="module")
+def chaos_model():
+    """Same cycle-continuation model as test_engine: peaked, deterministic."""
+    config = TransformerConfig(vocab_size=16, n_positions=24, dim=16, n_layers=2, n_heads=4)
+    model = DecoderLM(config, numpy_rng(1))
+    ids = np.array([[1, 2, 3, 4] * 5], dtype=np.int64)
+    targets = np.roll(ids, -1, axis=1)
+    targets[:, -1] = -1
+    optimizer = Adam(model.parameters(), learning_rate=3e-3)
+    for _ in range(150):
+        model.zero_grad()
+        model.loss_and_backward(ids, targets)
+        optimizer.step()
+    return model
+
+
+def _request(model, request_id, prompt, max_new_tokens=8, deadline_s=None):
+    planned, effective = plan_prompt(model.config.n_positions, prompt, max_new_tokens)
+    return GenerationRequest(
+        request_id=request_id,
+        prompt_ids=planned,
+        max_new_tokens=max_new_tokens,
+        effective_budget=effective,
+        deadline_s=deadline_s,
+    )
+
+
+# -- clock --------------------------------------------------------------------
+
+
+class TestFakeClock:
+    def test_advance_and_sleep_move_time(self):
+        fake = FakeClock(start=5.0)
+        assert fake.now() == 5.0
+        fake.advance(0.5)
+        fake.sleep(0.25)
+        assert fake.now() == 5.75
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            FakeClock().advance(-1.0)
+
+    def test_use_installs_and_restores(self):
+        fake = FakeClock(start=100.0)
+        before = faults_clock.now()
+        with use(fake):
+            assert faults_clock.now() == 100.0
+            faults_clock.sleep(1.0)  # module-level sleep routes to the fake
+            assert faults_clock.now() == 101.0
+        assert faults_clock.now() != 101.0
+        assert faults_clock.now() >= before
+
+
+# -- injector -----------------------------------------------------------------
+
+
+class TestFaultInjector:
+    def test_fire_is_noop_without_injector(self):
+        fire("kv_arena.acquire")  # must not raise
+
+    def test_at_calls_fires_exactly_there(self):
+        injector = FaultInjector(seed=0).on("tokenizer.encode", at_calls=[2])
+        with injector:
+            fire("tokenizer.encode")
+            with pytest.raises(InjectedFault) as exc_info:
+                fire("tokenizer.encode")
+            fire("tokenizer.encode")
+        assert exc_info.value.seam == "tokenizer.encode"
+        assert exc_info.value.call == 2
+        assert injector.calls("tokenizer.encode") == 3
+
+    def test_probability_schedule_replays(self):
+        def run(seed):
+            # Fake clock: event timestamps must replay too, not just the schedule.
+            injector = FaultInjector(seed=seed).on("engine.decode_step", probability=0.3)
+            with use(FakeClock()), injector:
+                for _ in range(50):
+                    try:
+                        fire("engine.decode_step")
+                    except InjectedFault:
+                        pass
+            return injector.event_log()
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_max_fires_caps_schedule(self):
+        injector = FaultInjector(seed=0).on("checkpoint.read", probability=1.0, max_fires=2)
+        fired = 0
+        with injector:
+            for _ in range(10):
+                try:
+                    fire("checkpoint.read")
+                except InjectedFault:
+                    fired += 1
+        assert fired == 2
+
+    def test_shield_suppresses_injection(self):
+        injector = FaultInjector(seed=0).on("kv_arena.acquire", probability=1.0)
+        with injector:
+            with shield():
+                fire("kv_arena.acquire")  # suppressed, not even counted
+            with pytest.raises(InjectedFault):
+                fire("kv_arena.acquire")
+        assert injector.calls("kv_arena.acquire") == 1
+
+    def test_delay_fault_sleeps_on_shared_clock(self):
+        fake = FakeClock()
+        injector = FaultInjector(seed=0).on(
+            "engine.decode_step", at_calls=[1], error=None, delay_s=0.75
+        )
+        with use(fake), injector:
+            fire("engine.decode_step")
+        assert fake.now() == 0.75
+        assert injector.events()[0]["action"] == "delay"
+
+    def test_event_log_is_canonical_jsonl(self, tmp_path):
+        injector = FaultInjector(seed=0).on("tokenizer.encode", at_calls=[1])
+        with injector:
+            with pytest.raises(InjectedFault):
+                fire("tokenizer.encode")
+        lines = injector.event_log().splitlines()
+        assert len(lines) == 1
+        event = json.loads(lines[0])
+        assert event["seam"] == "tokenizer.encode" and event["action"] == "raise"
+        assert lines[0] == json.dumps(event, sort_keys=True)
+        out = tmp_path / "events.jsonl"
+        assert injector.export_jsonl(out) == 1
+        assert out.read_text() == injector.event_log()
+
+    def test_known_seams_are_instrumented(self):
+        # Every advertised seam must actually fire from its call site.
+        assert set(KNOWN_SEAMS) == {
+            "kv_arena.acquire",
+            "engine.decode_step",
+            "tokenizer.encode",
+            "checkpoint.read",
+        }
+
+    def test_kv_arena_seam_fires(self):
+        arena = KVArena()
+        injector = FaultInjector(seed=0).on("kv_arena.acquire", at_calls=[1])
+        with injector:
+            with pytest.raises(InjectedFault):
+                arena.acquire(1, 4, 4, 8)
+        assert arena.stats()["bytes_in_use"] == 0
+
+    def test_tokenizer_seam_fires(self, tiny_tokenizer):
+        injector = FaultInjector(seed=0).on("tokenizer.encode", at_calls=[1])
+        with injector:
+            with pytest.raises(InjectedFault):
+                tiny_tokenizer.encode("- name: Install nginx")
+
+    def test_checkpoint_seam_fires(self, tmp_path):
+        from repro.model.checkpoints import load_checkpoint
+
+        injector = FaultInjector(seed=0).on("checkpoint.read", at_calls=[1])
+        with injector:
+            with pytest.raises(InjectedFault):
+                load_checkpoint(tmp_path / "nope")
+
+
+# -- engine chaos -------------------------------------------------------------
+
+
+def _drive_chaos(model, seed: int, requests: int = 10):
+    """The test-side twin of ``repro chaos``: drive a seeded failure storm."""
+    rng = SeededRng(seed).child("chaos")
+    fake = FakeClock()
+    injector = (
+        FaultInjector(seed=seed)
+        .on("kv_arena.acquire", probability=0.15, max_fires=4)
+        .on("engine.decode_step", probability=0.1, max_fires=4)
+        .on("engine.decode_step", probability=0.1, error=None, delay_s=0.25, max_fires=4)
+    )
+    with use(fake), injector:
+        arena = KVArena()
+        prefix_cache = PrefixCache(8)
+        batcher = ContinuousBatcher(
+            model, max_batch_size=3, prefix_cache=prefix_cache, arena=arena
+        )
+        jobs = []
+        for index in range(requests):
+            prompt = [rng.randint(1, model.config.vocab_size - 1) for _ in range(rng.randint(2, 8))]
+            jobs.append(
+                _request(
+                    model, index, prompt,
+                    deadline_s=rng.uniform(0.3, 2.0) if rng.bernoulli(0.4) else None,
+                )
+            )
+        cancel_at: dict[int, list] = {}
+        for job in jobs:
+            if rng.bernoulli(0.2):
+                cancel_at.setdefault(rng.randint(1, 12), []).append(job)
+        arrivals = list(jobs)
+        step_index = 0
+        while True:
+            for _ in range(2):
+                if arrivals:
+                    batcher.submit(arrivals.pop(0))
+            for job in cancel_at.get(step_index, ()):
+                job.cancel()
+            more = batcher.step()
+            fake.advance(0.05)
+            step_index += 1
+            assert step_index < 10_000, "chaos run failed to terminate"
+            if not more and not arrivals:
+                break
+        prefix_cache.clear()
+        return jobs, batcher, arena
+
+
+class TestEngineChaos:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_every_request_terminates_and_nothing_leaks(self, chaos_model, seed):
+        jobs, batcher, arena = _drive_chaos(chaos_model, seed)
+        outcomes = [job.outcome for job in jobs]
+        assert all(outcome in TERMINAL_OUTCOMES for outcome in outcomes), outcomes
+        assert batcher.queue_depth == 0 and batcher.active_size == 0
+        # Slot accounting returns to zero: with the batch drained and the
+        # prefix cache cleared, every KV slab went back to the arena.
+        assert arena.stats()["bytes_in_use"] == 0
+        stats = batcher.stats()
+        accounted = (
+            stats["completed_requests"]
+            + stats["cancelled_requests"]
+            + stats["deadline_expired_requests"]
+            + stats["shed_requests"]
+        )
+        assert accounted == len(jobs)
+
+    def test_cancel_retires_mid_decode_row(self, chaos_model):
+        batcher = ContinuousBatcher(chaos_model, max_batch_size=4)
+        victim = _request(chaos_model, 0, [1, 2, 3, 4], max_new_tokens=8)
+        survivor = _request(chaos_model, 1, [2, 3, 4, 1], max_new_tokens=8)
+        batcher.submit(victim)
+        batcher.submit(survivor)
+        batcher.step()  # both admitted, one decode step done
+        assert batcher.active_size == 2
+        assert victim.cancel()
+        batcher.step()
+        assert victim.outcome == "cancelled"
+        assert victim.result.stop_reason == "cancelled"  # partial result, no raise
+        assert batcher.active_size == 1
+        batcher.run()
+        assert survivor.outcome == "completed"
+        want = generate_greedy(chaos_model, [2, 3, 4, 1], 8)
+        assert survivor.result.token_ids == want.token_ids
+
+    def test_cancel_after_finish_is_noop(self, chaos_model):
+        batcher = ContinuousBatcher(chaos_model, max_batch_size=2)
+        request = _request(chaos_model, 0, [1, 2, 3], max_new_tokens=2)
+        batcher.submit(request)
+        batcher.run()
+        assert request.outcome == "completed"
+        assert request.cancel() is False
+        assert request.outcome == "completed"
+
+    def test_slow_decode_blows_deadline(self, chaos_model):
+        fake = FakeClock()
+        injector = FaultInjector(seed=0).on(
+            "engine.decode_step", at_calls=[2], error=None, delay_s=1.0
+        )
+        with use(fake), injector:
+            batcher = ContinuousBatcher(chaos_model, max_batch_size=2)
+            request = _request(chaos_model, 0, [1, 2, 3, 4], max_new_tokens=8, deadline_s=0.5)
+            batcher.submit(request)
+            batcher.run()
+        assert request.outcome == "deadline_exceeded"
+        assert 0 < len(request.generated) < 8  # partial generation survives
+
+    def test_queued_request_expires_without_prefill(self, chaos_model):
+        fake = FakeClock()
+        with use(fake):
+            batcher = ContinuousBatcher(chaos_model, max_batch_size=1)
+            # Occupy the only slot so the second request has to wait.
+            blocker = _request(chaos_model, 0, [1, 2, 3, 4], max_new_tokens=8)
+            waiter = _request(chaos_model, 1, [2, 3, 4, 1], max_new_tokens=8, deadline_s=0.2)
+            batcher.submit(blocker)
+            batcher.submit(waiter)
+            batcher.step()
+            fake.advance(0.5)  # waiter's deadline passes while queued
+            batcher.run()
+        assert blocker.outcome == "completed"
+        assert waiter.outcome == "deadline_exceeded"
+        assert waiter.prefill_started_at is None
+        assert waiter.timings()["prefill_s"] == 0.0 and waiter.timings()["decode_s"] == 0.0
+
+    def test_alloc_fault_sheds_only_chargeable_request(self, chaos_model):
+        arena = KVArena()
+        injector = FaultInjector(seed=0).on("kv_arena.acquire", at_calls=[1])
+        with injector:
+            batcher = ContinuousBatcher(chaos_model, max_batch_size=2, arena=arena)
+            unlucky = _request(chaos_model, 0, [1, 2, 3, 4], max_new_tokens=4)
+            lucky = _request(chaos_model, 1, [2, 3, 4, 1], max_new_tokens=4)
+            batcher.submit(unlucky)
+            batcher.submit(lucky)
+            batcher.run()
+        assert unlucky.outcome == "shed"
+        assert unlucky.result.token_ids == []
+        assert lucky.outcome == "completed"
+        assert arena.stats()["bytes_in_use"] == 0
+        assert batcher.stats()["shed_requests"] == 1
+
+    def test_decode_fault_is_transient(self, chaos_model):
+        injector = FaultInjector(seed=0).on("engine.decode_step", at_calls=[2, 3])
+        with injector:
+            batcher = ContinuousBatcher(chaos_model, max_batch_size=2)
+            request = _request(chaos_model, 0, [1, 2, 3, 4], max_new_tokens=6)
+            batcher.submit(request)
+            batcher.run()
+        assert request.outcome == "completed"
+        assert batcher.stats()["decode_faults"] == 2
+        want = generate_greedy(chaos_model, [1, 2, 3, 4], 6)
+        assert request.result.token_ids == want.token_ids  # retries don't skew tokens
+
+
+class TestPrefixCacheInvalidation:
+    def test_abnormal_finish_invalidates_inserted_prefix(self, chaos_model):
+        """A failed request's prefill K/V must not seed later requests."""
+        fake = FakeClock()
+        prefix_cache = PrefixCache(8)
+        prompt = [1, 2, 3, 4, 1, 2]
+        injector = FaultInjector(seed=0).on(
+            "engine.decode_step", at_calls=[2], error=None, delay_s=1.0
+        )
+        with use(fake), injector:
+            batcher = ContinuousBatcher(chaos_model, max_batch_size=2, prefix_cache=prefix_cache)
+            doomed = _request(chaos_model, 0, prompt, max_new_tokens=8, deadline_s=0.5)
+            batcher.submit(doomed)
+            batcher.run()
+            assert doomed.outcome == "deadline_exceeded"
+            # The prefill-time insert was rolled back on abnormal finish...
+            assert prefix_cache.stats()["invalidations"] == 1
+            assert len(prefix_cache) == 0
+            # ...so an identical prompt misses instead of reusing suspect K/V.
+            retry = _request(chaos_model, 1, prompt, max_new_tokens=8)
+            batcher.submit(retry)
+            batcher.run()
+        assert retry.outcome == "completed"
+        assert retry.prefix_reused == 0
+        assert prefix_cache.stats()["misses"] >= 1
+        want = generate_greedy(chaos_model, prompt, 8)
+        assert retry.result.token_ids == want.token_ids
+
+    def test_completed_requests_still_populate_prefix_cache(self, chaos_model):
+        prefix_cache = PrefixCache(8)
+        batcher = ContinuousBatcher(chaos_model, max_batch_size=2, prefix_cache=prefix_cache)
+        first = _request(chaos_model, 0, [1, 2, 3, 4, 1, 2], max_new_tokens=4)
+        batcher.submit(first)
+        batcher.run()
+        assert len(prefix_cache) == 1
+        again = _request(chaos_model, 1, [1, 2, 3, 4, 1, 2], max_new_tokens=4)
+        batcher.submit(again)
+        batcher.run()
+        assert again.prefix_reused > 0
+
+
+# -- serving under faults -----------------------------------------------------
+
+
+class _BlockingCompleter:
+    """Parks in ``complete`` until released; saturates admission for real."""
+
+    name = "blocking"
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.entered = threading.Event()
+
+    def complete(self, prompt, max_new_tokens=96):
+        self.entered.set()
+        assert self.release.wait(timeout=10), "test forgot to release the completer"
+        return "blocked: done"
+
+
+class _FallbackCompleter:
+    name = "fallback"
+
+    def complete(self, prompt, max_new_tokens=96):
+        return "fallback: ok"
+
+
+class TestServingBackpressure:
+    def _saturated_service(self, **kwargs):
+        blocker = _BlockingCompleter()
+        service = PredictionService(blocker, max_queue_depth=1, **kwargs)
+        thread = threading.Thread(target=service.predict, args=("occupy the slot",))
+        thread.start()
+        assert blocker.entered.wait(timeout=10)
+        return service, blocker, thread
+
+    def test_saturation_degrades_to_fallback(self):
+        service, blocker, thread = self._saturated_service(fallback=_FallbackCompleter())
+        try:
+            payload = service.predict("another prompt")
+            assert payload["degraded"] is True
+            assert payload["completion"] == "fallback: ok"
+            # Degraded output is never cached: a later (unsaturated) call
+            # must regenerate, not replay the fallback's answer.
+            assert service.cache.get("another prompt") is None
+            assert service.degraded_count == 1
+        finally:
+            blocker.release.set()
+            thread.join(timeout=10)
+
+    def test_saturation_sheds_typed_503_without_fallback(self):
+        service, blocker, thread = self._saturated_service(shed_retry_after_s=0.25)
+        try:
+            with pytest.raises(ServiceOverloadedError) as exc_info:
+                service.predict("another prompt")
+            assert exc_info.value.retry_after_s == 0.25
+            assert service.shed_count == 1
+            assert service.obs.metrics.snapshot()["counters"]["serving.shed"] == 1
+        finally:
+            blocker.release.set()
+            thread.join(timeout=10)
+
+    def test_cache_hits_served_even_when_saturated(self):
+        service, blocker, thread = self._saturated_service()
+        try:
+            service.cache.put("warm prompt", "warm answer")
+            payload = service.predict("warm prompt")
+            assert payload["cached"] is True and payload["completion"] == "warm answer"
+        finally:
+            blocker.release.set()
+            thread.join(timeout=10)
+
+    def test_engine_shed_degrades_and_counts(self, tiny_tokenizer, tiny_network):
+        engine = InferenceEngine(tiny_network, tiny_tokenizer, max_batch_size=2)
+        service = PredictionService(engine, engine=engine, fallback=_FallbackCompleter())
+        prompt = "- name: Install nginx"
+        injector = FaultInjector(seed=0).on("kv_arena.acquire", at_calls=[1])
+        with injector:
+            payload = service.predict(prompt, max_new_tokens=4)
+        assert payload["degraded"] is True
+        assert payload["completion"] == "fallback: ok"
+        assert service.cache.get(prompt) is None
+        counters = service.metrics()["metrics"]["counters"]
+        assert counters["serving.degraded"] == 1
+        assert counters["engine.requests_shed"] == 1
+        assert engine.kv_arena.stats()["bytes_in_use"] == 0
+        # With the fault gone the same prompt completes and is cached.
+        payload = service.predict(prompt, max_new_tokens=4)
+        assert "degraded" not in payload
+        assert service.cache.get(prompt) is not None
+
+    def test_deadline_maps_to_typed_error_and_skips_cache(self, tiny_tokenizer, tiny_network):
+        engine = InferenceEngine(tiny_network, tiny_tokenizer, max_batch_size=2)
+        service = PredictionService(engine, engine=engine)
+        with pytest.raises(DeadlineExceededError):
+            service.predict("- name: Install nginx", max_new_tokens=4, deadline_s=1e-9)
+        assert service.deadline_exceeded_count == 1
+        assert service.cache.get("- name: Install nginx") is None
+        assert engine.kv_arena.stats()["bytes_in_use"] == 0
+
+
+class TestServingHttpFaults:
+    def test_503_shed_with_retry_after_header_and_metrics(self):
+        service, blocker, thread = self._start_saturated()
+        server = RestServer(service)
+        try:
+            with server:
+                import urllib.error
+                import urllib.request
+
+                body = json.dumps({"prompt": "another"}).encode()
+                request = urllib.request.Request(
+                    server.url + "/v1/completions", data=body, method="POST",
+                    headers={"Content-Type": "application/json"},
+                )
+                with pytest.raises(urllib.error.HTTPError) as exc_info:
+                    urllib.request.urlopen(request, timeout=10)
+                assert exc_info.value.code == 503
+                assert exc_info.value.headers["Retry-After"] == "1"
+                payload = json.loads(exc_info.value.read().decode())
+                assert payload["retry_after_s"] == 0.5
+                # Shed counter is visible on /v1/metrics.
+                client = PredictionClient(server.url)
+                assert client.metrics()["metrics"]["counters"]["serving.shed"] == 1
+        finally:
+            blocker.release.set()
+            thread.join(timeout=10)
+
+    def _start_saturated(self):
+        blocker = _BlockingCompleter()
+        service = PredictionService(blocker, max_queue_depth=1)
+        thread = threading.Thread(target=service.predict, args=("occupy the slot",))
+        thread.start()
+        assert blocker.entered.wait(timeout=10)
+        return service, blocker, thread
+
+    def test_client_maps_503_to_typed_error(self):
+        service, blocker, thread = self._start_saturated()
+        try:
+            with RestServer(service) as server:
+                client = PredictionClient(server.url)
+                with pytest.raises(ServiceOverloadedError) as exc_info:
+                    client.predict("another prompt")
+                assert exc_info.value.retry_after_s == 0.5
+        finally:
+            blocker.release.set()
+            thread.join(timeout=10)
+
+    def test_client_retries_with_backoff_honoring_retry_after(self):
+        service, blocker, thread = self._start_saturated()
+        sleeps: list[float] = []
+        try:
+            with RestServer(service) as server:
+                client = PredictionClient(
+                    server.url,
+                    retry_policy=RetryPolicy(max_retries=2, base_delay_s=0.05, seed=3),
+                    sleep=sleeps.append,
+                )
+                with pytest.raises(ServiceOverloadedError):
+                    client.predict("another prompt")
+        finally:
+            blocker.release.set()
+            thread.join(timeout=10)
+        assert len(sleeps) == 2 and client.retries == 2
+        # Retry-After (0.5s) floors the backoff regardless of base delay.
+        assert all(delay >= 0.5 for delay in sleeps)
+
+    def test_retry_policy_backoff_is_seeded_and_bounded(self):
+        a = [RetryPolicy(seed=9).delay(n) for n in (1, 2, 3)]
+        b = [RetryPolicy(seed=9).delay(n) for n in (1, 2, 3)]
+        assert a == b  # same seed, same jittered schedule
+        assert RetryPolicy(jitter=0.0, base_delay_s=1.0, max_delay_s=2.0).delay(5) == 2.0
+        assert RetryPolicy(jitter=0.0).delay(1, retry_after_s=4.0) == 4.0
+
+
+# -- chaos CLI ----------------------------------------------------------------
+
+
+class TestChaosCli:
+    def test_replay_is_byte_identical(self, tmp_path):
+        from repro.cli import main
+
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        assert main(["chaos", "--seed", "5", "--requests", "6", "--out", str(first)]) == 0
+        assert main(["chaos", "--seed", "5", "--requests", "6", "--out", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+        events = [json.loads(line) for line in first.read_text().splitlines()]
+        summary = events[-1]
+        assert summary["kind"] == "summary"
+        assert summary["arena_bytes_in_use"] == 0
+        outcomes = [event["outcome"] for event in events if event["kind"] == "request"]
+        assert len(outcomes) == 6
+        assert all(outcome in TERMINAL_OUTCOMES for outcome in outcomes)
+
+    def test_different_seeds_differ(self, tmp_path):
+        from repro.cli import main
+
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        assert main(["chaos", "--seed", "1", "--out", str(a)]) == 0
+        assert main(["chaos", "--seed", "2", "--out", str(b)]) == 0
+        assert a.read_bytes() != b.read_bytes()

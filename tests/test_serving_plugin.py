@@ -1,0 +1,119 @@
+"""Dedicated tests for repro.serving.plugin (the editor-session simulation).
+
+The plugin protocol is the paper's VS Code flow: type a ``- name:`` prompt,
+hit enter to trigger a prediction, then tab to accept or escape to reject.
+These tests pin the keystroke state machine itself; the service behind it
+is covered by test_serving.py / test_faults.py.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.plugin import ESCAPE, EditorSession, Suggestion, TAB
+from repro.serving.service import PredictionService
+
+
+class _ScriptedBackend:
+    """Returns canned predict payloads and records the prompts it saw."""
+
+    def __init__(self, completion="  ansible.builtin.apt:\n    name: nginx\n"):
+        self.completion = completion
+        self.prompts: list[str] = []
+
+    def predict(self, prompt):
+        self.prompts.append(prompt)
+        return {"completion": self.completion, "latency_ms": 1.5, "cached": False}
+
+
+class TestKeystrokeProtocol:
+    def test_type_text_accumulates(self):
+        session = EditorSession(backend=_ScriptedBackend())
+        session.type_text("---\n")
+        session.type_text("- name: Install nginx")
+        assert session.buffer == "---\n- name: Install nginx"
+
+    def test_enter_triggers_prediction_with_whole_buffer(self):
+        backend = _ScriptedBackend()
+        session = EditorSession(backend=backend)
+        session.type_text("- name: Install nginx")
+        suggestion = session.press_enter()
+        assert isinstance(suggestion, Suggestion)
+        assert suggestion.text == backend.completion
+        assert suggestion.latency_ms == 1.5 and suggestion.cached is False
+        # The trigger sends the full buffer (context), newline-terminated.
+        assert backend.prompts == ["- name: Install nginx\n"]
+
+    def test_enter_requires_name_prompt_line(self):
+        session = EditorSession(backend=_ScriptedBackend())
+        session.type_text("hosts: all")
+        with pytest.raises(ServingError):
+            session.press_enter()
+
+    def test_enter_with_pending_suggestion_raises(self):
+        session = EditorSession(backend=_ScriptedBackend())
+        session.type_text("- name: Install nginx")
+        session.press_enter()
+        with pytest.raises(ServingError):
+            session.press_enter()
+
+    def test_tab_accepts_and_appends(self):
+        session = EditorSession(backend=_ScriptedBackend(completion="  apt: {name: nginx}"))
+        session.type_text("- name: Install nginx")
+        session.press_enter()
+        buffer = session.press(TAB)
+        assert buffer.endswith("  apt: {name: nginx}\n")  # newline normalised
+        assert session.accepted == 1 and session.rejected == 0
+
+    def test_escape_rejects_and_leaves_buffer(self):
+        session = EditorSession(backend=_ScriptedBackend())
+        session.type_text("- name: Install nginx")
+        session.press_enter()
+        before = session.buffer
+        after = session.press(ESCAPE)
+        assert after == before  # suggestion discarded, prompt kept
+        assert session.accepted == 0 and session.rejected == 1
+
+    def test_press_without_pending_raises(self):
+        session = EditorSession(backend=_ScriptedBackend())
+        with pytest.raises(ServingError):
+            session.press(TAB)
+
+    def test_unknown_key_raises(self):
+        session = EditorSession(backend=_ScriptedBackend())
+        session.type_text("- name: Install nginx")
+        session.press_enter()
+        with pytest.raises(ServingError):
+            session.press("ctrl-z")
+
+    def test_acceptance_rate(self):
+        session = EditorSession(backend=_ScriptedBackend())
+        assert session.acceptance_rate == 0.0
+        for key in (TAB, TAB, ESCAPE, TAB):
+            session.type_text("- name: another task")
+            session.press_enter()
+            session.press(key)
+        assert session.acceptance_rate == pytest.approx(0.75)
+
+
+class _StaticCompleter:
+    name = "static"
+
+    def complete(self, prompt, max_new_tokens=96):
+        return "  ansible.builtin.service:\n    name: ssh\n    state: started\n"
+
+
+class TestAgainstRealService:
+    def test_session_round_trip_through_prediction_service(self):
+        service = PredictionService(_StaticCompleter())
+        session = EditorSession(backend=service)
+        session.type_text("- name: Start SSH server")
+        first = session.press_enter()
+        assert first.cached is False
+        session.press(TAB)
+        assert "ansible.builtin.service" in session.buffer
+        # Identical context in a new session hits the service cache.
+        replay = EditorSession(backend=service)
+        replay.type_text("- name: Start SSH server")
+        assert replay.press_enter().cached is True
