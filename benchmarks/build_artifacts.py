@@ -21,6 +21,10 @@ from test_degradation import (  # noqa: E402
     REPORT_FILE as DEGRADATION_REPORT_FILE,
     run_degradation_bench,
 )
+from test_fleet import (  # noqa: E402
+    REPORT_FILE as FLEET_REPORT_FILE,
+    run_fleet_bench,
+)
 from test_kv_arena import REPORT_FILE, run_kv_arena_bench  # noqa: E402
 
 
@@ -38,6 +42,18 @@ def main() -> None:
     print(
         f"degradation: shed rate {degradation['shed_rate']:.0%} at 2x saturation, "
         f"p99 {degradation['latency_all']['p99_ms']}ms -> {DEGRADATION_REPORT_FILE.name}"
+    )
+    fleet = run_fleet_bench()
+    widest = max(cell["workers"] for cell in fleet["cells"])
+    by_policy = {
+        cell["policy"]: cell["prefix_cache_hit_rate"]
+        for cell in fleet["cells"]
+        if cell["workers"] == widest
+    }
+    print(
+        f"fleet: prefix hit rate at {widest} workers — affinity "
+        f"{by_policy['affinity']:.0%} vs round-robin {by_policy['round_robin']:.0%} "
+        f"-> {FLEET_REPORT_FILE.name}"
     )
     print(f"done in {time.time() - started:.0f}s")
     print(f"tables: {sorted(k for k in results if k.startswith('table') or k == 'throughput')}")

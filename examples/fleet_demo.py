@@ -1,0 +1,65 @@
+"""Fleet tour: prefix-affinity routing, failover, and a chaos replay.
+
+Builds a three-replica in-process fleet, shows shared-prefix prompts
+sticking to one replica (and its prefix cache hitting), kills that
+replica to demonstrate failover to the ring successor, then runs a
+seeded fleet chaos schedule twice and verifies the byte-identical
+replay. Everything is deterministic and finishes in well under a
+minute — no trained checkpoint needed.
+
+Run::
+
+    python examples/fleet_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.fleet import (
+    FleetRouter,
+    InProcessWorker,
+    WorkerSpec,
+    generate_prompts,
+    prefix_bucket,
+    run_fleet_chaos,
+)
+
+
+def main() -> None:
+    print("spawning 3 in-process replicas (tiny random-weight engines)...")
+    workers = [InProcessWorker(f"w{i}", spec=WorkerSpec(seed=i)).start() for i in range(3)]
+    router = FleetRouter(workers, policy="affinity")
+
+    print("\n-- prefix affinity --")
+    prompts = generate_prompts("shared_prefix", 12, seed=0)
+    for prompt in prompts[:6]:
+        payload = router.predict(prompt, max_new_tokens=6)
+        print(f"bucket {prefix_bucket(prompt)[:34]!r:38} -> {payload['worker']}")
+    aggregate = router.stats()["aggregate"]["prefix_cache"]
+    print(f"fleet prefix cache: hits={aggregate['hits']} hit_rate={aggregate['hit_rate']:.0%}")
+
+    print("\n-- failover --")
+    prompt = prompts[0]
+    victim = router.predict(prompt, max_new_tokens=6)["worker"]
+    print(f"killing {victim} (the replica owning this bucket)...")
+    next(w for w in workers if w.worker_id == victim).kill()
+    payload = router.predict(prompt, max_new_tokens=6)
+    print(
+        f"request failed over to {payload['worker']} "
+        f"(failovers={payload.get('failovers', 0)}); dead={router.dead_worker_ids}"
+    )
+    router.stop()
+
+    print("\n-- seeded fleet chaos: kill a replica mid-decode --")
+    first = run_fleet_chaos(seed=1)
+    second = run_fleet_chaos(seed=1)
+    counts: dict[str, int] = {}
+    for outcome in first["outcomes"].values():
+        counts[outcome] = counts.get(outcome, 0) + 1
+    print(f"outcomes: {counts}")
+    print(f"crashed replicas: {first['crashed']}")
+    print(f"leaked KV bytes per replica: {first['leaked_bytes']}")
+    print(f"replay byte-identical: {first['log'] == second['log']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -336,6 +336,88 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if leaked == 0 else 1
 
 
+def _cmd_fleet_serve(args: argparse.Namespace) -> int:
+    """Front N replica processes with one prefix-affinity router endpoint."""
+    from repro.fleet import FleetRouter, ProcessWorker, WorkerSpec
+    from repro.serving import RestServer
+
+    spec = WorkerSpec(
+        seed=args.seed,
+        checkpoint=args.model,
+        max_new_tokens=args.max_new_tokens,
+        max_queue_depth=args.max_queue_depth,
+    )
+    print(f"spawning {args.workers} replica(s)...")
+    workers = [ProcessWorker(f"w{index}", spec).start() for index in range(args.workers)]
+    router = FleetRouter(
+        workers,
+        policy=args.policy,
+        heartbeat_timeout_s=args.heartbeat_timeout_s,
+        spawner=lambda worker_id: ProcessWorker(worker_id, spec).start(),
+    )
+    router.start_heartbeats(interval_s=args.heartbeat_timeout_s / 2.0)
+    server = RestServer(router, host=args.host, port=args.port).start()
+    replicas = ", ".join(f"{worker.worker_id}={worker.url}" for worker in workers)
+    print(f"fleet router ({args.policy}) at {server.url} over [{replicas}] (ctrl-c to stop)")
+    try:
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        router.stop()
+    return 0
+
+
+def _cmd_fleet_chaos(args: argparse.Namespace) -> int:
+    """Seeded fleet-scale chaos: kill a replica mid-decode, log everything.
+
+    The fleet sibling of ``repro chaos``: N in-process replicas behind the
+    prefix-affinity router, a fake clock, and a seeded fault schedule that
+    crashes one replica while its batcher holds live rows.  Exit status is
+    0 only when the run upholds the invariants (all four-outcome, zero KV
+    bytes leaked); ``--verify`` additionally reruns the seed and diffs the
+    two logs byte-for-byte.
+    """
+    from repro.fleet import OUTCOMES, run_fleet_chaos
+
+    result = run_fleet_chaos(
+        seed=args.seed,
+        n_workers=args.workers,
+        n_requests=args.requests,
+        kill_decode_call=args.kill_decode_call if args.kill_decode_call >= 0 else None,
+        profile=args.profile,
+    )
+    if args.out:
+        Path(args.out).write_text(result["log"], encoding="utf-8")
+        print(f"{len(result['events'])} events written to {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(result["log"])
+    leaked = sum(result["leaked_bytes"].values())
+    bad_outcomes = [o for o in result["outcomes"].values() if o not in OUTCOMES]
+    status = 0
+    if leaked or bad_outcomes:
+        print(f"INVARIANT VIOLATED: leaked={leaked} bad_outcomes={bad_outcomes}", file=sys.stderr)
+        status = 1
+    if args.verify:
+        replay = run_fleet_chaos(
+            seed=args.seed,
+            n_workers=args.workers,
+            n_requests=args.requests,
+            kill_decode_call=args.kill_decode_call if args.kill_decode_call >= 0 else None,
+            profile=args.profile,
+        )
+        if replay["log"] == result["log"]:
+            print("replay: byte-identical", file=sys.stderr)
+        else:
+            print("replay: DIVERGED", file=sys.stderr)
+            status = 1
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__.split("\n")[0])
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -433,6 +515,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-step probability of a 250ms (fake-clock) slow decode step",
     )
     chaos.set_defaults(handler=_cmd_chaos)
+
+    fleet = subparsers.add_parser(
+        "fleet", help="multi-replica router: serve N replicas or run fleet-scale chaos"
+    )
+    fleet_modes = fleet.add_subparsers(dest="fleet_mode", required=True)
+
+    fleet_serve = fleet_modes.add_parser(
+        "serve", help="spawn N replica processes behind a prefix-affinity router"
+    )
+    fleet_serve.add_argument("--model", help="checkpoint directory (omit for random weights)")
+    fleet_serve.add_argument("--workers", type=int, default=2)
+    fleet_serve.add_argument("--policy", choices=("affinity", "round_robin"), default="affinity")
+    fleet_serve.add_argument("--host", default="127.0.0.1")
+    fleet_serve.add_argument("--port", type=int, default=8181)
+    fleet_serve.add_argument("--seed", type=int, default=0)
+    fleet_serve.add_argument("--max-new-tokens", type=int, default=96, dest="max_new_tokens")
+    fleet_serve.add_argument("--max-queue-depth", type=int, default=8, dest="max_queue_depth")
+    fleet_serve.add_argument(
+        "--heartbeat-timeout-s", type=float, default=5.0, dest="heartbeat_timeout_s",
+        help="declare a replica dead after this long without a heartbeat",
+    )
+    fleet_serve.set_defaults(handler=_cmd_fleet_serve)
+
+    fleet_chaos = fleet_modes.add_parser(
+        "chaos", help="seeded replica-kill chaos run against an in-process fleet"
+    )
+    fleet_chaos.add_argument("--seed", type=int, default=0)
+    fleet_chaos.add_argument("--workers", type=int, default=3)
+    fleet_chaos.add_argument("--requests", type=int, default=24)
+    fleet_chaos.add_argument(
+        "--profile", choices=("shared_prefix", "uniform", "keystroke", "mixed"),
+        default="shared_prefix", help="request-mix load profile",
+    )
+    fleet_chaos.add_argument(
+        "--kill-decode-call", type=int, default=30, dest="kill_decode_call",
+        help="global decode-step call at which a replica crashes (-1 disables)",
+    )
+    fleet_chaos.add_argument("--out", help="write the JSONL event log here (default: stdout)")
+    fleet_chaos.add_argument(
+        "--verify", action="store_true", help="rerun the seed and diff the logs byte-for-byte"
+    )
+    fleet_chaos.set_defaults(handler=_cmd_fleet_chaos)
     return parser
 
 

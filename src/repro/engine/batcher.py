@@ -38,6 +38,7 @@ under a fake clock.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 
 from repro.engine.batched_decode import DecodingBatch, prefill_single
@@ -100,6 +101,12 @@ class ContinuousBatcher:
         self.batch = DecodingBatch(model, arena)
         self.queue: deque[GenerationRequest] = deque()
         # -- accounting --
+        # Guards the counters below, NOT the scheduler state: mutators hold
+        # it only for the few increments that publish a step's outcome, so
+        # ``stats()`` can take one consistent snapshot without waiting for
+        # an in-flight generation (the engine's coarse lock is held for the
+        # *entire* ``generate_batch``, which could be seconds).
+        self.stats_lock = threading.Lock()
         self.completed = 0
         self.cancelled = 0
         self.deadline_expired = 0
@@ -176,13 +183,16 @@ class ContinuousBatcher:
         request.finish(reason)
         self._c_retired.inc()
         if reason == "cancelled":
-            self.cancelled += 1
+            with self.stats_lock:
+                self.cancelled += 1
             self._c_cancelled.inc()
         elif reason == "deadline_exceeded":
-            self.deadline_expired += 1
+            with self.stats_lock:
+                self.deadline_expired += 1
             self._c_deadline.inc()
         elif reason == "shed":
-            self.shed += 1
+            with self.stats_lock:
+                self.shed += 1
             self._c_shed.inc()
         else:
             raise EngineError(f"not an abnormal stop reason: {reason}")
@@ -227,7 +237,8 @@ class ContinuousBatcher:
             match = self.prefix_cache.lookup(request.prompt_ids)
             if match is not None:
                 request.prefix_reused, seeded = match
-                self.prefix_tokens_reused += request.prefix_reused
+                with self.stats_lock:
+                    self.prefix_tokens_reused += request.prefix_reused
                 self._c_prefix_hits.inc()
                 self._c_prefix_reused.inc(request.prefix_reused)
             else:
@@ -245,7 +256,8 @@ class ContinuousBatcher:
             self._finish_abnormal(request, "shed")
             return
         self._h_prefill_forward.observe(clock.now() - forward_started)
-        self.prefill_tokens += prefilled
+        with self.stats_lock:
+            self.prefill_tokens += prefilled
         self._c_prefill_tokens.inc(prefilled)
         if self.prefix_cache is not None:
             if self.prefix_cache.insert(request.prompt_ids, caches):
@@ -254,14 +266,16 @@ class ContinuousBatcher:
         if reason is not None:
             # Finished on its very first token — never occupies a batch row.
             request.finish(reason)
-            self.completed += 1
+            with self.stats_lock:
+                self.completed += 1
             self._c_retired.inc()
             for cache in caches:
                 cache.release()  # prefix-cache claims, if any, keep the slabs alive
             return
         request.begin_decode()
         self.batch.admit(caches, pending=first_token, payload=request)
-        self.peak_batch_size = max(self.peak_batch_size, self.active_size)
+        with self.stats_lock:
+            self.peak_batch_size = max(self.peak_batch_size, self.active_size)
 
     def step(self) -> bool:
         """Reap, admit what fits, then run one batched decode step.
@@ -286,13 +300,11 @@ class ContinuousBatcher:
             fire("engine.decode_step", batch=len(self.batch.rows))
             next_tokens = self.batch.step()
         except InjectedFault:
-            self.decode_faults += 1
+            with self.stats_lock:
+                self.decode_faults += 1
             self._c_decode_faults.inc()
             return True
         step_elapsed = clock.now() - step_started
-        self.decode_steps += 1
-        self.occupancy_ticks += len(next_tokens)
-        self.decode_tokens += len(next_tokens)
         self._h_decode_step.observe(step_elapsed)
         self._h_per_token.observe(step_elapsed / len(next_tokens))
         self._h_occupancy.observe(len(next_tokens))
@@ -315,8 +327,15 @@ class ContinuousBatcher:
                 row.pending = next_id
             else:
                 request.finish(reason)
-                self.completed += 1
                 finished.append(position)
+        # Publish the whole step's accounting in one lock pass so a
+        # concurrent ``stats()`` never observes tokens from a step whose
+        # completions it hasn't seen yet (or vice versa).
+        with self.stats_lock:
+            self.decode_steps += 1
+            self.occupancy_ticks += len(next_tokens)
+            self.decode_tokens += len(next_tokens)
+            self.completed += len(finished)
         if finished:
             self._c_retired.inc(len(finished))
         self.batch.retire(finished)
@@ -328,20 +347,27 @@ class ContinuousBatcher:
             pass
 
     def stats(self) -> dict:
-        return {
-            "queue_depth": self.queue_depth,
-            "active_requests": self.active_size,
-            "completed_requests": self.completed,
-            "cancelled_requests": self.cancelled,
-            "deadline_expired_requests": self.deadline_expired,
-            "shed_requests": self.shed,
-            "decode_faults": self.decode_faults,
-            "decode_steps": self.decode_steps,
-            "decode_tokens": self.decode_tokens,
-            "prefill_tokens": self.prefill_tokens,
-            "prefix_tokens_reused": self.prefix_tokens_reused,
-            "mean_batch_occupancy": self.mean_occupancy,
-            "peak_batch_size": self.peak_batch_size,
-            "max_batch_size": self.max_batch_size,
-            "max_batch_tokens": self.max_batch_tokens,
-        }
+        """One mutually-consistent snapshot of the scheduler counters.
+
+        Taken under :attr:`stats_lock` — never the engine's request lock —
+        so callers (``/v1/stats`` handlers, the fleet router's aggregator)
+        get a coherent read mid-decode without blocking behind it.
+        """
+        with self.stats_lock:
+            return {
+                "queue_depth": self.queue_depth,
+                "active_requests": self.active_size,
+                "completed_requests": self.completed,
+                "cancelled_requests": self.cancelled,
+                "deadline_expired_requests": self.deadline_expired,
+                "shed_requests": self.shed,
+                "decode_faults": self.decode_faults,
+                "decode_steps": self.decode_steps,
+                "decode_tokens": self.decode_tokens,
+                "prefill_tokens": self.prefill_tokens,
+                "prefix_tokens_reused": self.prefix_tokens_reused,
+                "mean_batch_occupancy": self.mean_occupancy,
+                "peak_batch_size": self.peak_batch_size,
+                "max_batch_size": self.max_batch_size,
+                "max_batch_tokens": self.max_batch_tokens,
+            }

@@ -279,21 +279,48 @@ class InferenceEngine:
         """TextCompleter-compatible single completion (batch of one)."""
         return self.complete_batch([prompt], max_new_tokens)[0]
 
+    def abort_all(self) -> int:
+        """Cancel every queued or decoding request and reap immediately.
+
+        The fleet layer's crash path: when a replica is declared dead
+        mid-decode, its engine may still hold live rows whose KV slabs
+        pin arena blocks.  Cancelling them all and running one reap pass
+        (no decode step runs once everything is cancelled) retires every
+        request with the ``cancelled`` outcome and returns their slabs to
+        the arena — the survivors'-side no-leak invariant the chaos suite
+        asserts.  Returns the number of requests aborted.
+        """
+        with self._lock:
+            live = list(self.batcher.queue) + [row.payload for row in self.batcher.batch.rows]
+            for request in live:
+                request.cancel()
+            if live:
+                self.batcher.step()
+            return len(live)
+
     # -- introspection --------------------------------------------------------
 
     def stats(self) -> dict:
-        """Scheduler + prefix-cache counters for ``/v1/stats``."""
-        with self._lock:
-            report = self.batcher.stats()
-            report["requests_submitted"] = self._next_request_id
-            report["kv_arena"] = self.kv_arena.stats()
-            if self.prefix_cache is not None:
-                report["prefix_cache"] = self.prefix_cache.stats()
-            profiler = self.obs.profiler
-            if profiler.enabled and profiler.total_calls:
-                report["profile"] = {
-                    "ops_profiled": profiler.total_calls,
-                    "total_flops": profiler.total_flops,
-                    "alloc_high_water_bytes": profiler.alloc_high_water_bytes,
-                }
-            return report
+        """Scheduler + prefix-cache counters for ``/v1/stats``.
+
+        Deliberately does NOT take the engine's request lock: that lock is
+        held for an entire ``generate_batch`` call, so a stats probe (a
+        health checker, the fleet router's aggregator) would stall behind
+        whichever generation happens to be in flight.  Instead the batcher
+        snapshot comes from its own ``stats_lock`` — a single consistent
+        pass over the counters — and the arena / prefix-cache reads are
+        point-in-time reads of their own monotonic accounting.
+        """
+        report = self.batcher.stats()
+        report["requests_submitted"] = self._next_request_id
+        report["kv_arena"] = self.kv_arena.stats()
+        if self.prefix_cache is not None:
+            report["prefix_cache"] = self.prefix_cache.stats()
+        profiler = self.obs.profiler
+        if profiler.enabled and profiler.total_calls:
+            report["profile"] = {
+                "ops_profiled": profiler.total_calls,
+                "total_flops": profiler.total_flops,
+                "alloc_high_water_bytes": profiler.alloc_high_water_bytes,
+            }
+        return report

@@ -138,5 +138,33 @@ class EngineError(ReproError):
     """Base class for inference-engine errors (:mod:`repro.engine`)."""
 
 
+class FleetError(ReproError):
+    """Base class for fleet/router errors (:mod:`repro.fleet`)."""
+
+
+class WorkerUnavailableError(FleetError):
+    """A replica cannot be reached (dead process, refused connection, crash).
+
+    The router treats this as a membership event: the worker is marked
+    dead, its affinity buckets rebalance onto the survivors and the
+    request that observed the failure is re-dispatched.  Carries the
+    worker id so failovers are attributable in stats and chaos logs.
+    """
+
+    def __init__(self, message: str, worker_id: str | None = None):
+        super().__init__(message)
+        self.worker_id = worker_id
+
+
+class WorkerCrashed(FleetError):
+    """A replica died mid-request (the injectable crash fault).
+
+    Raised *inside* a worker — deliberately not an
+    :class:`InjectedFault`, so the engine's transient decode-step retry
+    does not absorb it and the crash propagates out of the decode loop
+    exactly the way a dying process would drop a connection.
+    """
+
+
 class ObservabilityError(ReproError):
     """Base class for tracing/metrics errors (:mod:`repro.obs`)."""

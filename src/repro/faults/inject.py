@@ -18,6 +18,13 @@ Seams instrumented across the stack:
                        (raise = failed step, retried; delay = slow step)
 ``tokenizer.encode``   :meth:`~repro.tokenizer.bpe.BpeTokenizer.encode`
 ``checkpoint.read``    :func:`~repro.model.checkpoints.load_checkpoint`
+``fleet.spawn``        replica spawn in :class:`~repro.fleet.router.FleetRouter`
+                       (raise = the replacement process never came up)
+``fleet.heartbeat``    one heartbeat probe from the router to a replica
+                       (raise = probe lost; enough in a row marks it dead)
+``fleet.dispatch``     one request dispatch from router to replica (raise =
+                       the connection died mid-request; the router fails
+                       the request over to the next replica on the ring)
 =====================  ====================================================
 
 Two properties make schedules *replayable*:
@@ -57,6 +64,9 @@ KNOWN_SEAMS = (
     "engine.decode_step",
     "tokenizer.encode",
     "checkpoint.read",
+    "fleet.spawn",
+    "fleet.heartbeat",
+    "fleet.dispatch",
 )
 
 

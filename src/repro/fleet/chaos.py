@@ -1,0 +1,195 @@
+"""Seeded, replayable chaos runs against a whole fleet.
+
+:func:`run_fleet_chaos` is the fleet-scale sibling of ``repro chaos``
+(PR 5): it drives a router over N in-process replicas under a
+:class:`~repro.faults.FakeClock` and a seeded
+:class:`~repro.faults.FaultInjector`, then renders a canonical JSONL
+event log.  Everything — model weights, the prompt stream, the fault
+schedule, every timestamp — derives from the seed, so two runs of the
+same seed produce *byte-identical* logs; ``repro fleet chaos`` diffs
+them and the test suite asserts it.
+
+The marquee fault is the mid-decode replica kill: a
+:class:`~repro.errors.WorkerCrashed` is injected at a chosen global
+``engine.decode_step`` call, i.e. while that replica's continuous batcher
+has live rows.  The dying replica aborts its in-flight requests (freeing
+their KV slabs), the router fails the observed request over to the next
+replica on the ring, and the run's invariants are asserted afterwards:
+
+* every submitted request ends in exactly one of the four PR 5 outcomes
+  (``completed`` / ``cancelled`` / ``deadline_exceeded`` / ``shed``);
+* zero KV-arena bytes remain in use on any replica, survivors included;
+* the event log replays byte-identically for the same seed.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import (
+    DeadlineExceededError,
+    RequestCancelledError,
+    ServiceOverloadedError,
+    WorkerCrashed,
+)
+from repro.faults import FakeClock, FaultInjector, use
+from repro.fleet.loadgen import generate_prompts
+from repro.fleet.router import FleetRouter
+from repro.fleet.worker import InProcessWorker, WorkerSpec
+from repro.utils.rng import SeededRng
+
+#: The four terminal dispositions a request can reach (PR 5's invariant).
+OUTCOMES = ("completed", "cancelled", "deadline_exceeded", "shed")
+
+
+def build_chaos_fleet(
+    seed: int,
+    n_workers: int,
+    *,
+    policy: str = "affinity",
+    heartbeat_timeout_s: float = 1.0,
+    max_inflight: int | None = None,
+) -> tuple[FleetRouter, list[InProcessWorker]]:
+    """A router over ``n_workers`` deterministic in-process replicas.
+
+    Replica ``k`` gets weights from ``seed + k`` (distinct replicas, same
+    tokenizer) — close enough to a real fleet of identical deployments
+    while keeping every byte seed-derived.  Returns the worker handles
+    alongside the router so callers can audit replicas (leak checks)
+    even after the router has declared them dead.
+    """
+    workers = [
+        InProcessWorker(f"w{index}", spec=WorkerSpec(seed=seed + index)).start()
+        for index in range(n_workers)
+    ]
+    router = FleetRouter(
+        workers,
+        policy=policy,
+        heartbeat_timeout_s=heartbeat_timeout_s,
+        max_inflight=max_inflight,
+    )
+    return router, workers
+
+
+def run_fleet_chaos(
+    seed: int = 0,
+    n_workers: int = 3,
+    n_requests: int = 24,
+    *,
+    kill_decode_call: int | None = 30,
+    slow_step_rate: float = 0.08,
+    slow_step_delay_s: float = 0.6,
+    decode_fault_rate: float = 0.05,
+    alloc_fault_rate: float = 0.0,
+    heartbeat_fault_rate: float = 0.1,
+    deadline_rate: float = 0.3,
+    profile: str = "shared_prefix",
+    heartbeat_every: int = 4,
+) -> dict:
+    """One deterministic chaos run; returns events, log text and invariants.
+
+    The returned dict carries ``events`` (list of dicts), ``log`` (their
+    canonical sorted-key JSONL), ``outcomes`` (request id -> outcome),
+    ``leaked_bytes`` (per-replica KV bytes still in use after the run —
+    the no-leak invariant wants all zeros) and ``crashed`` (replica ids
+    that died mid-run).
+    """
+    rng = SeededRng(seed).child("fleet-chaos")
+    prompts = generate_prompts(profile, n_requests, seed=seed)
+    fake = FakeClock()
+    injector = FaultInjector(seed=seed)
+    if kill_decode_call is not None:
+        injector.on("engine.decode_step", at_calls=[kill_decode_call], error=WorkerCrashed)
+    if slow_step_rate:
+        injector.on(
+            "engine.decode_step",
+            probability=slow_step_rate,
+            error=None,
+            delay_s=slow_step_delay_s,
+            max_fires=10,
+        )
+    if decode_fault_rate:
+        injector.on("engine.decode_step", probability=decode_fault_rate, max_fires=4)
+    if alloc_fault_rate:
+        injector.on("kv_arena.acquire", probability=alloc_fault_rate, max_fires=4)
+    if heartbeat_fault_rate:
+        injector.on("fleet.heartbeat", probability=heartbeat_fault_rate, max_fires=8)
+
+    outcomes: dict[int, str] = {}
+    request_events: list[dict] = []
+    with use(fake), injector:
+        router, workers = build_chaos_fleet(seed, n_workers, heartbeat_timeout_s=1.0)
+        for index, prompt in enumerate(prompts):
+            deadline_s = rng.uniform(0.3, 1.5) if rng.bernoulli(deadline_rate) else None
+            worker = None
+            failovers = 0
+            try:
+                payload = router.predict(prompt, max_new_tokens=8, deadline_s=deadline_s)
+                outcome = "completed"
+                worker = payload["worker"]
+                failovers = payload.get("failovers", 0)
+            except DeadlineExceededError:
+                outcome = "deadline_exceeded"
+            except RequestCancelledError:
+                outcome = "cancelled"
+            except ServiceOverloadedError:
+                outcome = "shed"
+            outcomes[index] = outcome
+            request_events.append(
+                {
+                    "kind": "request",
+                    "id": index,
+                    "outcome": outcome,
+                    "worker": worker,
+                    "failovers": failovers,
+                    "deadline_s": round(deadline_s, 6) if deadline_s is not None else None,
+                }
+            )
+            fake.advance(0.05)
+            if (index + 1) % heartbeat_every == 0:
+                for dead_id in router.heartbeat_tick():
+                    request_events.append({"kind": "worker_dead", "worker": dead_id})
+        # Leak audit over every replica ever spawned, dead ones included:
+        # survivors release their prefix-cache claims first so the check
+        # measures truly-lost bytes, not live cached prefixes (crashed
+        # replicas already dropped theirs on the way down).
+        crashed = router.dead_worker_ids
+        leaked_bytes: dict[str, int] = {}
+        for worker_obj in workers:
+            if worker_obj.engine is not None and worker_obj.engine.prefix_cache is not None:
+                worker_obj.engine.prefix_cache.clear()
+            leaked_bytes[worker_obj.worker_id] = worker_obj.arena_bytes_in_use()
+        stats = router.stats()
+
+    events = [dict(event, kind="fault") for event in injector.events()]
+    events.extend(request_events)
+    aggregate = stats["aggregate"]
+    events.append(
+        {
+            "kind": "summary",
+            "seed": seed,
+            "workers": n_workers,
+            "requests": n_requests,
+            "profile": profile,
+            "outcomes": {key: sum(1 for o in outcomes.values() if o == key) for key in OUTCOMES},
+            "failovers": stats["failovers"],
+            "spills": stats["spills"],
+            "shed": stats["shed_requests"],
+            "rebalances": stats["rebalances"],
+            "workers_lost": stats["workers_lost"],
+            "heartbeat_misses": stats["heartbeat_misses"],
+            "dead_workers": sorted(stats["dead_workers"]),
+            "decode_tokens": aggregate["decode_tokens"],
+            "prefix_cache_hits": aggregate["prefix_cache"]["hits"],
+            "leaked_bytes": dict(sorted(leaked_bytes.items())),
+        }
+    )
+    log = "".join(json.dumps(event, sort_keys=True) + "\n" for event in events)
+    return {
+        "events": events,
+        "log": log,
+        "outcomes": outcomes,
+        "leaked_bytes": leaked_bytes,
+        "crashed": crashed,
+        "stats": stats,
+    }

@@ -1,0 +1,116 @@
+"""Seeded load profiles: diverse request mixes for fleet benchmarks.
+
+CloudEval-YAML's lesson (PAPERS.md) is that one synthetic request stream
+tells you little — serving behaviour depends on the *mix*.  A
+:class:`LoadProfile` is the single knob: each named profile deterministically
+expands a seed into a prompt stream with a characteristic sharing
+structure, and the same names parameterise ``repro fleet chaos``, the
+fleet benchmark and the demo, so scenario diversity and traffic realism
+come from one place.
+
+Profiles::
+
+    shared_prefix   G editing sessions; every request in a session
+                    re-sends the same long playbook head plus a unique
+                    tail (the paper's editor-plugin pattern; the case
+                    prefix-affinity scheduling exists for)
+    uniform         every prompt distinct, no sharing at all (the
+                    adversarial baseline: affinity cannot help)
+    keystroke       one growing buffer per session, each request a strict
+                    extension of the previous one (maximum COW reuse)
+    mixed           half shared_prefix, half uniform, interleaved — the
+                    realistic blend of active sessions and one-shot asks
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FleetError
+from repro.utils.rng import SeededRng
+
+_MODULES = (
+    "ansible.builtin.apt",
+    "ansible.builtin.service",
+    "ansible.builtin.copy",
+    "ansible.builtin.template",
+    "ansible.builtin.user",
+    "ansible.builtin.file",
+)
+
+_PACKAGES = (
+    "nginx", "openssh-server", "postgresql", "redis", "haproxy", "docker",
+    "prometheus", "grafana", "chrony", "rsyslog", "ufw", "fail2ban",
+)
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """One named request mix; ``sessions`` bounds distinct prefix groups."""
+
+    name: str
+    sessions: int
+    description: str
+
+
+LOAD_PROFILES: dict[str, LoadProfile] = {
+    profile.name: profile
+    for profile in (
+        LoadProfile("shared_prefix", 8, "per-session shared playbook head + unique tails"),
+        LoadProfile("uniform", 0, "every prompt distinct; no reusable prefixes"),
+        LoadProfile("keystroke", 4, "each request strictly extends the session buffer"),
+        LoadProfile("mixed", 6, "interleaved shared-prefix sessions and one-shot prompts"),
+    )
+}
+
+
+def _session_head(rng: SeededRng, session: int) -> str:
+    """A stable, recognisably-long playbook head for one editing session."""
+    host = rng.choice(("web", "db", "cache", "proxy", "batch"))
+    package = rng.choice(_PACKAGES)
+    return (
+        f"---\n- hosts: {host}{session:02d}\n  tasks:\n"
+        f"    - name: Install {package} on {host}{session:02d}\n"
+        f"      {rng.choice(_MODULES)}:\n        name: {package}\n"
+        f"        state: present\n"
+    )
+
+
+def _one_shot(rng: SeededRng, index: int) -> str:
+    return (
+        f"- name: {rng.choice(('Install', 'Remove', 'Restart', 'Enable'))} "
+        f"{rng.choice(_PACKAGES)} number {index}\n"
+    )
+
+
+def generate_prompts(profile: str, count: int, seed: int = 0) -> list[str]:
+    """Expand ``profile`` into ``count`` prompts, deterministically from ``seed``."""
+    if profile not in LOAD_PROFILES:
+        known = ", ".join(sorted(LOAD_PROFILES))
+        raise FleetError(f"unknown load profile {profile!r} (known: {known})")
+    if count < 1:
+        raise FleetError(f"count must be >= 1, got {count}")
+    spec = LOAD_PROFILES[profile]
+    rng = SeededRng(seed).child("loadgen", profile)
+    prompts: list[str] = []
+    if profile == "uniform":
+        return [_one_shot(rng, index) for index in range(count)]
+    heads = [_session_head(rng.child("head", s), s) for s in range(max(1, spec.sessions))]
+    if profile == "shared_prefix":
+        for index in range(count):
+            session = rng.randint(0, len(heads) - 1)
+            prompts.append(heads[session] + f"    - name: task {index} step {rng.randint(1, 99)}\n")
+    elif profile == "keystroke":
+        buffers = list(heads)
+        for index in range(count):
+            session = rng.randint(0, len(buffers) - 1)
+            buffers[session] += f"    - name: keystroke {index}\n"
+            prompts.append(buffers[session])
+    else:  # mixed
+        for index in range(count):
+            if rng.bernoulli(0.5):
+                session = rng.randint(0, len(heads) - 1)
+                prompts.append(heads[session] + f"    - name: mixed task {index}\n")
+            else:
+                prompts.append(_one_shot(rng, index))
+    return prompts

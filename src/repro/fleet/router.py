@@ -1,0 +1,583 @@
+"""The fleet router: N engine replicas behind one serving surface.
+
+:class:`FleetRouter` duck-types :class:`~repro.serving.service.PredictionService`
+(``predict`` / ``predict_batch`` / ``health`` / ``stats`` / ``metrics`` /
+``metrics_prometheus``), so the existing :class:`~repro.serving.service.RestServer`
+fronts a whole fleet unchanged.  What it adds over one engine:
+
+* **Prefix-affinity scheduling** — prompts are reduced to a bucket key
+  (:func:`~repro.fleet.affinity.prefix_bucket`) and routed over a
+  consistent-hash ring, so requests sharing a prompt head land on the
+  replica that already holds their K/V prefix.  ``policy="round_robin"``
+  is the baseline the benchmark compares against.
+* **Fleet-level admission control** — ``max_inflight`` bounds concurrent
+  dispatches across the whole fleet; excess load sheds with the same
+  typed 503 + Retry-After contract the per-engine service uses, *before*
+  any replica is touched.
+* **Failover** — a dispatch that finds its replica dead
+  (:class:`~repro.errors.WorkerUnavailableError`) marks it dead, drains
+  it, rebalances the ring and re-dispatches the request to the next
+  replica in the key's preference order: the request is re-enqueued, not
+  dropped.  A replica that answers 503 *spills* to the next preference
+  without being declared dead; only when every live replica is saturated
+  does the fleet itself shed.
+* **Heartbeat liveness** — :meth:`heartbeat_tick` probes every replica on
+  the shared :mod:`repro.faults.clock`; a replica whose last successful
+  probe is older than ``heartbeat_timeout_s`` is declared wedged, killed
+  (aborting its in-flight work so KV slabs free), and removed from the
+  ring.  With a ``spawner`` the router replaces dead replicas, re-adding
+  capacity under the same membership/rebalance path.
+
+Every liveness decision and dispatch runs through the PR 5 fault seams
+(``fleet.spawn`` / ``fleet.heartbeat`` / ``fleet.dispatch``), so a seeded
+:class:`~repro.faults.FaultInjector` can kill replicas mid-decode, lose
+heartbeats or fail spawns — deterministically, replayably.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import (
+    DeadlineExceededError,
+    FleetError,
+    InjectedFault,
+    ServiceOverloadedError,
+    ServingError,
+    WorkerUnavailableError,
+)
+from repro.faults import clock
+from repro.faults.inject import fire
+from repro.fleet.affinity import DEFAULT_PREFIX_DEPTH, HashRing, prefix_bucket
+from repro.obs import Observability
+from repro.obs.export import prometheus_exposition
+
+ROUTING_POLICIES = ("affinity", "round_robin")
+
+
+class FleetRouter:
+    """Spread requests over replicas; keep serving through replica death."""
+
+    def __init__(
+        self,
+        workers=None,
+        *,
+        policy: str = "affinity",
+        max_inflight: int | None = None,
+        shed_retry_after_s: float = 0.5,
+        heartbeat_timeout_s: float = 5.0,
+        affinity_depth: int = DEFAULT_PREFIX_DEPTH,
+        vnodes: int = 64,
+        spawner=None,
+        obs: Observability | None = None,
+    ):
+        if policy not in ROUTING_POLICIES:
+            raise FleetError(f"unknown policy {policy!r} (known: {ROUTING_POLICIES})")
+        if max_inflight is not None and max_inflight < 1:
+            raise FleetError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.policy = policy
+        self.max_inflight = max_inflight
+        self.shed_retry_after_s = shed_retry_after_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.affinity_depth = affinity_depth
+        self.spawner = spawner
+        self._workers: dict[str, object] = {}
+        self._dead: dict[str, str] = {}  # worker id -> reason
+        self._ring = HashRing(vnodes=vnodes)
+        self._last_heartbeat: dict[str, float] = {}
+        self._rr_index = 0
+        self._inflight_count = 0
+        self._lock = threading.RLock()
+        self._heartbeat_thread: threading.Thread | None = None
+        self._heartbeat_stop = threading.Event()
+        # -- accounting --
+        self.request_count = 0
+        self.batch_request_count = 0
+        self.shed_count = 0
+        self.failover_count = 0
+        self.spill_count = 0
+        self.rebalance_count = 0
+        self.heartbeat_miss_count = 0
+        self.workers_lost = 0
+        self.respawn_count = 0
+        self.spawn_failures = 0
+        # -- observability --
+        self.obs = obs if obs is not None else Observability()
+        metrics = self.obs.metrics
+        self._c_requests = metrics.counter("fleet.requests")
+        self._c_batch_requests = metrics.counter("fleet.batch_requests")
+        self._c_shed = metrics.counter("fleet.shed")
+        self._c_failovers = metrics.counter("fleet.failovers")
+        self._c_spills = metrics.counter("fleet.spills")
+        self._c_heartbeat_misses = metrics.counter("fleet.heartbeat_misses")
+        self._c_workers_lost = metrics.counter("fleet.workers_lost")
+        self._g_live = metrics.gauge("fleet.live_workers")
+        self._g_inflight = metrics.gauge("fleet.inflight")
+        self._h_dispatch = metrics.histogram("fleet.dispatch_s")
+        for worker in workers or ():
+            self.add_worker(worker)
+
+    # -- membership ----------------------------------------------------------
+
+    @property
+    def live_worker_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._workers)
+
+    @property
+    def dead_worker_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._dead)
+
+    def add_worker(self, worker) -> None:
+        """Join a replica: ring membership, heartbeat baseline, rebalance."""
+        with self._lock:
+            worker_id = worker.worker_id
+            if worker_id in self._workers:
+                raise FleetError(f"worker {worker_id!r} already joined")
+            self._workers[worker_id] = worker
+            self._ring.add(worker_id)
+            self._last_heartbeat[worker_id] = clock.now()
+            self._dead.pop(worker_id, None)
+            self.rebalance_count += 1
+            self._g_live.set(len(self._workers))
+
+    def remove_worker(self, worker_id: str, reason: str = "removed") -> None:
+        """Leave / declare dead: drain the replica, rebalance its buckets."""
+        with self._lock:
+            self._mark_dead_locked(worker_id, reason)
+
+    def _mark_dead_locked(self, worker_id: str, reason: str) -> None:
+        worker = self._workers.pop(worker_id, None)
+        if worker is None:
+            return  # a concurrent dispatch already reaped it
+        self._ring.remove(worker_id)
+        self._last_heartbeat.pop(worker_id, None)
+        self._dead[worker_id] = reason
+        self.rebalance_count += 1
+        if reason != "removed":
+            self.workers_lost += 1
+            self._c_workers_lost.inc()
+        self._g_live.set(len(self._workers))
+        # Drain: abort whatever the replica still holds.  For an in-process
+        # replica this cancels live engine rows (freeing KV slabs); for a
+        # process replica it terminates the child.  Requests currently
+        # blocked on the replica surface WorkerUnavailableError in their
+        # dispatching threads and re-enqueue through the failover path.
+        kill = getattr(worker, "kill", None)
+        if kill is not None:
+            try:
+                kill()
+            except Exception:
+                pass  # the replica is being declared dead; failures to drain are moot
+
+    def _on_worker_failure(self, worker_id: str, reason: str) -> None:
+        with self._lock:
+            self._mark_dead_locked(worker_id, reason)
+            self.failover_count += 1
+            self._c_failovers.inc()
+
+    def _respawn_locked(self, dead_id: str) -> None:
+        if self.spawner is None:
+            return
+        try:
+            replacement = self.spawner(dead_id)
+        except (InjectedFault, FleetError, ServingError):
+            self.spawn_failures += 1
+            return
+        if replacement is not None:
+            self.add_worker(replacement)
+            self.respawn_count += 1
+
+    # -- admission -----------------------------------------------------------
+
+    def _try_admit(self) -> bool:
+        with self._lock:
+            if self.max_inflight is not None and self._inflight_count >= self.max_inflight:
+                return False
+            self._inflight_count += 1
+            self._g_inflight.inc()
+            return True
+
+    def _release_admission(self) -> None:
+        with self._lock:
+            self._inflight_count -= 1
+            self._g_inflight.dec()
+
+    def _shed(self, reason: str, retry_after_s: float | None = None) -> ServiceOverloadedError:
+        with self._lock:
+            self.shed_count += 1
+        self._c_shed.inc()
+        retry_after = retry_after_s if retry_after_s is not None else self.shed_retry_after_s
+        return ServiceOverloadedError(
+            f"fleet overloaded ({reason}); retry after {retry_after}s",
+            retry_after_s=retry_after,
+        )
+
+    # -- routing -------------------------------------------------------------
+
+    def _candidates(self, prompt: str) -> list[str]:
+        """Live replicas in dispatch-preference order for ``prompt``."""
+        with self._lock:
+            if self.policy == "affinity":
+                return self._ring.preference(prefix_bucket(prompt, self.affinity_depth))
+            ordered = sorted(self._workers)
+            if not ordered:
+                return []
+            start = self._rr_index % len(ordered)
+            self._rr_index += 1
+            return ordered[start:] + ordered[:start]
+
+    def _remaining_deadline(self, deadline_at: float | None) -> float | None:
+        if deadline_at is None:
+            return None
+        remaining = deadline_at - clock.now()
+        if remaining <= 0:
+            raise DeadlineExceededError("deadline exhausted before a replica answered")
+        return remaining
+
+    def _dispatch(self, prompt: str, max_new_tokens, deadline_at: float | None) -> dict:
+        """Send to the preferred replica; fail over / spill as needed.
+
+        Dead replicas trigger failover (membership change + re-dispatch);
+        overloaded replicas trigger spill (next preference, no membership
+        change).  Raises the fleet-level 503 only when every live replica
+        is saturated or gone.
+        """
+        failovers = 0
+        overloaded: set[str] = set()
+        last_overload: ServiceOverloadedError | None = None
+        while True:
+            progressed = False
+            for worker_id in self._candidates(prompt):
+                if worker_id in overloaded:
+                    continue
+                with self._lock:
+                    worker = self._workers.get(worker_id)
+                if worker is None:
+                    continue  # raced with a heartbeat-driven removal
+                started = clock.now()
+                try:
+                    fire("fleet.dispatch", worker=worker_id)
+                    payload = worker.predict(
+                        prompt,
+                        max_new_tokens,
+                        deadline_s=self._remaining_deadline(deadline_at),
+                    )
+                except (WorkerUnavailableError, InjectedFault):
+                    # The replica died under us: declare it dead (draining
+                    # it and rebalancing the ring) and re-enqueue this
+                    # request against the survivors.
+                    self._on_worker_failure(worker_id, "dispatch_failed")
+                    failovers += 1
+                    progressed = True
+                    break
+                except ServiceOverloadedError as error:
+                    last_overload = error
+                    overloaded.add(worker_id)
+                    with self._lock:
+                        self.spill_count += 1
+                    self._c_spills.inc()
+                    continue
+                self._h_dispatch.observe(clock.now() - started)
+                with self._lock:
+                    self._last_heartbeat[worker_id] = clock.now()
+                payload["worker"] = worker_id
+                if failovers:
+                    payload["failovers"] = failovers
+                return payload
+            if not progressed:
+                if not self.live_worker_ids:
+                    raise self._shed("no live replicas")
+                raise self._shed(
+                    "every live replica is saturated",
+                    retry_after_s=last_overload.retry_after_s if last_overload else None,
+                )
+
+    def predict(
+        self,
+        prompt: str,
+        max_new_tokens: int | None = None,
+        deadline_s: float | None = None,
+    ) -> dict:
+        """One completion through the fleet (the ``/v1/completions`` body)."""
+        if not isinstance(prompt, str) or not prompt.strip():
+            raise ServingError("prompt must be a non-empty string")
+        if not self._try_admit():
+            raise self._shed("fleet admission queue full")
+        deadline_at = clock.now() + deadline_s if deadline_s is not None else None
+        try:
+            with self.obs.tracer.span("fleet.predict") as span:
+                payload = self._dispatch(prompt, max_new_tokens, deadline_at)
+                span.set(worker=payload["worker"], failovers=payload.get("failovers", 0))
+        finally:
+            self._release_admission()
+        with self._lock:
+            self.request_count += 1
+        self._c_requests.inc()
+        return payload
+
+    def predict_batch(
+        self,
+        prompts: list[str],
+        max_new_tokens: int | None = None,
+        deadline_s: float | None = None,
+    ) -> dict:
+        """Batched completions, grouped per replica so each group decodes
+        through its replica's continuous batcher in one pass.
+
+        Groups whose replica dies mid-dispatch are re-enqueued and
+        re-grouped over the survivors; no prompt is dropped by a
+        membership change.
+        """
+        if not isinstance(prompts, list) or not prompts:
+            raise ServingError("prompts must be a non-empty list of strings")
+        for prompt in prompts:
+            if not isinstance(prompt, str) or not prompt.strip():
+                raise ServingError("every prompt must be a non-empty string")
+        if not self._try_admit():
+            raise self._shed("fleet admission queue full")
+        deadline_at = clock.now() + deadline_s if deadline_s is not None else None
+        started = clock.now()
+        try:
+            merged = self._dispatch_batch(prompts, max_new_tokens, deadline_at)
+        finally:
+            self._release_admission()
+        with self._lock:
+            self.request_count += len(prompts)
+            self.batch_request_count += 1
+        self._c_requests.inc(len(prompts))
+        self._c_batch_requests.inc()
+        merged["latency_ms"] = (clock.now() - started) * 1000.0
+        merged["batch_size"] = len(prompts)
+        return merged
+
+    def _dispatch_batch(self, prompts: list[str], max_new_tokens, deadline_at) -> dict:
+        completions: list[str | None] = [None] * len(prompts)
+        cached: list[bool] = [False] * len(prompts)
+        degraded: list[bool] = [False] * len(prompts)
+        workers: list[str | None] = [None] * len(prompts)
+        decoded = 0
+        pending = list(enumerate(prompts))
+        bounce_budget = None  # set on first full-overload sweep
+        while pending:
+            groups: dict[str, list[tuple[int, str]]] = {}
+            for index, prompt in pending:
+                candidates = self._candidates(prompt)
+                if not candidates:
+                    raise self._shed("no live replicas")
+                groups.setdefault(candidates[0], []).append((index, prompt))
+            pending = []
+            for worker_id, items in groups.items():
+                with self._lock:
+                    worker = self._workers.get(worker_id)
+                if worker is None:
+                    pending.extend(items)  # membership changed mid-grouping
+                    continue
+                group_prompts = [prompt for _, prompt in items]
+                try:
+                    fire("fleet.dispatch", worker=worker_id, batch=len(items))
+                    payload = worker.predict_batch(
+                        group_prompts,
+                        max_new_tokens,
+                        deadline_s=self._remaining_deadline(deadline_at),
+                    )
+                except (WorkerUnavailableError, InjectedFault):
+                    self._on_worker_failure(worker_id, "dispatch_failed")
+                    pending.extend(items)  # re-enqueue the whole group
+                    continue
+                except ServiceOverloadedError as error:
+                    # Spill the whole group; bounded so a fully saturated
+                    # fleet sheds instead of spinning.
+                    with self._lock:
+                        self.spill_count += 1
+                        live = len(self._workers)
+                    self._c_spills.inc()
+                    if bounce_budget is None:
+                        bounce_budget = max(1, live)
+                    bounce_budget -= 1
+                    if bounce_budget <= 0:
+                        raise self._shed(
+                            "every live replica is saturated",
+                            retry_after_s=error.retry_after_s,
+                        ) from error
+                    pending.extend(items)
+                    continue
+                for (index, _prompt), completion, was_cached, was_degraded in zip(
+                    items, payload["completions"], payload["cached"], payload["degraded"]
+                ):
+                    completions[index] = completion
+                    cached[index] = was_cached
+                    degraded[index] = was_degraded
+                    workers[index] = worker_id
+                decoded += payload.get("decoded", 0)
+                with self._lock:
+                    self._last_heartbeat[worker_id] = clock.now()
+        return {
+            "completions": completions,
+            "cached": cached,
+            "degraded": degraded,
+            "workers": workers,
+            "decoded": decoded,
+        }
+
+    # -- liveness ------------------------------------------------------------
+
+    def heartbeat_tick(self) -> list[str]:
+        """Probe every replica; declare dead any past its heartbeat deadline.
+
+        Returns the ids declared dead this tick.  A probe failure (dead
+        process, injected ``fleet.heartbeat`` fault) does not refresh the
+        replica's ``last_heartbeat``; the declaration happens only once
+        the deadline lapses, so one lost probe under a generous timeout
+        is survivable — exactly how production heartbeating behaves, and
+        exactly testable under a :class:`~repro.faults.FakeClock`.
+        """
+        with self._lock:
+            probes = list(self._workers.items())
+        for worker_id, worker in probes:
+            try:
+                fire("fleet.heartbeat", worker=worker_id)
+                worker.heartbeat()
+            except (WorkerUnavailableError, InjectedFault, ServingError):
+                with self._lock:
+                    self.heartbeat_miss_count += 1
+                self._c_heartbeat_misses.inc()
+            else:
+                with self._lock:
+                    if worker_id in self._workers:
+                        self._last_heartbeat[worker_id] = clock.now()
+        newly_dead: list[str] = []
+        now = clock.now()
+        with self._lock:
+            for worker_id in list(self._workers):
+                if now - self._last_heartbeat[worker_id] >= self.heartbeat_timeout_s:
+                    self._mark_dead_locked(worker_id, "heartbeat_timeout")
+                    newly_dead.append(worker_id)
+            for worker_id in newly_dead:
+                self._respawn_locked(worker_id)
+        return newly_dead
+
+    def start_heartbeats(self, interval_s: float = 1.0) -> None:
+        """Run :meth:`heartbeat_tick` on a background thread (serve mode)."""
+        if self._heartbeat_thread is not None:
+            raise FleetError("heartbeat loop already running")
+        self._heartbeat_stop.clear()
+
+        def loop() -> None:
+            while not self._heartbeat_stop.wait(interval_s):
+                self.heartbeat_tick()
+
+        self._heartbeat_thread = threading.Thread(target=loop, daemon=True)
+        self._heartbeat_thread.start()
+
+    def stop(self) -> None:
+        """Stop heartbeats and every worker this router still holds."""
+        if self._heartbeat_thread is not None:
+            self._heartbeat_stop.set()
+            self._heartbeat_thread.join(timeout=5)
+            self._heartbeat_thread = None
+        with self._lock:
+            workers = list(self._workers.values())
+        for worker in workers:
+            stop = getattr(worker, "stop", None)
+            if stop is not None:
+                try:
+                    stop()
+                except Exception:
+                    pass
+
+    # -- introspection -------------------------------------------------------
+
+    def health(self) -> dict:
+        with self._lock:
+            live = len(self._workers)
+            dead = sorted(self._dead)
+        return {
+            "status": "ok" if live else "unavailable",
+            "model": "fleet",
+            "policy": self.policy,
+            "live_workers": live,
+            "dead_workers": dead,
+        }
+
+    def stats(self) -> dict:
+        """Fleet-wide ``/v1/stats``: router counters, per-replica stats,
+        and cross-replica aggregates (prefix-cache hit rate, decode
+        tokens, resident KV bytes) a dashboard wants in one number."""
+        with self._lock:
+            report = {
+                "policy": self.policy,
+                "live_workers": sorted(self._workers),
+                "dead_workers": dict(self._dead),
+                "max_inflight": self.max_inflight,
+                "inflight": self._inflight_count,
+                "requests": self.request_count,
+                "batch_requests": self.batch_request_count,
+                "shed_requests": self.shed_count,
+                "failovers": self.failover_count,
+                "spills": self.spill_count,
+                "rebalances": self.rebalance_count,
+                "heartbeat_misses": self.heartbeat_miss_count,
+                "workers_lost": self.workers_lost,
+                "respawns": self.respawn_count,
+                "spawn_failures": self.spawn_failures,
+            }
+            workers = list(self._workers.items())
+        per_worker: dict[str, dict] = {}
+        aggregate = {
+            "requests": 0,
+            "decode_tokens": 0,
+            "prefill_tokens": 0,
+            "kv_arena_bytes_in_use": 0,
+            "prefix_cache": {"hits": 0, "misses": 0, "tokens_reused": 0},
+        }
+        for worker_id, worker in workers:
+            try:
+                worker_stats = worker.stats()
+            except (WorkerUnavailableError, ServingError):
+                per_worker[worker_id] = {"status": "unreachable"}
+                continue
+            per_worker[worker_id] = worker_stats
+            aggregate["requests"] += worker_stats.get("requests", 0)
+            engine = worker_stats.get("engine") or {}
+            aggregate["decode_tokens"] += engine.get("decode_tokens", 0)
+            aggregate["prefill_tokens"] += engine.get("prefill_tokens", 0)
+            aggregate["kv_arena_bytes_in_use"] += (engine.get("kv_arena") or {}).get(
+                "bytes_in_use", 0
+            )
+            prefix = engine.get("prefix_cache") or {}
+            for key in ("hits", "misses", "tokens_reused"):
+                aggregate["prefix_cache"][key] += prefix.get(key, 0)
+        scanned = aggregate["prefix_cache"]["hits"] + aggregate["prefix_cache"]["misses"]
+        aggregate["prefix_cache"]["hit_rate"] = (
+            aggregate["prefix_cache"]["hits"] / scanned if scanned else 0.0
+        )
+        # Token-weighted hit rate (the byte-hit-ratio of caching literature):
+        # the fraction of prompt tokens served from cached K/V instead of
+        # prefilled.  More honest than per-lookup hit_rate, which counts a
+        # 3-token partial match the same as a 100-token playbook head.
+        prompt_tokens = aggregate["prefill_tokens"] + aggregate["prefix_cache"]["tokens_reused"]
+        aggregate["prefix_cache"]["token_reuse_rate"] = (
+            aggregate["prefix_cache"]["tokens_reused"] / prompt_tokens if prompt_tokens else 0.0
+        )
+        report["aggregate"] = aggregate
+        report["workers"] = per_worker
+        return report
+
+    def metrics(self) -> dict:
+        """The fleet ``/v1/metrics`` payload: router registry + fleet stats."""
+        tracer = self.obs.tracer
+        return {
+            "metrics": self.obs.metrics.snapshot(),
+            "tracing": {
+                "enabled": tracer.enabled,
+                "spans_buffered": len(tracer),
+                "spans_recorded": tracer.total_recorded,
+            },
+            "fleet": self.stats(),
+        }
+
+    def metrics_prometheus(self) -> str:
+        """Prometheus text exposition of the router's own registry."""
+        return prometheus_exposition(self.obs.metrics)

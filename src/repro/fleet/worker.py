@@ -1,0 +1,324 @@
+"""Fleet workers: one engine replica each, behind a uniform handle.
+
+The router only sees the *worker protocol* — duck-typed, five calls::
+
+    predict(prompt, max_new_tokens=None, deadline_s=None) -> payload dict
+    predict_batch(prompts, ...) -> payload dict
+    heartbeat() -> float            # raises WorkerUnavailableError when dead
+    stats() / health() -> dict
+    stop()                          # release resources
+
+Two implementations ship:
+
+* :class:`InProcessWorker` — a :class:`~repro.serving.service.PredictionService`
+  (with its own engine, KV arena and prefix cache) called directly in the
+  dispatching thread.  This is the deterministic flavour: it shares the
+  process's :mod:`repro.faults` clock and injector, so chaos runs that
+  crash a replica mid-decode replay byte-identically.  A crash
+  (:class:`~repro.errors.WorkerCrashed` surfacing from an injected decode
+  fault, or an explicit :meth:`kill`) aborts every live request on the
+  replica's engine — freeing its KV slabs — and converts to
+  :class:`~repro.errors.WorkerUnavailableError` for the router.
+
+* :class:`ProcessWorker` — a child process running a
+  :class:`~repro.serving.service.RestServer` over an engine built from a
+  :class:`WorkerSpec`; the parent side talks to it with a
+  :class:`~repro.serving.client.PredictionClient`.  This is the
+  throughput flavour: the model is numpy/CPU-bound, so real parallelism
+  needs real processes.  Connection failures (refused, reset, timeout)
+  surface as :class:`~repro.errors.WorkerUnavailableError` exactly like a
+  crash does in-process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import urllib.error
+from dataclasses import dataclass
+
+from repro.errors import (
+    DeadlineExceededError,
+    RequestCancelledError,
+    ServiceOverloadedError,
+    ServingError,
+    WorkerCrashed,
+    WorkerUnavailableError,
+)
+from repro.faults import clock
+from repro.faults.inject import fire
+
+#: Tokenizer training corpus for spec-built (random-weight) workers; fixed
+#: so every replica of the same spec builds the identical vocabulary.
+SPEC_TRAIN_TEXTS = (
+    "- name: Install SSH server\n  ansible.builtin.apt:\n    name: openssh-server\n",
+    "- name: Start SSH server\n  ansible.builtin.service:\n    name: ssh\n    state: started\n",
+    "- name: Install nginx\n  ansible.builtin.apt:\n    name: nginx\n    state: present\n",
+    "- name: Copy the config\n  ansible.builtin.copy:\n    src: a\n    dest: b\n",
+    "---\n- hosts: servers\n  tasks:\n    - name: Install redis\n      ansible.builtin.apt:\n        name: redis\n",
+)
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a replica needs to build its engine, picklable.
+
+    With ``checkpoint`` set the worker loads that trained model; otherwise
+    it builds a small random-weight model deterministically from ``seed``
+    (identical across replicas and replays — handy for benchmarks and
+    chaos, useless for real completions).
+    """
+
+    seed: int = 0
+    checkpoint: str | None = None
+    vocab_size: int = 300
+    # Wide enough that the loadgen profiles' playbook-head prompts
+    # (~110 tokens) fit without left-truncation — truncation keeps the
+    # differing *tail* and discards the shared head, which would defeat
+    # the prefix affinity the fleet exists to exploit.
+    n_positions: int = 160
+    dim: int = 32
+    n_layers: int = 2
+    n_heads: int = 4
+    max_batch_size: int = 4
+    max_new_tokens: int = 24
+    max_queue_depth: int | None = 8
+    prefix_cache_capacity: int = 32
+    cache_capacity: int = 8
+
+
+def build_service(spec: WorkerSpec):
+    """Construct the (service, engine) pair a replica serves.
+
+    Importable module-level function so :class:`ProcessWorker` children can
+    run it after a ``spawn``-context fork-exec.
+    """
+    from repro.serving.service import PredictionService
+
+    if spec.checkpoint is not None:
+        from repro.model import load_checkpoint
+
+        model = load_checkpoint(spec.checkpoint)
+        engine = model.engine(max_batch_size=spec.max_batch_size)
+    else:
+        from repro.engine import InferenceEngine
+        from repro.nn.parameter import numpy_rng
+        from repro.nn.transformer import DecoderLM, TransformerConfig
+        from repro.tokenizer.bpe import BpeTokenizer
+
+        tokenizer = BpeTokenizer.train(list(SPEC_TRAIN_TEXTS), vocab_size=spec.vocab_size)
+        config = TransformerConfig(
+            vocab_size=tokenizer.vocab_size,
+            n_positions=spec.n_positions,
+            dim=spec.dim,
+            n_layers=spec.n_layers,
+            n_heads=spec.n_heads,
+        )
+        engine = InferenceEngine(
+            DecoderLM(config, numpy_rng(spec.seed)),
+            tokenizer,
+            max_batch_size=spec.max_batch_size,
+            prefix_cache_capacity=spec.prefix_cache_capacity,
+        )
+    service = PredictionService(
+        engine,
+        engine=engine,
+        max_new_tokens=spec.max_new_tokens,
+        max_queue_depth=spec.max_queue_depth,
+        cache_capacity=spec.cache_capacity,
+    )
+    return service, engine
+
+
+class InProcessWorker:
+    """One replica served in-process; the deterministic chaos substrate."""
+
+    def __init__(self, worker_id: str, service=None, engine=None, spec: WorkerSpec | None = None):
+        if service is None:
+            service, engine = build_service(spec if spec is not None else WorkerSpec())
+        self.worker_id = worker_id
+        self.service = service
+        self.engine = engine if engine is not None else getattr(service, "engine", None)
+        self.alive = False
+        self.crashes = 0
+
+    def start(self) -> "InProcessWorker":
+        fire("fleet.spawn", worker=self.worker_id)
+        self.alive = True
+        return self
+
+    # -- failure handling ----------------------------------------------------
+
+    def _unavailable(self) -> WorkerUnavailableError:
+        return WorkerUnavailableError(
+            f"worker {self.worker_id} is not available", worker_id=self.worker_id
+        )
+
+    def _crash(self) -> None:
+        """Die the way a process would: drop everything, free the arena."""
+        self.alive = False
+        self.crashes += 1
+        if self.engine is not None:
+            self.engine.abort_all()
+            if self.engine.prefix_cache is not None:
+                self.engine.prefix_cache.clear()
+
+    def kill(self) -> None:
+        """Simulate abrupt replica death (chaos control plane)."""
+        if self.alive:
+            self._crash()
+
+    def stop(self) -> None:
+        self.alive = False
+
+    # -- worker protocol -----------------------------------------------------
+
+    def _guard(self):
+        if not self.alive:
+            raise self._unavailable()
+
+    def predict(self, prompt: str, max_new_tokens=None, deadline_s=None) -> dict:
+        self._guard()
+        try:
+            return self.service.predict(prompt, max_new_tokens, deadline_s=deadline_s)
+        except WorkerCrashed as crash:
+            self._crash()
+            raise self._unavailable() from crash
+
+    def predict_batch(self, prompts: list[str], max_new_tokens=None, deadline_s=None) -> dict:
+        self._guard()
+        try:
+            return self.service.predict_batch(prompts, max_new_tokens, deadline_s=deadline_s)
+        except WorkerCrashed as crash:
+            self._crash()
+            raise self._unavailable() from crash
+
+    def heartbeat(self) -> float:
+        self._guard()
+        return clock.now()
+
+    def health(self) -> dict:
+        self._guard()
+        return dict(self.service.health(), worker=self.worker_id)
+
+    def stats(self) -> dict:
+        self._guard()
+        return self.service.stats()
+
+    def arena_bytes_in_use(self) -> int:
+        """KV bytes the replica's arena still holds (leak accounting)."""
+        if self.engine is None:
+            return 0
+        return self.engine.kv_arena.stats()["bytes_in_use"]
+
+
+def _process_worker_main(spec: WorkerSpec, port_queue) -> None:
+    """Child entry point: build the service, serve REST, report the port."""
+    from repro.serving.service import RestServer
+
+    service, _engine = build_service(spec)
+    server = RestServer(service, host="127.0.0.1", port=0).start()
+    port_queue.put(server.address[1])
+    threading.Event().wait()  # serve until the parent terminates us
+
+
+class ProcessWorker:
+    """One replica in a child process, reached over HTTP."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        spec: WorkerSpec,
+        start_timeout_s: float = 60.0,
+        request_timeout_s: float = 30.0,
+        mp_context: str = "spawn",
+    ):
+        self.worker_id = worker_id
+        self.spec = spec
+        self.start_timeout_s = start_timeout_s
+        self.request_timeout_s = request_timeout_s
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._process = None
+        self._client = None
+        self.url: str | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self._process is not None and self._process.is_alive()
+
+    def start(self) -> "ProcessWorker":
+        from repro.serving.client import PredictionClient
+
+        fire("fleet.spawn", worker=self.worker_id)
+        port_queue = self._ctx.Queue()
+        self._process = self._ctx.Process(
+            target=_process_worker_main, args=(self.spec, port_queue), daemon=True
+        )
+        self._process.start()
+        try:
+            port = port_queue.get(timeout=self.start_timeout_s)
+        except Exception as error:
+            self.stop()
+            raise WorkerUnavailableError(
+                f"worker {self.worker_id} failed to start: {error}", worker_id=self.worker_id
+            ) from error
+        self.url = f"http://127.0.0.1:{port}"
+        self._client = PredictionClient(self.url, timeout=self.request_timeout_s)
+        return self
+
+    def kill(self) -> None:
+        """Abrupt termination (chaos control plane): SIGTERM, no drain."""
+        if self._process is not None:
+            self._process.terminate()
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.terminate()
+            self._process.join(timeout=10)
+            self._process = None
+        self._client = None
+
+    # -- worker protocol -----------------------------------------------------
+
+    def _unavailable(self, error: BaseException) -> WorkerUnavailableError:
+        return WorkerUnavailableError(
+            f"worker {self.worker_id} unreachable: {error}", worker_id=self.worker_id
+        )
+
+    def _call(self, method, *args, **kwargs):
+        if self._client is None:
+            raise WorkerUnavailableError(
+                f"worker {self.worker_id} is not started", worker_id=self.worker_id
+            )
+        try:
+            return method(*args, **kwargs)
+        except (ServiceOverloadedError, DeadlineExceededError, RequestCancelledError):
+            raise  # typed backpressure/deadline statuses pass through untouched
+        except ServingError as error:
+            cause = error.__cause__
+            transport = isinstance(cause, urllib.error.URLError) and not isinstance(
+                cause, urllib.error.HTTPError
+            )
+            if transport:
+                raise self._unavailable(error) from error
+            raise
+
+    def predict(self, prompt: str, max_new_tokens=None, deadline_s=None) -> dict:
+        deadline_ms = deadline_s * 1000.0 if deadline_s is not None else None
+        return self._call(self._client.predict, prompt, max_new_tokens, deadline_ms=deadline_ms)
+
+    def predict_batch(self, prompts: list[str], max_new_tokens=None, deadline_s=None) -> dict:
+        deadline_ms = deadline_s * 1000.0 if deadline_s is not None else None
+        return self._call(
+            self._client.predict_batch, prompts, max_new_tokens, deadline_ms=deadline_ms
+        )
+
+    def heartbeat(self) -> float:
+        self._call(self._client.health)
+        return clock.now()
+
+    def health(self) -> dict:
+        return dict(self._call(self._client.health), worker=self.worker_id)
+
+    def stats(self) -> dict:
+        return self._call(self._client.stats)

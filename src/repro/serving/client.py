@@ -61,7 +61,17 @@ class RetryPolicy:
 
 
 class PredictionClient:
-    """Talks to a :class:`repro.serving.service.RestServer`.
+    """Talks to one or more :class:`repro.serving.service.RestServer`\\ s.
+
+    ``base_url`` may be a single URL or a list of equivalent endpoints
+    (replicas of the same service).  On a *transport* failure — connection
+    refused, reset, timeout — the client fails over to the next endpoint
+    immediately, without sleeping; only once a full sweep of every
+    endpoint has failed does the :class:`RetryPolicy` backoff apply (and
+    with no policy, a failed sweep raises).  After a success the client
+    stays sticky on the endpoint that answered.  HTTP-level errors (503
+    overload, 504 deadline) are *service* answers, not dead endpoints,
+    and never trigger failover.
 
     ``retry_policy`` opts into backoff-retry of 503s and unreachable-host
     errors; ``sleep`` is injectable for tests and defaults to the shared
@@ -70,16 +80,26 @@ class PredictionClient:
 
     def __init__(
         self,
-        base_url: str,
+        base_url: str | list[str],
         timeout: float = 30.0,
         retry_policy: RetryPolicy | None = None,
         sleep=None,
     ):
-        self.base_url = base_url.rstrip("/")
+        urls = [base_url] if isinstance(base_url, str) else list(base_url)
+        if not urls:
+            raise ServingError("base_url must name at least one endpoint")
+        self.base_urls = [url.rstrip("/") for url in urls]
+        self._endpoint = 0
         self.timeout = timeout
         self.retry_policy = retry_policy
         self._sleep = sleep if sleep is not None else clock.sleep
         self.retries = 0  # lifetime count of retry sleeps taken
+        self.failovers = 0  # lifetime count of endpoint rotations
+
+    @property
+    def base_url(self) -> str:
+        """The endpoint currently in use (rotates on transport failure)."""
+        return self.base_urls[self._endpoint]
 
     def _raise_http(self, method: str, path: str, error: urllib.error.HTTPError) -> None:
         try:
@@ -117,10 +137,13 @@ class PredictionClient:
     def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
         policy = self.retry_policy
         attempt = 0
+        swept = 0  # endpoints tried (and failed at transport level) this sweep
         while True:
             try:
                 return self._request_once(method, path, payload)
             except ServiceOverloadedError as error:
+                # A 503 is the service answering — stay on this endpoint
+                # and honour its Retry-After through the policy.
                 if policy is None or attempt >= policy.max_retries:
                     raise
                 attempt += 1
@@ -135,10 +158,25 @@ class PredictionClient:
                 transport = isinstance(cause, urllib.error.URLError) and not isinstance(
                     cause, urllib.error.HTTPError  # HTTPError subclasses URLError
                 )
-                if policy is None or attempt >= policy.max_retries or not transport:
+                if not transport:
+                    raise
+                swept += 1
+                if swept < len(self.base_urls):
+                    # Another replica may be up: rotate and retry NOW —
+                    # failing over costs nothing, sleeping costs latency.
+                    self._endpoint = (self._endpoint + 1) % len(self.base_urls)
+                    self.failovers += 1
+                    continue
+                # Every endpoint refused in one sweep: now it's a real
+                # outage and the backoff policy (if any) takes over.
+                if policy is None or attempt >= policy.max_retries:
                     raise
                 attempt += 1
                 self.retries += 1
+                swept = 0
+                self._endpoint = (self._endpoint + 1) % len(self.base_urls)
+                if len(self.base_urls) > 1:
+                    self.failovers += 1
                 self._sleep(policy.delay(attempt))
 
     def complete(self, prompt: str, max_new_tokens: int = 96) -> str:

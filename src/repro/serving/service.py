@@ -438,6 +438,16 @@ class PredictionService:
         return {"status": "ok", "model": getattr(self.completer, "name", "unknown")}
 
     def stats(self) -> dict:
+        """Serving counters as one mutually-consistent snapshot.
+
+        Every serving-side field — request/shed/degraded counters AND the
+        inflight depth — is read in a single pass under ``self._lock``.
+        ``inflight`` reads the authoritative ``_inflight_count`` (mutated
+        under this same lock by ``_try_admit``/``_release_admission``)
+        rather than the metrics gauge, which trails it outside the lock:
+        a snapshot must never report an admission count that disagrees
+        with the shed counter taken in the same breath.
+        """
         with self._lock:
             mean_latency = self.total_latency_ms / self.request_count if self.request_count else 0.0
             report = {
@@ -449,11 +459,11 @@ class PredictionService:
                 "deadline_exceeded_requests": self.deadline_exceeded_count,
                 "cancelled_requests": self.cancelled_count,
                 "max_queue_depth": self.max_queue_depth,
+                "inflight": self._inflight_count,
                 "cache_hit_rate": self.cache.hit_rate,
                 "cache": self.cache.stats(),
                 "mean_latency_ms": mean_latency,
             }
-        report["inflight"] = self._g_inflight.value
         report["fallback"] = getattr(self.fallback, "name", None) if self.fallback else None
         tracer = self.obs.tracer
         report["tracing"] = {

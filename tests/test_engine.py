@@ -367,3 +367,57 @@ class TestWisdomModelBatchInterface:
         assert batched == sequential
         stats = model.engine().stats()
         assert stats["completed_requests"] == len(prompts)
+
+
+class TestStatsSnapshotConsistency:
+    """Satellite: stats() is one consistent pass that never blocks on decode."""
+
+    def test_stats_does_not_block_behind_the_request_lock(self, trained_model):
+        # the engine's request lock is held for an ENTIRE generate_batch
+        # call; a stats probe must not queue behind it
+        engine = InferenceEngine(trained_model, max_batch_size=2)
+        engine.generate_batch([[1, 2, 3]], max_new_tokens=3)
+        acquired = engine._lock.acquire()
+        assert acquired
+        try:
+            import threading
+
+            result: dict = {}
+            probe = threading.Thread(target=lambda: result.update(engine.stats()))
+            probe.start()
+            probe.join(timeout=5.0)
+            assert result, "stats() blocked behind the engine request lock"
+            assert result["completed_requests"] == 1
+        finally:
+            engine._lock.release()
+
+    def test_snapshot_internally_consistent_under_concurrent_decode(self, trained_model):
+        # occupancy_ticks and decode_tokens advance together inside one
+        # stats_lock section; any torn read across a decode step would
+        # break the identity mean_occupancy * steps == tokens
+        import threading
+
+        engine = InferenceEngine(trained_model, max_batch_size=4)
+        prompts = [[1, 2, 3], [2, 3, 4, 5], [3, 4], [5, 6, 7]] * 4
+        worker = threading.Thread(
+            target=lambda: engine.generate_batch(prompts, max_new_tokens=12)
+        )
+        worker.start()
+        saw_midflight = False
+        try:
+            while worker.is_alive():
+                stats = engine.stats()
+                assert stats["mean_batch_occupancy"] * stats["decode_steps"] == pytest.approx(
+                    stats["decode_tokens"]
+                )
+                if 0 < stats["completed_requests"] < len(prompts):
+                    saw_midflight = True
+        finally:
+            worker.join()
+        stats = engine.stats()
+        assert stats["completed_requests"] == len(prompts)
+        del saw_midflight  # timing-dependent; the invariant check above is the point
+
+    def test_batcher_stats_lock_is_not_the_engine_lock(self, trained_model):
+        engine = InferenceEngine(trained_model)
+        assert engine.batcher.stats_lock is not engine._lock

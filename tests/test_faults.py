@@ -176,6 +176,9 @@ class TestFaultInjector:
             "engine.decode_step",
             "tokenizer.encode",
             "checkpoint.read",
+            "fleet.spawn",
+            "fleet.heartbeat",
+            "fleet.dispatch",
         }
 
     def test_kv_arena_seam_fires(self):

@@ -1,0 +1,137 @@
+"""Fleet-scale chaos: kill a replica mid-decode, assert nothing is lost.
+
+The marquee scenario of the fleet tier: a seeded fault schedule crashes
+one of N replicas while its continuous batcher holds live rows.  The
+invariants, asserted under every seed tried:
+
+* every submitted request terminates in exactly one of the four PR 5
+  outcomes (completed / cancelled / deadline_exceeded / shed) — replica
+  death surfaces as a failover and a completion, never a hang or an
+  untyped error;
+* zero KV-arena bytes remain in use on ANY replica afterwards — the
+  crashed replica aborted its rows (freeing slabs), the survivors drained
+  normally;
+* the whole run — fault schedule, routing decisions, outcomes, event
+  order — replays byte-identically from the seed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import WorkerCrashed
+from repro.faults import FakeClock, FaultInjector, use
+from repro.fleet import OUTCOMES, build_chaos_fleet, run_fleet_chaos
+
+pytestmark = [pytest.mark.faults, pytest.mark.fleet]
+
+
+class TestKillMidDecode:
+    def test_replica_death_fails_over_and_leaks_nothing(self):
+        result = run_fleet_chaos(seed=1)
+        # the kill fired while the victim's batcher held live rows
+        assert result["crashed"], "no replica crashed; the schedule is mistuned"
+        assert result["stats"]["failovers"] >= 1
+        # four-outcome invariant over every submitted request
+        assert set(result["outcomes"].values()) <= set(OUTCOMES)
+        assert len(result["outcomes"]) == 24
+        # no KV byte left behind on any replica, dead or alive
+        assert all(leak == 0 for leak in result["leaked_bytes"].values())
+        assert len(result["leaked_bytes"]) == 3
+
+    def test_outcome_diversity_under_pressure(self):
+        # seed 1 is chosen to exercise both abnormal paths: a mid-decode
+        # crash (failover) AND a deadline expiry under injected slowness
+        result = run_fleet_chaos(seed=1)
+        counts = {key: 0 for key in OUTCOMES}
+        for outcome in result["outcomes"].values():
+            counts[outcome] += 1
+        assert counts["completed"] > 0
+        assert counts["deadline_exceeded"] > 0
+
+    def test_both_death_detection_paths_occur(self):
+        # dispatch-time detection (the crash) and heartbeat-deadline
+        # detection (a wedged replica) are different code paths; across a
+        # small seed range both must fire
+        reasons = set()
+        for seed in range(4):
+            result = run_fleet_chaos(seed=seed)
+            reasons.update(result["stats"]["dead_workers"].values())
+        assert "dispatch_failed" in reasons
+        assert "heartbeat_timeout" in reasons
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_invariants_across_seeds(self, seed):
+        result = run_fleet_chaos(seed=seed)
+        assert set(result["outcomes"].values()) <= set(OUTCOMES)
+        assert all(leak == 0 for leak in result["leaked_bytes"].values())
+
+    def test_no_kill_schedule_still_clean(self):
+        result = run_fleet_chaos(seed=0, kill_decode_call=None, heartbeat_fault_rate=0.0)
+        assert result["crashed"] == []
+        assert set(result["outcomes"].values()) <= set(OUTCOMES)
+        assert all(leak == 0 for leak in result["leaked_bytes"].values())
+
+
+class TestReplay:
+    def test_byte_identical_replay(self):
+        first = run_fleet_chaos(seed=1)
+        second = run_fleet_chaos(seed=1)
+        assert first["log"] == second["log"]
+        assert first["outcomes"] == second["outcomes"]
+
+    def test_different_seeds_diverge(self):
+        assert run_fleet_chaos(seed=0)["log"] != run_fleet_chaos(seed=1)["log"]
+
+    def test_log_is_canonical_jsonl(self):
+        result = run_fleet_chaos(seed=2)
+        lines = result["log"].splitlines()
+        assert len(lines) == len(result["events"])
+        for line in lines:
+            event = json.loads(line)
+            assert list(event) == sorted(event)  # sort_keys canonical form
+        summary = json.loads(lines[-1])
+        assert summary["kind"] == "summary"
+        assert sum(summary["outcomes"].values()) == summary["requests"]
+
+
+class TestCrashMechanics:
+    def test_worker_crashed_is_not_a_transient_fault(self):
+        # WorkerCrashed must NOT be an InjectedFault: the batcher retries
+        # InjectedFault decode steps, which would absorb the kill
+        from repro.errors import InjectedFault
+
+        assert not issubclass(WorkerCrashed, InjectedFault)
+
+    def test_crash_aborts_inflight_and_frees_slabs(self):
+        fake = FakeClock()
+        injector = FaultInjector(seed=0)
+        # crash the second decode step: rows are live in the batcher
+        injector.on("engine.decode_step", at_calls=[2], error=WorkerCrashed)
+        with use(fake), injector:
+            router, workers = build_chaos_fleet(0, 1)
+            worker = workers[0]
+            from repro.errors import ServiceOverloadedError
+
+            with pytest.raises(ServiceOverloadedError):
+                # single replica dies -> fleet has nowhere to fail over
+                router.predict("- name: Install nginx please\n", max_new_tokens=8)
+            assert worker.crashes == 1
+            assert not worker.alive
+            assert worker.arena_bytes_in_use() == 0
+            assert router.dead_worker_ids == ["w0"]
+
+    def test_crash_with_survivor_completes_the_request(self):
+        fake = FakeClock()
+        injector = FaultInjector(seed=0)
+        injector.on("engine.decode_step", at_calls=[2], error=WorkerCrashed)
+        with use(fake), injector:
+            router, workers = build_chaos_fleet(0, 2)
+            payload = router.predict("- name: Install nginx please\n", max_new_tokens=8)
+            assert payload["failovers"] == 1
+            assert isinstance(payload["completion"], str)
+            crashed = [worker for worker in workers if worker.crashes]
+            assert len(crashed) == 1
+            assert crashed[0].arena_bytes_in_use() == 0

@@ -457,3 +457,93 @@ class TestEditorPlugin:
         session.press_enter()
         session.press(TAB)
         assert yamlio.is_valid(session.buffer)
+
+
+class TestClientEndpointFailover:
+    """Satellite: the client rotates to the next replica on dead endpoints."""
+
+    def serve_stub(self):
+        return RestServer(PredictionService(_StubCompleter()))
+
+    def test_failover_to_live_endpoint_without_sleeping(self):
+        slept: list[float] = []
+        with self.serve_stub() as server:
+            client = PredictionClient(
+                ["http://127.0.0.1:1", server.url], sleep=slept.append
+            )
+            completion = client.complete("- name: install nginx\n")
+            assert "ansible.builtin.apt" in completion
+            assert client.failovers == 1
+            assert client.retries == 0
+            assert slept == []  # rotation is free; only full sweeps back off
+
+    def test_sticky_on_the_endpoint_that_answered(self):
+        with self.serve_stub() as server:
+            client = PredictionClient(["http://127.0.0.1:1", server.url])
+            client.complete("- name: install nginx\n")
+            assert client.base_url == server.url
+            client.complete("- name: install redis\n")
+            assert client.failovers == 1  # second call went straight there
+
+    def test_all_dead_without_policy_raises_after_one_sweep(self):
+        client = PredictionClient(["http://127.0.0.1:1", "http://127.0.0.1:2"])
+        with pytest.raises(ServingError):
+            client.health()
+        assert client.failovers == 1  # one rotation, then the sweep was over
+
+    def test_all_dead_with_policy_backs_off_between_sweeps(self):
+        from repro.serving.client import RetryPolicy
+
+        slept: list[float] = []
+        client = PredictionClient(
+            ["http://127.0.0.1:1", "http://127.0.0.1:2"],
+            retry_policy=RetryPolicy(max_retries=2, seed=11),
+            sleep=slept.append,
+        )
+        with pytest.raises(ServingError):
+            client.health()
+        assert len(slept) == 2  # one backoff per failed sweep
+        assert client.retries == 2
+
+    def test_seeded_backoff_schedule_is_reproducible(self):
+        from repro.serving.client import RetryPolicy
+
+        def sweep(seed: int) -> list[float]:
+            slept: list[float] = []
+            client = PredictionClient(
+                ["http://127.0.0.1:1", "http://127.0.0.1:2"],
+                retry_policy=RetryPolicy(max_retries=3, seed=seed),
+                sleep=slept.append,
+            )
+            with pytest.raises(ServingError):
+                client.health()
+            return slept
+
+        # same seed, same jittered schedule; different seed diverges
+        assert sweep(5) == sweep(5)
+        assert sweep(5) != sweep(6)
+
+    def test_single_endpoint_behaviour_unchanged(self):
+        client = PredictionClient("http://127.0.0.1:1")
+        with pytest.raises(ServingError):
+            client.health()
+        assert client.failovers == 0
+        assert client.base_urls == ["http://127.0.0.1:1"]
+
+    def test_empty_endpoint_list_rejected(self):
+        with pytest.raises(ServingError):
+            PredictionClient([])
+
+    def test_http_errors_do_not_rotate(self):
+        # a 503 is the service answering, not a dead endpoint: the client
+        # must stay on it (and honour Retry-After) rather than failing over
+        completer = _StubCompleter()
+        service = PredictionService(completer, max_queue_depth=1)
+        assert service._try_admit()  # saturate the only slot
+        with RestServer(service) as server:
+            client = PredictionClient([server.url, "http://127.0.0.1:1"])
+            from repro.errors import ServiceOverloadedError
+
+            with pytest.raises(ServiceOverloadedError):
+                client.complete("- name: install nginx\n")
+            assert client.failovers == 0
