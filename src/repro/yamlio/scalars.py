@@ -43,31 +43,37 @@ def resolve_scalar(text: str) -> object:
     if text in FALSE_WORDS:
         return False
     if _INT_RE.match(text):
-        cleaned = text.replace("_", "")
-        sign = 1
-        if cleaned[0] in "+-":
-            sign = -1 if cleaned[0] == "-" else 1
-            cleaned = cleaned[1:]
-        if cleaned.startswith("0b"):
-            return sign * int(cleaned[2:], 2)
-        if cleaned.startswith("0x"):
-            return sign * int(cleaned[2:], 16)
-        if cleaned.startswith("0o"):
-            return sign * int(cleaned[2:], 8)
-        if cleaned.startswith("0") and len(cleaned) > 1:
-            # YAML 1.1 legacy octal (e.g. file modes like 0644).
-            try:
+        # Underscore-only bodies like "0x_" match the pattern but leave
+        # nothing to convert once separators are stripped; such text stays
+        # a string, as in PyYAML.
+        try:
+            cleaned = text.replace("_", "")
+            sign = 1
+            if cleaned[0] in "+-":
+                sign = -1 if cleaned[0] == "-" else 1
+                cleaned = cleaned[1:]
+            if cleaned.startswith("0b"):
+                return sign * int(cleaned[2:], 2)
+            if cleaned.startswith("0x"):
+                return sign * int(cleaned[2:], 16)
+            if cleaned.startswith("0o"):
+                return sign * int(cleaned[2:], 8)
+            if cleaned.startswith("0") and len(cleaned) > 1:
+                # YAML 1.1 legacy octal (e.g. file modes like 0644).
                 return sign * int(cleaned, 8)
-            except ValueError:
-                return text
-        return sign * int(cleaned, 10)
+            return sign * int(cleaned, 10)
+        except (ValueError, IndexError):
+            return text
     if _FLOAT_RE.match(text):
-        lowered = text.lower().replace("_", "")
-        if lowered.endswith(".inf"):
-            return float("-inf") if lowered.startswith("-") else float("inf")
-        if lowered.endswith(".nan"):
-            return float("nan")
-        return float(lowered)
+        try:
+            lowered = text.lower().replace("_", "")
+            if lowered.endswith(".inf"):
+                return float("-inf") if lowered.startswith("-") else float("inf")
+            if lowered.endswith(".nan"):
+                return float("nan")
+            return float(lowered)
+        except ValueError:
+            return text
     return text
 
 
@@ -93,12 +99,21 @@ def needs_quoting(text: str) -> bool:
         return True
     if resolve_scalar(text) is not text and not isinstance(resolve_scalar(text), str):
         return True
+    if _INT_RE.match(text) or _FLOAT_RE.match(text):
+        # Matches a YAML 1.1 numeric pattern even though conversion fails
+        # (e.g. "0x_", "._"); strict loaders choke constructing these when
+        # written plain, so quote them.
+        return True
     first = text[0]
     if first in _UNSAFE_FIRST:
         return True
     if first == "-" and (len(text) == 1 or text[1] == " "):
         return True
     if text.startswith(("- ", "? ", ": ")) or text in {"-", "?", ":"}:
+        return True
+    if text == "=":
+        # YAML 1.1 resolves a bare ``=`` to the special value-key tag
+        # (tag:yaml.org,2002:value), which strict loaders reject.
         return True
     for marker in _UNSAFE_ANYWHERE:
         if marker in text:

@@ -81,3 +81,22 @@ def test_synthetic_corpus_roundtrips(galaxy_corpus):
         value = yamlio.loads(document.content)
         assert yamlio.loads(yamlio.dumps(value)) == value
         assert pyyaml.safe_load(document.content) == value
+
+
+@pytest.mark.parametrize(
+    "value",
+    ["=", "0x_", "0o_", "0b_", "._", "1_", "0644x"],
+    ids=repr,
+)
+def test_resolver_edge_scalars_quote_and_agree(value):
+    """Strings a YAML 1.1 resolver matches but cannot construct must be
+    quoted on emit: bare ``=`` resolves to the value-key tag and the
+    underscore-only numeric bodies crash strict int/float constructors."""
+    text = yamlio.dumps({"k": value})
+    assert yamlio.loads(text) == {"k": value}
+    assert pyyaml.safe_load(text) == {"k": value}
+
+
+@pytest.mark.parametrize("raw", ["0x_", "._", "0o_"])
+def test_parse_degenerate_numeric_stays_string(raw):
+    assert yamlio.loads(f"k: {raw}") == {"k": raw}
