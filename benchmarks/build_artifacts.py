@@ -26,6 +26,10 @@ from test_fleet import (  # noqa: E402
     run_fleet_bench,
 )
 from test_kv_arena import REPORT_FILE, run_kv_arena_bench  # noqa: E402
+from test_slo import (  # noqa: E402
+    REPORT_FILE as SLO_REPORT_FILE,
+    run_slo_bench,
+)
 
 
 def main() -> None:
@@ -54,6 +58,13 @@ def main() -> None:
         f"fleet: prefix hit rate at {widest} workers — affinity "
         f"{by_policy['affinity']:.0%} vs round-robin {by_policy['round_robin']:.0%} "
         f"-> {FLEET_REPORT_FILE.name}"
+    )
+    slo = run_slo_bench()
+    violated = sum(1 for run in slo["runs"] if run["faulty"] and not run["all_met"])
+    faulty_total = sum(1 for run in slo["runs"] if run["faulty"])
+    print(
+        f"slo: {violated}/{faulty_total} seeded kill schedules violated an SLO, "
+        f"deterministic={slo['deterministic']} -> {SLO_REPORT_FILE.name}"
     )
     print(f"done in {time.time() - started:.0f}s")
     print(f"tables: {sorted(k for k in results if k.startswith('table') or k == 'throughput')}")

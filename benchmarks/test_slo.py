@@ -1,0 +1,118 @@
+"""X7 — SLO verdicts over seeded fleet chaos runs.
+
+The SLO layer (:mod:`repro.obs.slo`) turns per-request outcomes into
+burn-rate verdicts; the claim checked here is that those verdicts are a
+*pure function of the seed*: the same chaos schedule yields the same
+compliance numbers and the same alert decisions byte-for-byte, and the
+declared SLO set actually discriminates — a fault-free run passes every
+SLO while the replica-kill schedule trips the error-rate objective.
+Results go to ``benchmarks/_artifacts/BENCH_slo.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fleet import run_fleet_chaos
+
+ARTIFACTS_DIR = Path(__file__).parent / "_artifacts"
+REPORT_FILE = ARTIFACTS_DIR / "BENCH_slo.json"
+
+SEEDS = (0, 1, 2)
+REQUESTS = 24
+WORKERS = 3
+
+pytestmark = [pytest.mark.slow, pytest.mark.fleet]
+
+
+def _run(seed: int, *, faulty: bool) -> dict:
+    return run_fleet_chaos(
+        seed=seed,
+        n_workers=WORKERS,
+        n_requests=REQUESTS,
+        kill_decode_call=30 if faulty else None,
+        slow_step_rate=0.08 if faulty else 0.0,
+        decode_fault_rate=0.05 if faulty else 0.0,
+        heartbeat_fault_rate=0.1 if faulty else 0.0,
+        deadline_rate=0.3 if faulty else 0.0,
+    )
+
+
+def run_slo_bench() -> dict:
+    """SLO verdicts for faulty and fault-free runs across several seeds."""
+    runs = []
+    for seed in SEEDS:
+        for faulty in (True, False):
+            report = _run(seed, faulty=faulty)["slo"]
+            runs.append(
+                {
+                    "seed": seed,
+                    "faulty": faulty,
+                    "total_observed": report["total_observed"],
+                    "all_met": report["all_met"],
+                    "any_alerting": report["any_alerting"],
+                    "slos": [
+                        {
+                            "name": slo["name"],
+                            "signal": slo["signal"],
+                            "target": slo["target"],
+                            "compliance": slo["compliance"],
+                            "met": slo["met"],
+                            "alerting": slo["alerting"],
+                        }
+                        for slo in report["slos"]
+                    ],
+                }
+            )
+    replay = _run(SEEDS[0], faulty=True)
+    original = _run(SEEDS[0], faulty=True)
+    report = {
+        "config": {"seeds": list(SEEDS), "requests": REQUESTS, "workers": WORKERS},
+        "deterministic": replay["slo_json"] == original["slo_json"],
+        "runs": runs,
+    }
+    ARTIFACTS_DIR.mkdir(exist_ok=True)
+    REPORT_FILE.write_text(json.dumps(report, indent=2))
+    return report
+
+
+@pytest.fixture(scope="module")
+def report() -> dict:
+    return run_slo_bench()
+
+
+def _runs(report: dict, faulty: bool) -> list[dict]:
+    return [run for run in report["runs"] if run["faulty"] is faulty]
+
+
+class TestSloBench:
+    def test_at_least_three_slos_evaluated(self, report):
+        for run in report["runs"]:
+            assert len(run["slos"]) >= 3
+            assert run["total_observed"] == REQUESTS
+
+    def test_verdicts_deterministic(self, report):
+        assert report["deterministic"] is True
+
+    def test_fault_free_runs_meet_every_slo(self, report):
+        for run in _runs(report, faulty=False):
+            assert run["all_met"], f"seed {run['seed']}: clean run violated an SLO"
+            assert not run["any_alerting"]
+
+    def test_chaos_schedules_trip_some_slo(self, report):
+        # Failover can absorb a single replica kill (every request still
+        # completes), so the claim is aggregate: across the seeded kill
+        # schedules at least one run violates an SLO — the set is strict
+        # enough to discriminate a chaotic fleet from a clean one.
+        faulty = _runs(report, faulty=True)
+        assert any(not run["all_met"] for run in faulty), (
+            "no seeded kill schedule violated any SLO — objectives too lax"
+        )
+
+    def test_compliance_is_a_ratio(self, report):
+        for run in report["runs"]:
+            for slo in run["slos"]:
+                assert 0.0 <= slo["compliance"] <= 1.0

@@ -380,22 +380,31 @@ def _cmd_fleet_chaos(args: argparse.Namespace) -> int:
     crashes one replica while its batcher holds live rows.  Exit status is
     0 only when the run upholds the invariants (all four-outcome, zero KV
     bytes leaked); ``--verify`` additionally reruns the seed and diffs the
-    two logs byte-for-byte.
+    two logs byte-for-byte.  ``--trace-out`` writes the merged multi-process
+    Chrome trace (router + every polled replica, flow arrows across the
+    process boundary) for ``chrome://tracing`` / Perfetto.
     """
     from repro.fleet import OUTCOMES, run_fleet_chaos
 
-    result = run_fleet_chaos(
+    kwargs = dict(
         seed=args.seed,
         n_workers=args.workers,
         n_requests=args.requests,
         kill_decode_call=args.kill_decode_call if args.kill_decode_call >= 0 else None,
         profile=args.profile,
+        tracing=bool(args.trace_out) or args.verify,
     )
+    result = run_fleet_chaos(**kwargs)
     if args.out:
         Path(args.out).write_text(result["log"], encoding="utf-8")
         print(f"{len(result['events'])} events written to {args.out}", file=sys.stderr)
     else:
         sys.stdout.write(result["log"])
+    if args.trace_out:
+        from repro.obs.distributed import write_fleet_chrome_trace
+
+        written = write_fleet_chrome_trace(args.trace_out, result["chrome_trace"])
+        print(f"merged chrome trace ({written} spans) written to {args.trace_out}", file=sys.stderr)
     leaked = sum(result["leaked_bytes"].values())
     bad_outcomes = [o for o in result["outcomes"].values() if o not in OUTCOMES]
     status = 0
@@ -403,19 +412,58 @@ def _cmd_fleet_chaos(args: argparse.Namespace) -> int:
         print(f"INVARIANT VIOLATED: leaked={leaked} bad_outcomes={bad_outcomes}", file=sys.stderr)
         status = 1
     if args.verify:
-        replay = run_fleet_chaos(
-            seed=args.seed,
-            n_workers=args.workers,
-            n_requests=args.requests,
-            kill_decode_call=args.kill_decode_call if args.kill_decode_call >= 0 else None,
-            profile=args.profile,
+        replay = run_fleet_chaos(**kwargs)
+        identical = replay["log"] == result["log"] and replay.get("chrome_trace_json") == result.get(
+            "chrome_trace_json"
         )
-        if replay["log"] == result["log"]:
-            print("replay: byte-identical", file=sys.stderr)
+        if identical:
+            print("replay: byte-identical (log + merged trace)", file=sys.stderr)
         else:
             print("replay: DIVERGED", file=sys.stderr)
             status = 1
     return status
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """Evaluate burn-rate SLOs over a seeded fleet chaos run.
+
+    Feeds every request of a :func:`repro.fleet.run_fleet_chaos` run into
+    an :class:`repro.obs.slo.SloMonitor` and prints the verdict table —
+    per-SLO compliance against target, plus multi-window burn-rate alerts.
+    Deterministic: the same seed prints the same report byte-for-byte
+    (``--json`` emits the canonical sorted-key serialization).  Exit
+    status is 0 when every SLO is met and nothing is alerting, 1 when an
+    SLO is violated or burning.
+    """
+    from repro.fleet import run_fleet_chaos
+
+    result = run_fleet_chaos(
+        seed=args.seed,
+        n_workers=args.workers,
+        n_requests=args.requests,
+        profile=args.profile,
+    )
+    report = result["slo"]
+    if args.json:
+        print(json.dumps(report, sort_keys=True, indent=2))
+    else:
+        print(f"SLO report (seed={args.seed}, {report['total_observed']} requests)")
+        for slo in report["slos"]:
+            windows = " ".join(
+                f"burn[{window['long_s']:.0f}s/{window['short_s']:.0f}s]="
+                f"{window['burn_long']:.2f}/{window['burn_short']:.2f}"
+                f"{'!' if window['alerting'] else ''}"
+                for window in slo["burn_windows"]
+            )
+            verdict = "MET" if slo["met"] else "VIOLATED"
+            alert = " ALERTING" if slo["alerting"] else ""
+            print(
+                f"  {slo['name']:<12} {slo['signal']:<8} "
+                f"compliance={slo['compliance']:.4f} target={slo['target']:.4f} "
+                f"{verdict}{alert}  {windows}"
+            )
+        print(f"all_met={report['all_met']} any_alerting={report['any_alerting']}")
+    return 0 if report["all_met"] and not report["any_alerting"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -554,9 +602,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet_chaos.add_argument("--out", help="write the JSONL event log here (default: stdout)")
     fleet_chaos.add_argument(
-        "--verify", action="store_true", help="rerun the seed and diff the logs byte-for-byte"
+        "--trace-out", dest="trace_out",
+        help="write the merged multi-process Chrome trace (Perfetto) here",
+    )
+    fleet_chaos.add_argument(
+        "--verify", action="store_true",
+        help="rerun the seed and diff log + merged trace byte-for-byte",
     )
     fleet_chaos.set_defaults(handler=_cmd_fleet_chaos)
+
+    slo = subparsers.add_parser(
+        "slo", help="evaluate burn-rate SLOs over a seeded fleet chaos run"
+    )
+    slo.add_argument("--seed", type=int, default=0)
+    slo.add_argument("--workers", type=int, default=3)
+    slo.add_argument("--requests", type=int, default=24)
+    slo.add_argument(
+        "--profile", choices=("shared_prefix", "uniform", "keystroke", "mixed"),
+        default="shared_prefix", help="request-mix load profile",
+    )
+    slo.add_argument("--json", action="store_true", help="emit the canonical JSON report")
+    slo.set_defaults(handler=_cmd_slo)
     return parser
 
 

@@ -252,9 +252,11 @@ class InferenceEngine:
         """Like :meth:`complete_batch`, but keeps the request disposition.
 
         Returns one dict per prompt with ``completion`` (possibly partial
-        text), ``stop_reason`` and ``outcome`` — the serving layer routes
-        on ``outcome`` (e.g. shed → fallback completer, deadline → 504)
-        instead of parsing exceptions.
+        text), ``stop_reason``, ``outcome`` and ``ttft_s`` (time from
+        submission to the first decode step, or None when the request
+        never reached decode) — the serving layer routes on ``outcome``
+        (e.g. shed → fallback completer, deadline → 504) instead of
+        parsing exceptions, and surfaces ``ttft_s`` for SLO accounting.
         """
         if self.tokenizer is None:
             raise EngineError("engine has no tokenizer; use generate_batch with token ids")
@@ -271,6 +273,11 @@ class InferenceEngine:
                 "completion": self.tokenizer.decode(result.token_ids),
                 "stop_reason": result.stop_reason,
                 "outcome": request.outcome,
+                "ttft_s": (
+                    request.decode_started_at - request.submitted_at
+                    if request.decode_started_at is not None
+                    else None
+                ),
             }
             for result, request in zip(results, handles)
         ]

@@ -32,10 +32,13 @@ from repro.errors import (
     ServiceOverloadedError,
     WorkerCrashed,
 )
-from repro.faults import FakeClock, FaultInjector, use
+from repro.faults import FakeClock, FaultInjector, clock, use
 from repro.fleet.loadgen import generate_prompts
 from repro.fleet.router import FleetRouter
 from repro.fleet.worker import InProcessWorker, WorkerSpec
+from repro.obs import Observability, Tracer
+from repro.obs.distributed import FleetCollector, fleet_chrome_trace
+from repro.obs.slo import DEFAULT_SLOS, SloMonitor
 from repro.utils.rng import SeededRng
 
 #: The four terminal dispositions a request can reach (PR 5's invariant).
@@ -49,6 +52,7 @@ def build_chaos_fleet(
     policy: str = "affinity",
     heartbeat_timeout_s: float = 1.0,
     max_inflight: int | None = None,
+    tracing: bool = False,
 ) -> tuple[FleetRouter, list[InProcessWorker]]:
     """A router over ``n_workers`` deterministic in-process replicas.
 
@@ -57,9 +61,15 @@ def build_chaos_fleet(
     while keeping every byte seed-derived.  Returns the worker handles
     alongside the router so callers can audit replicas (leak checks)
     even after the router has declared them dead.
+
+    With ``tracing=True`` every replica gets an enabled tracer, the
+    router traces and mints per-request trace contexts, and a
+    :class:`~repro.obs.distributed.FleetCollector` rides the heartbeat
+    tick — the full distributed-observability stack, still deterministic
+    because spans read the same :class:`~repro.faults.FakeClock`.
     """
     workers = [
-        InProcessWorker(f"w{index}", spec=WorkerSpec(seed=seed + index)).start()
+        InProcessWorker(f"w{index}", spec=WorkerSpec(seed=seed + index, tracing=tracing)).start()
         for index in range(n_workers)
     ]
     router = FleetRouter(
@@ -67,6 +77,8 @@ def build_chaos_fleet(
         policy=policy,
         heartbeat_timeout_s=heartbeat_timeout_s,
         max_inflight=max_inflight,
+        obs=Observability(tracer=Tracer(capacity=65536)) if tracing else None,
+        collector=FleetCollector() if tracing else None,
     )
     return router, workers
 
@@ -85,6 +97,8 @@ def run_fleet_chaos(
     deadline_rate: float = 0.3,
     profile: str = "shared_prefix",
     heartbeat_every: int = 4,
+    tracing: bool = True,
+    slo_specs=DEFAULT_SLOS,
 ) -> dict:
     """One deterministic chaos run; returns events, log text and invariants.
 
@@ -93,6 +107,16 @@ def run_fleet_chaos(
     ``leaked_bytes`` (per-replica KV bytes still in use after the run —
     the no-leak invariant wants all zeros) and ``crashed`` (replica ids
     that died mid-run).
+
+    With ``tracing`` on (the default) the run additionally returns
+    ``chrome_trace`` — the merged multi-process Perfetto timeline stitched
+    by :func:`~repro.obs.distributed.fleet_chrome_trace`, with every
+    router span parenting its worker spans across the process boundary —
+    and, given ``slo_specs``, ``slo``: the burn-rate verdict report from
+    an :class:`~repro.obs.slo.SloMonitor` fed one event per request.
+    Both are pure functions of the seed: replays reproduce them
+    byte-for-byte (``chrome_trace_json`` / ``slo_json`` carry the
+    canonical serializations).
     """
     rng = SeededRng(seed).child("fleet-chaos")
     prompts = generate_prompts(profile, n_requests, seed=seed)
@@ -117,17 +141,26 @@ def run_fleet_chaos(
 
     outcomes: dict[int, str] = {}
     request_events: list[dict] = []
+    monitor = SloMonitor(slo_specs) if slo_specs else None
+    chrome_trace = None
+    collector_stats = None
     with use(fake), injector:
-        router, workers = build_chaos_fleet(seed, n_workers, heartbeat_timeout_s=1.0)
+        router, workers = build_chaos_fleet(
+            seed, n_workers, heartbeat_timeout_s=1.0, tracing=tracing
+        )
         for index, prompt in enumerate(prompts):
             deadline_s = rng.uniform(0.3, 1.5) if rng.bernoulli(deadline_rate) else None
             worker = None
             failovers = 0
+            ttft_s = None
+            started = clock.now()
             try:
                 payload = router.predict(prompt, max_new_tokens=8, deadline_s=deadline_s)
                 outcome = "completed"
                 worker = payload["worker"]
                 failovers = payload.get("failovers", 0)
+                ttft_ms = payload.get("ttft_ms")
+                ttft_s = ttft_ms / 1000.0 if ttft_ms is not None else None
             except DeadlineExceededError:
                 outcome = "deadline_exceeded"
             except RequestCancelledError:
@@ -135,6 +168,8 @@ def run_fleet_chaos(
             except ServiceOverloadedError:
                 outcome = "shed"
             outcomes[index] = outcome
+            if monitor is not None:
+                monitor.observe(clock.now() - started, outcome, ttft_s=ttft_s)
             request_events.append(
                 {
                     "kind": "request",
@@ -160,6 +195,19 @@ def run_fleet_chaos(
                 worker_obj.engine.prefix_cache.clear()
             leaked_bytes[worker_obj.worker_id] = worker_obj.arena_bytes_in_use()
         stats = router.stats()
+        slo_report = monitor.evaluate() if monitor is not None else None
+        if tracing and router.collector is not None:
+            # Final drain outside the heartbeat cadence so spans recorded
+            # since the last tick make it into the merged trace (spans on
+            # replicas that died undrained are lost, as in any pull model).
+            collector_stats = router.collect_telemetry()
+            chrome_trace = fleet_chrome_trace(
+                router.obs.tracer.spans(),
+                {
+                    replica: router.collector.spans(replica)
+                    for replica in router.collector.replicas()
+                },
+            )
 
     events = [dict(event, kind="fault") for event in injector.events()]
     events.extend(request_events)
@@ -182,10 +230,12 @@ def run_fleet_chaos(
             "decode_tokens": aggregate["decode_tokens"],
             "prefix_cache_hits": aggregate["prefix_cache"]["hits"],
             "leaked_bytes": dict(sorted(leaked_bytes.items())),
+            "slos_met": slo_report["all_met"] if slo_report is not None else None,
+            "slos_alerting": slo_report["any_alerting"] if slo_report is not None else None,
         }
     )
     log = "".join(json.dumps(event, sort_keys=True) + "\n" for event in events)
-    return {
+    result = {
         "events": events,
         "log": log,
         "outcomes": outcomes,
@@ -193,3 +243,11 @@ def run_fleet_chaos(
         "crashed": crashed,
         "stats": stats,
     }
+    if slo_report is not None:
+        result["slo"] = slo_report
+        result["slo_json"] = json.dumps(slo_report, sort_keys=True)
+    if chrome_trace is not None:
+        result["chrome_trace"] = chrome_trace
+        result["chrome_trace_json"] = json.dumps(chrome_trace, sort_keys=True)
+        result["collector"] = collector_stats
+    return result

@@ -27,6 +27,13 @@ fronts a whole fleet unchanged.  What it adds over one engine:
   (aborting its in-flight work so KV slabs free), and removed from the
   ring.  With a ``spawner`` the router replaces dead replicas, re-adding
   capacity under the same membership/rebalance path.
+* **Distributed observability** — with tracing enabled the router mints a
+  :class:`~repro.obs.distributed.TraceContext` per request and propagates
+  it to workers, whose span trees parent under the router's
+  ``fleet.predict`` span; with a
+  :class:`~repro.obs.distributed.FleetCollector` attached, every
+  heartbeat tick also drains replica telemetry
+  (spans / Prometheus / profiles) for fleet-wide merging.
 
 Every liveness decision and dispatch runs through the PR 5 fault seams
 (``fleet.spawn`` / ``fleet.heartbeat`` / ``fleet.dispatch``), so a seeded
@@ -37,6 +44,7 @@ heartbeats or fail spawns — deterministically, replayably.
 from __future__ import annotations
 
 import threading
+from contextlib import nullcontext
 
 from repro.errors import (
     DeadlineExceededError,
@@ -50,6 +58,12 @@ from repro.faults import clock
 from repro.faults.inject import fire
 from repro.fleet.affinity import DEFAULT_PREFIX_DEPTH, HashRing, prefix_bucket
 from repro.obs import Observability
+from repro.obs.distributed import (
+    FleetCollector,
+    TraceContext,
+    TraceIdAllocator,
+    router_span_ref,
+)
 from repro.obs.export import prometheus_exposition
 
 ROUTING_POLICIES = ("affinity", "round_robin")
@@ -70,6 +84,8 @@ class FleetRouter:
         vnodes: int = 64,
         spawner=None,
         obs: Observability | None = None,
+        collector: FleetCollector | None = None,
+        trace_prefix: str = "t",
     ):
         if policy not in ROUTING_POLICIES:
             raise FleetError(f"unknown policy {policy!r} (known: {ROUTING_POLICIES})")
@@ -103,6 +119,9 @@ class FleetRouter:
         self.spawn_failures = 0
         # -- observability --
         self.obs = obs if obs is not None else Observability()
+        #: Telemetry aggregation (None = off): polled every heartbeat tick.
+        self.collector = collector
+        self._trace_ids = TraceIdAllocator(prefix=trace_prefix)
         metrics = self.obs.metrics
         self._c_requests = metrics.counter("fleet.requests")
         self._c_batch_requests = metrics.counter("fleet.batch_requests")
@@ -236,7 +255,41 @@ class FleetRouter:
             raise DeadlineExceededError("deadline exhausted before a replica answered")
         return remaining
 
-    def _dispatch(self, prompt: str, max_new_tokens, deadline_at: float | None) -> dict:
+    def _mint_trace(self) -> TraceContext | None:
+        """A fresh trace context for one fleet request; None when not tracing.
+
+        The context's ``parent_span`` names the router's ``fleet.predict``
+        root span (:func:`~repro.obs.distributed.router_span_ref`), so a
+        worker adopting it parents its span tree under the router's.
+        """
+        if not self.obs.tracer.enabled:
+            return None
+        with self._lock:
+            trace_id = self._trace_ids.allocate()
+        return TraceContext(trace_id=trace_id, parent_span=router_span_ref(trace_id))
+
+    def _trace_for(self, inbound: TraceContext | None) -> TraceContext | None:
+        """The downstream context for one request: adopt or mint.
+
+        An ``inbound`` context (a client that already traces, or the REST
+        front door forwarding the propagation headers) keeps its trace id
+        end to end — the router re-parents it onto its own root span
+        reference so workers still nest under ``fleet.predict``.  Without
+        one, the router mints its own when tracing is enabled.
+        """
+        if inbound is not None:
+            return TraceContext(
+                trace_id=inbound.trace_id, parent_span=router_span_ref(inbound.trace_id)
+            )
+        return self._mint_trace()
+
+    def _dispatch(
+        self,
+        prompt: str,
+        max_new_tokens,
+        deadline_at: float | None,
+        trace_context: TraceContext | None = None,
+    ) -> dict:
         """Send to the preferred replica; fail over / spill as needed.
 
         Dead replicas trigger failover (membership change + re-dispatch);
@@ -257,12 +310,17 @@ class FleetRouter:
                 if worker is None:
                     continue  # raced with a heartbeat-driven removal
                 started = clock.now()
+                # Only ride the kwarg along when a context was minted, so
+                # minimal duck-typed workers (tests, adapters) that predate
+                # trace propagation keep working untraced.
+                extra = {"trace_context": trace_context} if trace_context is not None else {}
                 try:
                     fire("fleet.dispatch", worker=worker_id)
                     payload = worker.predict(
                         prompt,
                         max_new_tokens,
                         deadline_s=self._remaining_deadline(deadline_at),
+                        **extra,
                     )
                 except (WorkerUnavailableError, InjectedFault):
                     # The replica died under us: declare it dead (draining
@@ -299,22 +357,44 @@ class FleetRouter:
         prompt: str,
         max_new_tokens: int | None = None,
         deadline_s: float | None = None,
+        trace_context: TraceContext | None = None,
     ) -> dict:
-        """One completion through the fleet (the ``/v1/completions`` body)."""
+        """One completion through the fleet (the ``/v1/completions`` body).
+
+        With tracing enabled the router mints a fleet trace context for
+        the request — or adopts an inbound one (``trace_context``, e.g.
+        forwarded propagation headers when a :class:`RestServer` fronts
+        the fleet; see :meth:`_trace_for`) — carries it to the worker,
+        and echoes the trace id back as ``"trace_id"``.
+        """
         if not isinstance(prompt, str) or not prompt.strip():
             raise ServingError("prompt must be a non-empty string")
         if not self._try_admit():
             raise self._shed("fleet admission queue full")
         deadline_at = clock.now() + deadline_s if deadline_s is not None else None
+        inbound = trace_context
+        trace_context = self._trace_for(inbound)
+        activation = (
+            self.obs.tracer.activate(inbound.trace_id, inbound.parent_span)
+            if inbound is not None
+            else nullcontext()
+        )
         try:
-            with self.obs.tracer.span("fleet.predict") as span:
-                payload = self._dispatch(prompt, max_new_tokens, deadline_at)
+            with activation, self.obs.tracer.span("fleet.predict") as span:
+                if trace_context is not None:
+                    span.set(
+                        trace_id=trace_context.trace_id,
+                        span_ref=router_span_ref(trace_context.trace_id),
+                    )
+                payload = self._dispatch(prompt, max_new_tokens, deadline_at, trace_context)
                 span.set(worker=payload["worker"], failovers=payload.get("failovers", 0))
         finally:
             self._release_admission()
         with self._lock:
             self.request_count += 1
         self._c_requests.inc()
+        if trace_context is not None:
+            payload["trace_id"] = trace_context.trace_id
         return payload
 
     def predict_batch(
@@ -322,6 +402,7 @@ class FleetRouter:
         prompts: list[str],
         max_new_tokens: int | None = None,
         deadline_s: float | None = None,
+        trace_context: TraceContext | None = None,
     ) -> dict:
         """Batched completions, grouped per replica so each group decodes
         through its replica's continuous batcher in one pass.
@@ -339,8 +420,23 @@ class FleetRouter:
             raise self._shed("fleet admission queue full")
         deadline_at = clock.now() + deadline_s if deadline_s is not None else None
         started = clock.now()
+        inbound = trace_context
+        trace_context = self._trace_for(inbound)
+        activation = (
+            self.obs.tracer.activate(inbound.trace_id, inbound.parent_span)
+            if inbound is not None
+            else nullcontext()
+        )
         try:
-            merged = self._dispatch_batch(prompts, max_new_tokens, deadline_at)
+            with activation, self.obs.tracer.span(
+                "fleet.predict_batch", batch_size=len(prompts)
+            ) as span:
+                if trace_context is not None:
+                    span.set(
+                        trace_id=trace_context.trace_id,
+                        span_ref=router_span_ref(trace_context.trace_id),
+                    )
+                merged = self._dispatch_batch(prompts, max_new_tokens, deadline_at, trace_context)
         finally:
             self._release_admission()
         with self._lock:
@@ -350,9 +446,13 @@ class FleetRouter:
         self._c_batch_requests.inc()
         merged["latency_ms"] = (clock.now() - started) * 1000.0
         merged["batch_size"] = len(prompts)
+        if trace_context is not None:
+            merged["trace_id"] = trace_context.trace_id
         return merged
 
-    def _dispatch_batch(self, prompts: list[str], max_new_tokens, deadline_at) -> dict:
+    def _dispatch_batch(
+        self, prompts: list[str], max_new_tokens, deadline_at, trace_context=None
+    ) -> dict:
         completions: list[str | None] = [None] * len(prompts)
         cached: list[bool] = [False] * len(prompts)
         degraded: list[bool] = [False] * len(prompts)
@@ -375,12 +475,14 @@ class FleetRouter:
                     pending.extend(items)  # membership changed mid-grouping
                     continue
                 group_prompts = [prompt for _, prompt in items]
+                extra = {"trace_context": trace_context} if trace_context is not None else {}
                 try:
                     fire("fleet.dispatch", worker=worker_id, batch=len(items))
                     payload = worker.predict_batch(
                         group_prompts,
                         max_new_tokens,
                         deadline_s=self._remaining_deadline(deadline_at),
+                        **extra,
                     )
                 except (WorkerUnavailableError, InjectedFault):
                     self._on_worker_failure(worker_id, "dispatch_failed")
@@ -432,6 +534,11 @@ class FleetRouter:
         the deadline lapses, so one lost probe under a generous timeout
         is survivable — exactly how production heartbeating behaves, and
         exactly testable under a :class:`~repro.faults.FakeClock`.
+
+        With a :class:`~repro.obs.distributed.FleetCollector` attached,
+        each successfully probed replica is also telemetry-polled on this
+        tick — liveness and collection ride the same faults-clock cadence,
+        so seeded chaos runs collect deterministically.
         """
         with self._lock:
             probes = list(self._workers.items())
@@ -447,6 +554,8 @@ class FleetRouter:
                 with self._lock:
                     if worker_id in self._workers:
                         self._last_heartbeat[worker_id] = clock.now()
+                if self.collector is not None:
+                    self.collector.poll(worker_id, worker)
         newly_dead: list[str] = []
         now = clock.now()
         with self._lock:
@@ -539,16 +648,20 @@ class FleetRouter:
                 per_worker[worker_id] = {"status": "unreachable"}
                 continue
             per_worker[worker_id] = worker_stats
-            aggregate["requests"] += worker_stats.get("requests", 0)
+            # `or 0` throughout: a replica may legitimately report None
+            # for a counter it has no data for (fresh fleet, engine not
+            # yet attached, all requests shed) — aggregate as zero rather
+            # than poisoning the sums and the derived rates below.
+            aggregate["requests"] += worker_stats.get("requests") or 0
             engine = worker_stats.get("engine") or {}
-            aggregate["decode_tokens"] += engine.get("decode_tokens", 0)
-            aggregate["prefill_tokens"] += engine.get("prefill_tokens", 0)
+            aggregate["decode_tokens"] += engine.get("decode_tokens") or 0
+            aggregate["prefill_tokens"] += engine.get("prefill_tokens") or 0
             aggregate["kv_arena_bytes_in_use"] += (engine.get("kv_arena") or {}).get(
-                "bytes_in_use", 0
-            )
+                "bytes_in_use"
+            ) or 0
             prefix = engine.get("prefix_cache") or {}
             for key in ("hits", "misses", "tokens_reused"):
-                aggregate["prefix_cache"][key] += prefix.get(key, 0)
+                aggregate["prefix_cache"][key] += prefix.get(key) or 0
         scanned = aggregate["prefix_cache"]["hits"] + aggregate["prefix_cache"]["misses"]
         aggregate["prefix_cache"]["hit_rate"] = (
             aggregate["prefix_cache"]["hits"] / scanned if scanned else 0.0
@@ -581,3 +694,40 @@ class FleetRouter:
     def metrics_prometheus(self) -> str:
         """Prometheus text exposition of the router's own registry."""
         return prometheus_exposition(self.obs.metrics)
+
+    def fleet_prometheus(self) -> str:
+        """Fleet-wide exposition: every collected replica's samples under
+        ``replica="<id>"`` labels plus the router's own under
+        ``replica="router"``.  Falls back to the router's own exposition
+        when no collector is attached."""
+        if self.collector is None:
+            return self.metrics_prometheus()
+        return self.collector.merged_prometheus(extra={"router": self.metrics_prometheus()})
+
+    def collect_telemetry(self) -> dict | None:
+        """Force one collector poll of every live replica, outside the
+        heartbeat cadence (e.g. a final drain before rendering a merged
+        trace).  Returns the collector's stats, or None without one."""
+        if self.collector is None:
+            return None
+        with self._lock:
+            workers = list(self._workers.items())
+        for worker_id, worker in workers:
+            self.collector.poll(worker_id, worker)
+        return self.collector.stats()
+
+    def telemetry(self) -> dict:
+        """The router's own ``/v1/telemetry`` drain (mirrors the service's).
+
+        Contains the *router's* spans and exposition; per-replica
+        telemetry lives in the attached collector (``collector`` key when
+        one is present).
+        """
+        payload = {
+            "spans": [span.to_dict() for span in self.obs.tracer.drain()],
+            "metrics_prometheus": self.metrics_prometheus(),
+            "profile": None,
+        }
+        if self.collector is not None:
+            payload["collector"] = self.collector.stats()
+        return payload

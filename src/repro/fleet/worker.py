@@ -1,12 +1,19 @@
 """Fleet workers: one engine replica each, behind a uniform handle.
 
-The router only sees the *worker protocol* — duck-typed, five calls::
+The router only sees the *worker protocol* — duck-typed, six calls::
 
-    predict(prompt, max_new_tokens=None, deadline_s=None) -> payload dict
+    predict(prompt, max_new_tokens=None, deadline_s=None,
+            trace_context=None) -> payload dict
     predict_batch(prompts, ...) -> payload dict
     heartbeat() -> float            # raises WorkerUnavailableError when dead
     stats() / health() -> dict
+    telemetry() -> dict             # span/metric/profile drain for collectors
     stop()                          # release resources
+
+``trace_context`` is a :class:`~repro.obs.distributed.TraceContext`
+minted by the router: in-process workers hand it straight to the
+service, process workers render it as the ``X-Repro-*`` trace headers on
+the HTTP call — either way the replica's spans parent under the router's.
 
 Two implementations ship:
 
@@ -85,6 +92,10 @@ class WorkerSpec:
     max_queue_depth: int | None = 8
     prefix_cache_capacity: int = 32
     cache_capacity: int = 8
+    #: Enable span tracing on the replica so ``telemetry()`` drains spans
+    #: for the fleet collector; off by default (tracing is opt-in).
+    tracing: bool = False
+    tracer_capacity: int = 4096
 
 
 def build_service(spec: WorkerSpec):
@@ -127,6 +138,10 @@ def build_service(spec: WorkerSpec):
         max_queue_depth=spec.max_queue_depth,
         cache_capacity=spec.cache_capacity,
     )
+    if spec.tracing:
+        from repro.obs import Tracer
+
+        service.obs.attach_tracer(Tracer(capacity=spec.tracer_capacity))
     return service, engine
 
 
@@ -177,18 +192,24 @@ class InProcessWorker:
         if not self.alive:
             raise self._unavailable()
 
-    def predict(self, prompt: str, max_new_tokens=None, deadline_s=None) -> dict:
+    def predict(self, prompt: str, max_new_tokens=None, deadline_s=None, trace_context=None) -> dict:
         self._guard()
         try:
-            return self.service.predict(prompt, max_new_tokens, deadline_s=deadline_s)
+            return self.service.predict(
+                prompt, max_new_tokens, deadline_s=deadline_s, trace_context=trace_context
+            )
         except WorkerCrashed as crash:
             self._crash()
             raise self._unavailable() from crash
 
-    def predict_batch(self, prompts: list[str], max_new_tokens=None, deadline_s=None) -> dict:
+    def predict_batch(
+        self, prompts: list[str], max_new_tokens=None, deadline_s=None, trace_context=None
+    ) -> dict:
         self._guard()
         try:
-            return self.service.predict_batch(prompts, max_new_tokens, deadline_s=deadline_s)
+            return self.service.predict_batch(
+                prompts, max_new_tokens, deadline_s=deadline_s, trace_context=trace_context
+            )
         except WorkerCrashed as crash:
             self._crash()
             raise self._unavailable() from crash
@@ -204,6 +225,10 @@ class InProcessWorker:
     def stats(self) -> dict:
         self._guard()
         return self.service.stats()
+
+    def telemetry(self) -> dict:
+        self._guard()
+        return self.service.telemetry()
 
     def arena_bytes_in_use(self) -> int:
         """KV bytes the replica's arena still holds (leak accounting)."""
@@ -303,14 +328,24 @@ class ProcessWorker:
                 raise self._unavailable(error) from error
             raise
 
-    def predict(self, prompt: str, max_new_tokens=None, deadline_s=None) -> dict:
+    def predict(self, prompt: str, max_new_tokens=None, deadline_s=None, trace_context=None) -> dict:
         deadline_ms = deadline_s * 1000.0 if deadline_s is not None else None
-        return self._call(self._client.predict, prompt, max_new_tokens, deadline_ms=deadline_ms)
-
-    def predict_batch(self, prompts: list[str], max_new_tokens=None, deadline_s=None) -> dict:
-        deadline_ms = deadline_s * 1000.0 if deadline_s is not None else None
+        headers = trace_context.to_headers() if trace_context is not None else None
         return self._call(
-            self._client.predict_batch, prompts, max_new_tokens, deadline_ms=deadline_ms
+            self._client.predict, prompt, max_new_tokens, deadline_ms=deadline_ms, headers=headers
+        )
+
+    def predict_batch(
+        self, prompts: list[str], max_new_tokens=None, deadline_s=None, trace_context=None
+    ) -> dict:
+        deadline_ms = deadline_s * 1000.0 if deadline_s is not None else None
+        headers = trace_context.to_headers() if trace_context is not None else None
+        return self._call(
+            self._client.predict_batch,
+            prompts,
+            max_new_tokens,
+            deadline_ms=deadline_ms,
+            headers=headers,
         )
 
     def heartbeat(self) -> float:
@@ -322,3 +357,6 @@ class ProcessWorker:
 
     def stats(self) -> dict:
         return self._call(self._client.stats)
+
+    def telemetry(self) -> dict:
+        return self._call(self._client.telemetry)

@@ -36,6 +36,16 @@ Surfaced through ``GET /v1/metrics``, the extended ``/v1/stats`` and the
 
 from __future__ import annotations
 
+from repro.obs.distributed import (
+    PARENT_SPAN_HEADER,
+    TRACE_ID_HEADER,
+    FleetCollector,
+    TraceContext,
+    TraceIdAllocator,
+    fleet_chrome_trace,
+    router_span_ref,
+    write_fleet_chrome_trace,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -46,6 +56,13 @@ from repro.obs.metrics import (
     linear_buckets,
 )
 from repro.obs.profile import NULL_PROFILER, OpEvent, OpProfiler, OpStat
+from repro.obs.slo import (
+    DEFAULT_BURN_WINDOWS,
+    DEFAULT_SLOS,
+    BurnWindow,
+    SloMonitor,
+    SloSpec,
+)
 from repro.obs.trace import NULL_TRACER, Span, Tracer, load_spans_jsonl, read_spans_jsonl
 
 
@@ -109,4 +126,17 @@ __all__ = [
     "OpStat",
     "OpEvent",
     "NULL_PROFILER",
+    "TraceContext",
+    "TraceIdAllocator",
+    "TRACE_ID_HEADER",
+    "PARENT_SPAN_HEADER",
+    "FleetCollector",
+    "fleet_chrome_trace",
+    "write_fleet_chrome_trace",
+    "router_span_ref",
+    "SloSpec",
+    "SloMonitor",
+    "BurnWindow",
+    "DEFAULT_SLOS",
+    "DEFAULT_BURN_WINDOWS",
 ]

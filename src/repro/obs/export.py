@@ -205,7 +205,11 @@ def parse_prometheus(text: str) -> dict:
     """
     metrics: dict[str, dict] = {}
     types: dict[str, str] = {}
-    for line_number, raw in enumerate(text.splitlines(), start=1):
+    # Split on "\n" exactly: the exposition format only escapes backslash,
+    # double-quote and newline, so label values may legally contain \r,
+    # \x0b, U+2028 and other characters str.splitlines() would wrongly
+    # treat as line boundaries.
+    for line_number, raw in enumerate(text.split("\n"), start=1):
         line = raw.strip()
         if not line:
             continue

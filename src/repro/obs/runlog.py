@@ -127,11 +127,38 @@ class RunLogData:
             "mean_tokens_per_s": self.mean("step", "tokens_per_s"),
             "mean_grad_norm": self.mean("step", "grad_norm"),
             "total_tokens": sum(int(record.get("tokens", 0)) for record in self.steps),
+            "skipped": self.skipped,
         }
 
 
+#: Fields every record of a kind must carry as finite-convertible numbers;
+#: a record that fails is corrupt (a partial write, or a foreign file) and
+#: is skip-counted at load rather than crashing ``summary()`` downstream.
+_REQUIRED_NUMERIC = {
+    "step": ("step", "loss"),
+    "epoch": ("epoch", "mean_loss"),
+    "validation": ("epoch",),
+}
+
+
+def _valid_record(kind: str, record: dict) -> bool:
+    for key in _REQUIRED_NUMERIC.get(kind, ()):
+        try:
+            float(record[key])
+        except (KeyError, TypeError, ValueError):
+            return False
+    return True
+
+
 def load_runlog(path: str | Path) -> RunLogData:
-    """Parse a :class:`RunLog` file, skipping corrupt lines."""
+    """Parse a :class:`RunLog` file, skipping corrupt lines anywhere.
+
+    A line is skipped — and counted in ``RunLogData.skipped`` / the
+    ``summary()`` — when it is not valid JSON, not an object, of unknown
+    kind, or missing the numeric fields its kind requires.  Corruption in
+    the middle of a file (a torn write during a crash, interleaved
+    writers) therefore costs exactly the bad lines, never the whole log.
+    """
     data = RunLogData()
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
@@ -144,7 +171,9 @@ def load_runlog(path: str | Path) -> RunLogData:
             except (json.JSONDecodeError, AttributeError):
                 data.skipped += 1
                 continue
-            if kind == "run":
+            if kind != "run" and not _valid_record(kind, record):
+                data.skipped += 1
+            elif kind == "run":
                 data.run = record
             elif kind == "step":
                 data.steps.append(record)

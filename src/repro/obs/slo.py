@@ -1,0 +1,281 @@
+"""Declarative SLOs with rolling windows and multi-window burn-rate alerts.
+
+An :class:`SloSpec` declares one service-level objective over a request
+*signal*:
+
+* ``latency`` — good iff the request completed within ``threshold_s``
+  end to end (shed / errored / late requests are all bad: the user
+  waited and got nothing useful in time);
+* ``ttft`` — good iff the time to first token was within ``threshold_s``
+  (requests that never reached decode are bad);
+* ``shed`` — good iff the request was not shed;
+* ``error`` — good iff the request terminated by design (``completed``
+  or deliberately ``shed``), bad on any other outcome.
+
+An :class:`SloMonitor` ingests one event per fleet request
+(:meth:`~SloMonitor.observe`) timestamped on :mod:`repro.faults.clock` —
+the real clock in production, the chaos harness's FakeClock under test,
+which makes every evaluation deterministic and replayable.
+
+**Burn rate** is the standard SRE construct: over a window, the fraction
+of bad events divided by the error budget (``1 - target``).  Burn 1.0
+consumes the budget exactly at the sustainable rate; burn 14 consumes a
+30-day budget in ~2 days.  Alerting on a single window either pages too
+slowly (long window) or flaps (short window), so each
+:class:`BurnWindow` pairs a long and a short window with a factor — the
+alert fires only when **both** burn above the factor: the long window
+proves the problem is material, the short window proves it is still
+happening.
+
+``repro slo`` runs a seeded fleet chaos workload against the declared
+SLOs and prints the report; ``benchmarks/build_artifacts.py`` persists
+one as ``BENCH_slo.json``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ObservabilityError
+from repro.faults import clock
+
+#: Signals an SloSpec may declare.
+SLO_SIGNALS = ("latency", "ttft", "shed", "error")
+
+#: Outcomes that are by-design terminations, not errors.
+_NON_ERROR_OUTCOMES = frozenset({"completed", "shed"})
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One objective: ``target`` fraction of requests must be *good*.
+
+    Attributes:
+        name: report key, e.g. ``"p99-latency"``.
+        signal: one of :data:`SLO_SIGNALS`.
+        target: required good fraction in [0, 1), e.g. ``0.99``.
+        threshold_s: the latency/ttft budget; None for outcome signals.
+    """
+
+    name: str
+    signal: str
+    target: float
+    threshold_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.signal not in SLO_SIGNALS:
+            raise ObservabilityError(
+                f"SLO {self.name!r}: unknown signal {self.signal!r} (want one of {SLO_SIGNALS})"
+            )
+        if not 0.0 <= self.target < 1.0:
+            raise ObservabilityError(
+                f"SLO {self.name!r}: target must be in [0, 1), got {self.target}"
+            )
+        if self.signal in ("latency", "ttft"):
+            if self.threshold_s is None or self.threshold_s <= 0:
+                raise ObservabilityError(
+                    f"SLO {self.name!r}: signal {self.signal!r} needs threshold_s > 0"
+                )
+        elif self.threshold_s is not None:
+            raise ObservabilityError(
+                f"SLO {self.name!r}: signal {self.signal!r} takes no threshold_s"
+            )
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.target
+
+    def is_good(self, event: "SloEvent") -> bool:
+        if self.signal == "latency":
+            return event.outcome == "completed" and event.latency_s <= self.threshold_s
+        if self.signal == "ttft":
+            return event.ttft_s is not None and event.ttft_s <= self.threshold_s
+        if self.signal == "shed":
+            return event.outcome != "shed"
+        return event.outcome in _NON_ERROR_OUTCOMES
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "signal": self.signal,
+            "target": self.target,
+            "threshold_s": self.threshold_s,
+        }
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """A long/short window pair with the burn factor that pages."""
+
+    long_s: float
+    short_s: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.short_s < self.long_s:
+            raise ObservabilityError(
+                f"burn window needs 0 < short_s < long_s, got {self.short_s}/{self.long_s}"
+            )
+        if self.factor <= 0:
+            raise ObservabilityError(f"burn factor must be positive, got {self.factor}")
+
+
+#: Scaled-down version of Google's 1h/5m + 6h/30m pairs: the chaos
+#: harness compresses time, so windows are seconds, not hours.
+DEFAULT_BURN_WINDOWS = (
+    BurnWindow(long_s=60.0, short_s=5.0, factor=14.4),
+    BurnWindow(long_s=360.0, short_s=30.0, factor=6.0),
+)
+
+#: The fleet's declared objectives, evaluated by ``repro slo`` and the
+#: chaos harness: completion latency, time-to-first-token, shed rate.
+DEFAULT_SLOS = (
+    SloSpec(name="p99-latency", signal="latency", target=0.99, threshold_s=2.0),
+    SloSpec(name="p95-ttft", signal="ttft", target=0.95, threshold_s=1.0),
+    SloSpec(name="shed-rate", signal="shed", target=0.95),
+    SloSpec(name="error-rate", signal="error", target=0.999),
+)
+
+
+@dataclass(frozen=True)
+class SloEvent:
+    """One finished fleet request as the monitor sees it."""
+
+    at: float
+    latency_s: float
+    outcome: str
+    ttft_s: float | None = None
+
+
+class SloMonitor:
+    """Rolling-window SLO evaluation over observed request events.
+
+    Events older than ``horizon_s`` (which must cover the longest burn
+    window) are dropped from the front of the deque on ingest, bounding
+    memory for long-running routers.
+    """
+
+    def __init__(
+        self,
+        specs: tuple[SloSpec, ...] | list[SloSpec] = DEFAULT_SLOS,
+        windows: tuple[BurnWindow, ...] | list[BurnWindow] = DEFAULT_BURN_WINDOWS,
+        horizon_s: float = 3600.0,
+    ):
+        specs = tuple(specs)
+        if not specs:
+            raise ObservabilityError("SloMonitor needs at least one SloSpec")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ObservabilityError(f"duplicate SLO names: {names}")
+        windows = tuple(windows)
+        longest = max((window.long_s for window in windows), default=0.0)
+        if horizon_s < longest:
+            raise ObservabilityError(
+                f"horizon_s={horizon_s} shorter than longest burn window {longest}"
+            )
+        self.specs = specs
+        self.windows = windows
+        self.horizon_s = horizon_s
+        self._events: deque[SloEvent] = deque()
+        self.total_observed = 0
+
+    # -- ingest --------------------------------------------------------------
+
+    def observe(
+        self,
+        latency_s: float,
+        outcome: str,
+        ttft_s: float | None = None,
+        at: float | None = None,
+    ) -> None:
+        """Record one finished request; ``at`` defaults to the fleet clock."""
+        timestamp = clock.now() if at is None else at
+        self._events.append(SloEvent(at=timestamp, latency_s=latency_s,
+                                     outcome=outcome, ttft_s=ttft_s))
+        self.total_observed += 1
+        cutoff = timestamp - self.horizon_s
+        while self._events and self._events[0].at < cutoff:
+            self._events.popleft()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _window_counts(self, spec: SloSpec, now: float, window_s: float) -> tuple[int, int]:
+        cutoff = now - window_s
+        good = bad = 0
+        for event in reversed(self._events):
+            if event.at < cutoff:
+                break
+            if spec.is_good(event):
+                good += 1
+            else:
+                bad += 1
+        return good, bad
+
+    def burn_rate(self, spec: SloSpec, window_s: float, now: float | None = None) -> float:
+        """Bad fraction over the window divided by the error budget."""
+        moment = clock.now() if now is None else now
+        good, bad = self._window_counts(spec, moment, window_s)
+        total = good + bad
+        if total == 0:
+            return 0.0
+        return (bad / total) / spec.error_budget
+
+    def evaluate(self, now: float | None = None) -> dict:
+        """Per-spec compliance and burn-rate verdicts, JSON-ready.
+
+        All floats are rounded to 6 places so reports from identical
+        seeded runs serialize byte-identically.
+        """
+        moment = clock.now() if now is None else now
+        report: dict = {"total_observed": self.total_observed, "slos": []}
+        for spec in self.specs:
+            good, bad = self._window_counts(spec, moment, self.horizon_s)
+            total = good + bad
+            compliance = good / total if total else 1.0
+            window_reports = []
+            alerting = False
+            for window in self.windows:
+                burn_long = self.burn_rate(spec, window.long_s, moment)
+                burn_short = self.burn_rate(spec, window.short_s, moment)
+                fired = burn_long >= window.factor and burn_short >= window.factor
+                alerting = alerting or fired
+                window_reports.append(
+                    {
+                        "long_s": window.long_s,
+                        "short_s": window.short_s,
+                        "factor": window.factor,
+                        "burn_long": round(burn_long, 6),
+                        "burn_short": round(burn_short, 6),
+                        "alerting": fired,
+                    }
+                )
+            report["slos"].append(
+                {
+                    **spec.to_dict(),
+                    "total": total,
+                    "good": good,
+                    "bad": bad,
+                    "compliance": round(compliance, 6),
+                    "met": compliance >= spec.target,
+                    "burn_windows": window_reports,
+                    "alerting": alerting,
+                }
+            )
+        report["all_met"] = all(entry["met"] for entry in report["slos"])
+        report["any_alerting"] = any(entry["alerting"] for entry in report["slos"])
+        return report
+
+
+__all__ = [
+    "SLO_SIGNALS",
+    "SloSpec",
+    "BurnWindow",
+    "SloEvent",
+    "SloMonitor",
+    "DEFAULT_SLOS",
+    "DEFAULT_BURN_WINDOWS",
+]

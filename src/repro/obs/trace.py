@@ -8,10 +8,23 @@ feed it:
   :meth:`Tracer.traced` as a decorator) time a block of code on the
   current thread and nest automatically via a thread-local stack;
 * **retroactive records** (:meth:`Tracer.record`) register an interval
-  whose start/end ``time.perf_counter()`` timestamps were captured
-  elsewhere — how the engine reports request lifecycles, whose phases
-  interleave across the continuous batch and therefore cannot be wrapped
-  in nested ``with`` blocks.
+  whose start/end timestamps were captured elsewhere — how the engine
+  reports request lifecycles, whose phases interleave across the
+  continuous batch and therefore cannot be wrapped in nested ``with``
+  blocks.
+
+Timestamps read the shared :mod:`repro.faults.clock` — the real
+monotonic clock in production, a :class:`~repro.faults.FakeClock` under
+the chaos harness — so span timelines from seeded fleet runs are
+deterministic and replay byte-identically.
+
+For cross-process requests, :meth:`Tracer.activate` installs a *remote
+trace context* (a fleet-wide ``trace_id`` plus the upstream span
+reference) on the current thread; every **root** span finished while the
+context is active is stamped with ``trace_id`` / ``parent_span`` attrs,
+which is how a worker's ``engine.request`` tree parents under the
+router's ``fleet.predict`` span once the fleet collector stitches the
+per-process dumps together (:mod:`repro.obs.distributed`).
 
 Tracing is designed to be **default-off**: a disabled tracer's
 :meth:`~Tracer.span` returns a shared no-op context manager and
@@ -30,20 +43,22 @@ from __future__ import annotations
 import itertools
 import json
 import threading
-import time
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ObservabilityError
+from repro.faults import clock
 
 
 @dataclass(frozen=True)
 class Span:
     """One finished, named interval.
 
-    Timestamps are ``time.perf_counter()`` values: monotonic, comparable
-    only within the process that produced them.
+    Timestamps come from :func:`repro.faults.clock.now` (the real
+    monotonic clock unless a fake is installed): comparable only within
+    the process — and clock scope — that produced them.
     """
 
     name: str
@@ -120,14 +135,16 @@ class _LiveSpan:
         stack = self._tracer._stack()
         self.parent_id = stack[-1] if stack else None
         stack.append(self.span_id)
-        self.start_s = time.perf_counter()
+        self.start_s = clock.now()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        end_s = time.perf_counter()
+        end_s = clock.now()
         stack = self._tracer._stack()
         if stack and stack[-1] == self.span_id:
             stack.pop()
+        if self.parent_id is None:
+            self._tracer._stamp_context(self.attrs)
         self._tracer._append(
             Span(
                 name=self.name,
@@ -171,6 +188,37 @@ class Tracer:
             self._ring.append(span)
             self.total_recorded += 1
 
+    # -- remote trace context ------------------------------------------------
+
+    @contextmanager
+    def activate(self, trace_id: str, parent_span: str | None = None):
+        """Adopt a remote trace context on this thread for the block.
+
+        While active, every *root* span (live or retroactive) finished on
+        this thread is stamped with ``trace_id`` — and ``parent_span``
+        when given — in its attrs, tying it to the upstream span that
+        crossed the process boundary.  Contexts nest; the inner one wins
+        and the outer is restored on exit.  Works on a disabled tracer
+        too (where it is a cheap no-op), so propagation call sites never
+        need to branch on tracing state.
+        """
+        previous = getattr(self._local, "context", None)
+        self._local.context = (trace_id, parent_span)
+        try:
+            yield self
+        finally:
+            self._local.context = previous
+
+    def _stamp_context(self, attrs: dict) -> None:
+        """Fold the active remote context (if any) into a root span's attrs."""
+        context = getattr(self._local, "context", None)
+        if context is None:
+            return
+        trace_id, parent_span = context
+        attrs.setdefault("trace_id", trace_id)
+        if parent_span is not None:
+            attrs.setdefault("parent_span", parent_span)
+
     # -- recording -----------------------------------------------------------
 
     def span(self, name: str, **attrs):
@@ -211,6 +259,8 @@ class Tracer:
         """
         if not self.enabled:
             return None
+        if parent_id is None:
+            self._stamp_context(attrs)
         span_id = next(self._ids)
         self._append(
             Span(
@@ -248,6 +298,17 @@ class Tracer:
         """Drop buffered spans; ``total_recorded`` stays monotonic."""
         with self._lock:
             self._ring.clear()
+
+    def drain(self) -> list[Span]:
+        """Atomically snapshot and clear the buffer (telemetry pull reads).
+
+        Unlike ``spans()`` + ``clear()``, nothing recorded between the
+        two calls can be lost — each span is drained exactly once.
+        """
+        with self._lock:
+            drained = list(self._ring)
+            self._ring.clear()
+        return drained
 
     # -- export --------------------------------------------------------------
 

@@ -117,14 +117,20 @@ class PredictionClient:
             raise DeadlineExceededError(f"{method} {path} deadline exceeded: {message}") from error
         raise ServingError(f"{method} {path} failed: {message}") from error
 
-    def _request_once(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> dict:
         url = self.base_url + path
         data = json.dumps(payload).encode("utf-8") if payload is not None else None
         request = urllib.request.Request(
             url,
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers={"Content-Type": "application/json", **(headers or {})},
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -134,13 +140,19 @@ class PredictionClient:
         except urllib.error.URLError as error:
             raise ServingError(f"cannot reach service at {url}: {error}") from error
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> dict:
         policy = self.retry_policy
         attempt = 0
         swept = 0  # endpoints tried (and failed at transport level) this sweep
         while True:
             try:
-                return self._request_once(method, path, payload)
+                return self._request_once(method, path, payload, headers)
             except ServiceOverloadedError as error:
                 # A 503 is the service answering — stay on this endpoint
                 # and honour its Retry-After through the policy.
@@ -196,6 +208,7 @@ class PredictionClient:
         prompts: list[str],
         max_new_tokens: int | None = None,
         deadline_ms: float | None = None,
+        headers: dict[str, str] | None = None,
     ) -> dict:
         """Full batch payload (completions + per-prompt cache flags + latency)."""
         payload: dict = {"prompts": prompts}
@@ -203,21 +216,27 @@ class PredictionClient:
             payload["max_new_tokens"] = max_new_tokens
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
-        return self._request("POST", "/v1/batch_completions", payload)
+        return self._request("POST", "/v1/batch_completions", payload, headers=headers)
 
     def predict(
         self,
         prompt: str,
         max_new_tokens: int | None = None,
         deadline_ms: float | None = None,
+        headers: dict[str, str] | None = None,
     ) -> dict:
-        """Full prediction payload (completion + latency + cache flag)."""
+        """Full prediction payload (completion + latency + cache flag).
+
+        ``headers`` rides extra HTTP headers along — how the fleet router
+        propagates its trace context (``X-Repro-Trace-Id`` /
+        ``X-Repro-Parent-Span``) to a process worker.
+        """
         payload: dict = {"prompt": prompt}
         if max_new_tokens is not None:
             payload["max_new_tokens"] = max_new_tokens
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
-        return self._request("POST", "/v1/completions", payload)
+        return self._request("POST", "/v1/completions", payload, headers=headers)
 
     def health(self) -> dict:
         return self._request("GET", "/v1/health")
@@ -228,6 +247,10 @@ class PredictionClient:
     def metrics(self) -> dict:
         """Full observability snapshot from ``/v1/metrics``."""
         return self._request("GET", "/v1/metrics")
+
+    def telemetry(self) -> dict:
+        """Telemetry drain from ``/v1/telemetry`` (spans removed on read)."""
+        return self._request("GET", "/v1/telemetry")
 
     def metrics_prometheus(self) -> str:
         """Prometheus text exposition from ``/v1/metrics?format=prometheus``."""

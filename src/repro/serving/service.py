@@ -21,6 +21,15 @@ Endpoints::
                                    histograms (p50/p90/p99), serving counters,
                                    engine queue-wait/prefill/decode histograms
                                    and prefix-cache hit rate
+    GET  /v1/telemetry          -> telemetry drain for a fleet collector:
+                                   buffered spans (removed on read), the
+                                   cumulative Prometheus exposition and the
+                                   profiler snapshot
+
+POST requests may carry the fleet trace headers ``X-Repro-Trace-Id`` /
+``X-Repro-Parent-Span`` (see :mod:`repro.obs.distributed`): the service
+adopts the remote trace context for the request, stamps its root spans
+with it, and echoes the trace id in the response body and headers.
 
 The service shares its :class:`~repro.obs.Observability` with the engine
 when one is attached, so ``/v1/metrics`` is a single pane of glass over
@@ -60,7 +69,7 @@ from __future__ import annotations
 import json
 import math
 import threading
-import time
+from contextlib import nullcontext
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
@@ -70,7 +79,9 @@ from repro.errors import (
     ServiceOverloadedError,
     ServingError,
 )
+from repro.faults import clock
 from repro.obs import Observability
+from repro.obs.distributed import TRACE_ID_HEADER, TraceContext
 from repro.obs.export import prometheus_exposition
 from repro.serving.cache import LruCache
 
@@ -184,14 +195,18 @@ class PredictionService:
         self._c_degraded.inc()
         return completion
 
-    def _generate(self, prompt: str, budget: int, deadline_s: float | None) -> tuple[str, bool]:
-        """One completion honouring deadlines; returns ``(text, degraded)``.
+    def _generate(
+        self, prompt: str, budget: int, deadline_s: float | None
+    ) -> tuple[str, bool, float | None]:
+        """One completion honouring deadlines; ``(text, degraded, ttft_s)``.
 
         Routes through the engine's outcome-aware path when available so
         shed / deadline / cancelled dispositions arrive as data, not
         exceptions, and map onto serving behaviour here: shed requests
         degrade to the fallback (or 503), expired ones raise the typed
         504, cancelled ones the typed client-closed-request error.
+        ``ttft_s`` is the engine-measured time to first token, or None
+        when the request never reached decode (or no engine is attached).
         """
         if self.engine is not None and hasattr(self.engine, "complete_batch_detailed"):
             detail = self.engine.complete_batch_detailed(
@@ -199,7 +214,7 @@ class PredictionService:
             )[0]
             outcome = detail["outcome"]
             if outcome == "completed":
-                return detail["completion"], False
+                return detail["completion"], False, detail.get("ttft_s")
             if outcome == "deadline_exceeded":
                 with self._lock:
                     self.deadline_exceeded_count += 1
@@ -210,8 +225,8 @@ class PredictionService:
                     self.cancelled_count += 1
                 self._c_cancelled.inc()
                 raise RequestCancelledError("request cancelled")
-            return self._degrade(prompt, budget, f"engine {outcome} the request"), True
-        return self.completer.complete(prompt, max_new_tokens=budget), False
+            return self._degrade(prompt, budget, f"engine {outcome} the request"), True, None
+        return self.completer.complete(prompt, max_new_tokens=budget), False, None
 
     # -- single prediction ---------------------------------------------------
 
@@ -220,6 +235,7 @@ class PredictionService:
         prompt: str,
         max_new_tokens: int | None = None,
         deadline_s: float | None = None,
+        trace_context: TraceContext | None = None,
     ) -> dict:
         """One prediction, served from cache or a coalesced in-flight twin.
 
@@ -227,12 +243,23 @@ class PredictionService:
         running) degrades to the fallback completer or sheds with a typed
         503 *before* the model is touched; cache hits are still served
         regardless, since they cost nothing.
+
+        ``trace_context`` is the upstream fleet trace (minted by the
+        router, carried over HTTP headers or in-process): while this
+        request runs, the service's and engine's root spans are stamped
+        with its trace id / parent span, and the response echoes the
+        trace id as ``"trace_id"``.
         """
         if not isinstance(prompt, str) or not prompt.strip():
             raise ServingError("prompt must be a non-empty string")
         budget = max_new_tokens or self.max_new_tokens
         deadline = deadline_s if deadline_s is not None else self.default_deadline_s
-        with self.obs.tracer.span("serving.predict") as span:
+        activation = (
+            self.obs.tracer.activate(trace_context.trace_id, trace_context.parent_span)
+            if trace_context is not None
+            else nullcontext()
+        )
+        with activation, self.obs.tracer.span("serving.predict") as span:
             self._g_inflight.inc()
             try:
                 payload = self._predict(prompt, budget, deadline)
@@ -243,10 +270,12 @@ class PredictionService:
                 coalesced=bool(payload.get("coalesced")),
                 degraded=bool(payload.get("degraded")),
             )
+            if trace_context is not None:
+                payload["trace_id"] = trace_context.trace_id
             return payload
 
     def _predict(self, prompt: str, budget: int, deadline_s: float | None) -> dict:
-        started = time.perf_counter()
+        started = clock.now()
         with self._lock:
             cached = self.cache.get(prompt)
             if cached is not None:
@@ -272,11 +301,11 @@ class PredictionService:
         try:
             if self._try_admit():
                 try:
-                    completion, degraded = self._generate(prompt, budget, deadline_s)
+                    completion, degraded, ttft_s = self._generate(prompt, budget, deadline_s)
                 finally:
                     self._release_admission()
             else:
-                completion, degraded = self._degrade(prompt, budget, "queue full"), True
+                completion, degraded, ttft_s = self._degrade(prompt, budget, "queue full"), True, None
             entry.completion = completion
             entry.degraded = degraded
         except BaseException as error:
@@ -292,7 +321,9 @@ class PredictionService:
                     self.cache.put(prompt, entry.completion)
             entry.done.set()
         with self._lock:
-            return self._account(completion, started, cached_hit=False, degraded=degraded)
+            return self._account(
+                completion, started, cached_hit=False, degraded=degraded, ttft_s=ttft_s
+            )
 
     def _account(
         self,
@@ -301,9 +332,10 @@ class PredictionService:
         cached_hit: bool,
         coalesced: bool = False,
         degraded: bool = False,
+        ttft_s: float | None = None,
     ) -> dict:
         """Record latency and build a response payload (caller holds the lock)."""
-        latency_ms = (time.perf_counter() - started) * 1000.0
+        latency_ms = (clock.now() - started) * 1000.0
         self.request_count += 1
         self.total_latency_ms += latency_ms
         self._h_completions.observe(latency_ms / 1000.0)
@@ -317,6 +349,8 @@ class PredictionService:
             payload["coalesced"] = True
         if degraded:
             payload["degraded"] = True
+        if ttft_s is not None:
+            payload["ttft_ms"] = ttft_s * 1000.0
         return payload
 
     # -- batch prediction ----------------------------------------------------
@@ -326,6 +360,7 @@ class PredictionService:
         prompts: list[str],
         max_new_tokens: int | None = None,
         deadline_s: float | None = None,
+        trace_context: TraceContext | None = None,
     ) -> dict:
         """Serve a whole batch, decoding cache misses together.
 
@@ -342,13 +377,20 @@ class PredictionService:
                 raise ServingError("every prompt must be a non-empty string")
         budget = max_new_tokens or self.max_new_tokens
         deadline = deadline_s if deadline_s is not None else self.default_deadline_s
-        with self.obs.tracer.span("serving.predict_batch", batch_size=len(prompts)) as span:
+        activation = (
+            self.obs.tracer.activate(trace_context.trace_id, trace_context.parent_span)
+            if trace_context is not None
+            else nullcontext()
+        )
+        with activation, self.obs.tracer.span("serving.predict_batch", batch_size=len(prompts)) as span:
             self._g_inflight.inc()
             try:
                 payload = self._predict_batch(prompts, budget, deadline)
             finally:
                 self._g_inflight.dec()
             span.set(decoded=payload["decoded"])
+            if trace_context is not None:
+                payload["trace_id"] = trace_context.trace_id
             return payload
 
     def _complete_misses(
@@ -384,7 +426,7 @@ class PredictionService:
         ]
 
     def _predict_batch(self, prompts: list[str], budget: int, deadline_s: float | None) -> dict:
-        started = time.perf_counter()
+        started = clock.now()
         completions: dict[str, str] = {}
         cached_flags: dict[str, bool] = {}
         degraded_flags: dict[str, bool] = {}
@@ -415,7 +457,7 @@ class PredictionService:
                 degraded_flags[prompt] = degraded
                 if not degraded:
                     self.cache.put(prompt, completion)
-        latency_ms = (time.perf_counter() - started) * 1000.0
+        latency_ms = (clock.now() - started) * 1000.0
         with self._lock:
             self.request_count += len(prompts)
             self.batch_request_count += 1
@@ -508,6 +550,22 @@ class PredictionService:
         """
         return prometheus_exposition(self.obs.metrics)
 
+    def telemetry(self) -> dict:
+        """The ``GET /v1/telemetry`` payload a fleet collector drains.
+
+        Spans are **drained** — atomically removed from the tracer's ring
+        buffer, so a polling collector receives each span exactly once
+        and the buffer cannot overflow between polls.  The Prometheus
+        exposition and profiler snapshot are *cumulative* and simply
+        reflect the current state; the collector replaces, not appends.
+        """
+        payload = {
+            "spans": [span.to_dict() for span in self.obs.tracer.drain()],
+            "metrics_prometheus": self.metrics_prometheus(),
+            "profile": self.obs.profiler.snapshot() if self.obs.profiler.enabled else None,
+        }
+        return payload
+
 
 class _Handler(BaseHTTPRequestHandler):
     service: PredictionService  # set by the server factory
@@ -515,11 +573,15 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # silence default logging
         del format, args
 
-    def _send_json(self, payload: dict, status: int = 200) -> None:
+    def _send_json(
+        self, payload: dict, status: int = 200, headers: dict[str, str] | None = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -538,6 +600,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(self.service.health())
         elif parsed.path == "/v1/stats":
             self._send_json(self.service.stats())
+        elif parsed.path == "/v1/telemetry":
+            self._send_json(self.service.telemetry())
         elif parsed.path == "/v1/metrics":
             wire_format = (query.get("format") or ["json"])[0]
             if wire_format == "prometheus":
@@ -555,22 +619,28 @@ class _Handler(BaseHTTPRequestHandler):
             payload = json.loads(self.rfile.read(length) or b"{}")
             deadline_ms = payload.get("deadline_ms")
             deadline_s = deadline_ms / 1000.0 if deadline_ms is not None else None
+            trace_context = TraceContext.from_headers(self.headers)
             if self.path == "/v1/completions":
                 result = self.service.predict(
                     payload.get("prompt", ""),
                     payload.get("max_new_tokens"),
                     deadline_s=deadline_s,
+                    trace_context=trace_context,
                 )
             elif self.path == "/v1/batch_completions":
                 result = self.service.predict_batch(
                     payload.get("prompts", []),
                     payload.get("max_new_tokens"),
                     deadline_s=deadline_s,
+                    trace_context=trace_context,
                 )
             else:
                 self._send_json({"error": f"unknown path {self.path}"}, status=404)
                 return
-            self._send_json(result)
+            echo = (
+                {TRACE_ID_HEADER: trace_context.trace_id} if trace_context is not None else None
+            )
+            self._send_json(result, headers=echo)
         except ServiceOverloadedError as error:
             retry_after = error.retry_after_s if error.retry_after_s is not None else 1.0
             body = json.dumps(

@@ -80,6 +80,46 @@ class TestCorruptLines:
         assert data.skipped == 1
         assert len(data.steps) == 1
 
+    def test_mid_file_corruption_costs_only_the_bad_lines(self, tmp_path):
+        # a torn write in the MIDDLE of a file (crash + restart appending,
+        # interleaved writers) must not poison the records after it
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            '{"kind": "run", "run_id": "r"}\n'
+            '{"kind": "step", "step": 0, "loss": 2.0}\n'
+            '{"kind": "step", "st\n'  # torn mid-write
+            "not json at all\n"
+            '{"kind": "step", "step": 1, "loss": 1.5}\n'
+        )
+        data = load_runlog(path)
+        assert [record["loss"] for record in data.steps] == [2.0, 1.5]
+        assert data.skipped == 2
+
+    def test_records_missing_required_numeric_fields_skipped(self, tmp_path):
+        # valid JSON of a known kind but unusable payload: summary()/mean()
+        # must never crash on it, so the loader rejects it up front
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            '{"kind": "step", "step": 0, "loss": 2.0}\n'
+            '{"kind": "step", "step": 1}\n'  # loss missing
+            '{"kind": "step", "step": 2, "loss": "garbage"}\n'
+            '{"kind": "epoch", "epoch": 0, "mean_loss": null}\n'
+            '{"kind": "validation"}\n'  # epoch missing
+            '{"kind": "epoch", "epoch": 0, "mean_loss": 1.8}\n'
+        )
+        data = load_runlog(path)
+        assert len(data.steps) == 1 and len(data.epochs) == 1
+        assert data.skipped == 4
+        summary = data.summary()  # crash-free despite hostile input
+        assert summary["final_loss"] == 1.8
+        assert summary["skipped"] == 4
+
+    def test_summary_reports_skip_count(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLog(path) as log:
+            log.log_step(0, 2.0)
+        assert load_runlog(path).summary()["skipped"] == 0
+
 
 class TestRendering:
     def write_run(self, path, run_id="a", step_s=0.1):

@@ -1,0 +1,168 @@
+"""SLO specs, rolling windows and multi-window burn-rate alerting.
+
+Timestamps are passed explicitly (or driven through a FakeClock), so
+every assertion here is exact — burn rates are ratios of small integer
+counts, never subject to wall-clock jitter.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.faults import FakeClock, use
+from repro.obs.slo import (
+    DEFAULT_BURN_WINDOWS,
+    DEFAULT_SLOS,
+    BurnWindow,
+    SloEvent,
+    SloMonitor,
+    SloSpec,
+)
+
+
+class TestSloSpec:
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(ObservabilityError, match="unknown signal"):
+            SloSpec(name="x", signal="uptime", target=0.9)
+
+    @pytest.mark.parametrize("target", [-0.1, 1.0, 1.5])
+    def test_target_must_be_a_proper_fraction(self, target):
+        with pytest.raises(ObservabilityError, match="target"):
+            SloSpec(name="x", signal="shed", target=target)
+
+    def test_latency_needs_threshold_outcome_signals_forbid_it(self):
+        with pytest.raises(ObservabilityError, match="threshold_s"):
+            SloSpec(name="x", signal="latency", target=0.9)
+        with pytest.raises(ObservabilityError, match="no threshold_s"):
+            SloSpec(name="x", signal="error", target=0.9, threshold_s=1.0)
+
+    def test_error_budget(self):
+        assert SloSpec(name="x", signal="shed", target=0.95).error_budget == pytest.approx(0.05)
+
+    def test_is_good_per_signal(self):
+        latency = SloSpec(name="l", signal="latency", target=0.9, threshold_s=1.0)
+        ttft = SloSpec(name="t", signal="ttft", target=0.9, threshold_s=0.5)
+        shed = SloSpec(name="s", signal="shed", target=0.9)
+        error = SloSpec(name="e", signal="error", target=0.9)
+
+        fast = SloEvent(at=0.0, latency_s=0.4, outcome="completed", ttft_s=0.2)
+        slow = SloEvent(at=0.0, latency_s=3.0, outcome="completed", ttft_s=0.9)
+        shed_event = SloEvent(at=0.0, latency_s=0.1, outcome="shed")
+        expired = SloEvent(at=0.0, latency_s=0.9, outcome="deadline_exceeded")
+
+        assert latency.is_good(fast) and not latency.is_good(slow)
+        assert not latency.is_good(expired)  # in-budget latency but no answer
+        assert ttft.is_good(fast) and not ttft.is_good(slow)
+        assert not ttft.is_good(shed_event)  # never reached decode
+        assert shed.is_good(fast) and not shed.is_good(shed_event)
+        assert error.is_good(fast) and error.is_good(shed_event)
+        assert not error.is_good(expired)
+
+
+class TestBurnWindow:
+    def test_short_must_be_shorter(self):
+        with pytest.raises(ObservabilityError):
+            BurnWindow(long_s=5.0, short_s=5.0, factor=2.0)
+
+    def test_factor_positive(self):
+        with pytest.raises(ObservabilityError):
+            BurnWindow(long_s=5.0, short_s=1.0, factor=0.0)
+
+
+class TestSloMonitor:
+    def test_needs_specs_and_unique_names(self):
+        with pytest.raises(ObservabilityError):
+            SloMonitor(specs=())
+        spec = SloSpec(name="x", signal="shed", target=0.9)
+        with pytest.raises(ObservabilityError, match="duplicate"):
+            SloMonitor(specs=(spec, spec))
+
+    def test_horizon_must_cover_longest_window(self):
+        with pytest.raises(ObservabilityError, match="horizon"):
+            SloMonitor(horizon_s=100.0)  # DEFAULT_BURN_WINDOWS reach 360s
+
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        spec = SloSpec(name="shed", signal="shed", target=0.9)  # budget 0.1
+        monitor = SloMonitor(specs=(spec,), windows=(), horizon_s=100.0)
+        for index in range(10):
+            monitor.observe(0.1, "shed" if index < 2 else "completed", at=float(index))
+        # 2 bad / 10 total = 0.2 bad fraction; budget 0.1 -> burn 2.0
+        assert monitor.burn_rate(spec, window_s=100.0, now=9.0) == pytest.approx(2.0)
+        # the last 5 events (at >= 5) are all good -> burn 0
+        assert monitor.burn_rate(spec, window_s=4.5, now=9.0) == 0.0
+
+    def test_empty_window_burns_zero(self):
+        spec = SloSpec(name="shed", signal="shed", target=0.9)
+        monitor = SloMonitor(specs=(spec,), windows=(), horizon_s=10.0)
+        assert monitor.burn_rate(spec, window_s=5.0, now=0.0) == 0.0
+
+    def test_alert_needs_both_windows_burning(self):
+        spec = SloSpec(name="err", signal="error", target=0.5)  # budget 0.5
+        window = BurnWindow(long_s=10.0, short_s=2.0, factor=1.5)
+        monitor = SloMonitor(specs=(spec,), windows=(window,), horizon_s=100.0)
+        # bad burst early, then recovery: long window still burning, short clean
+        for at in range(8):
+            monitor.observe(0.1, "deadline_exceeded", at=float(at))
+        for at in range(8, 10):
+            monitor.observe(0.1, "completed", at=float(at))
+        report = monitor.evaluate(now=9.0)
+        (entry,) = report["slos"]
+        (burn,) = entry["burn_windows"]
+        assert burn["burn_long"] >= window.factor
+        assert burn["burn_short"] < window.factor
+        assert not burn["alerting"]
+        # ongoing burn: bad events continue into the short window -> page
+        for at in range(10, 13):
+            monitor.observe(0.1, "deadline_exceeded", at=float(at))
+        report = monitor.evaluate(now=12.0)
+        assert report["slos"][0]["burn_windows"][0]["alerting"]
+        assert report["any_alerting"]
+
+    def test_horizon_trims_old_events(self):
+        spec = SloSpec(name="shed", signal="shed", target=0.9)
+        monitor = SloMonitor(specs=(spec,), windows=(), horizon_s=10.0)
+        monitor.observe(0.1, "shed", at=0.0)
+        monitor.observe(0.1, "completed", at=100.0)
+        assert len(monitor) == 1
+        assert monitor.total_observed == 2
+
+    def test_observe_reads_the_fleet_clock(self):
+        fake = FakeClock()
+        with use(fake):
+            monitor = SloMonitor(horizon_s=3600.0)
+            monitor.observe(0.1, "completed")
+            fake.advance(5.0)
+            monitor.observe(0.1, "completed")
+        first, second = monitor._events
+        assert second.at - first.at == pytest.approx(5.0)
+
+    def test_evaluate_report_shape_and_determinism(self):
+        def build() -> dict:
+            monitor = SloMonitor()
+            for index in range(20):
+                monitor.observe(
+                    0.5 if index % 5 else 3.0,
+                    "completed",
+                    ttft_s=0.2,
+                    at=float(index),
+                )
+            return monitor.evaluate(now=19.0)
+
+        report = build()
+        assert len(report["slos"]) == len(DEFAULT_SLOS)
+        for entry in report["slos"]:
+            assert entry["total"] == 20
+            assert entry["good"] + entry["bad"] == entry["total"]
+            assert 0.0 <= entry["compliance"] <= 1.0
+            assert len(entry["burn_windows"]) == len(DEFAULT_BURN_WINDOWS)
+        assert json.dumps(report, sort_keys=True) == json.dumps(build(), sort_keys=True)
+
+    def test_default_slos_all_met_on_a_clean_stream(self):
+        monitor = SloMonitor()
+        for index in range(50):
+            monitor.observe(0.3, "completed", ttft_s=0.1, at=float(index))
+        report = monitor.evaluate(now=49.0)
+        assert report["all_met"] and not report["any_alerting"]
