@@ -30,6 +30,10 @@ from test_slo import (  # noqa: E402
     REPORT_FILE as SLO_REPORT_FILE,
     run_slo_bench,
 )
+from test_speculative import (  # noqa: E402
+    REPORT_FILE as SPECULATIVE_REPORT_FILE,
+    run_speculative_bench,
+)
 
 
 def main() -> None:
@@ -58,6 +62,14 @@ def main() -> None:
         f"fleet: prefix hit rate at {widest} workers — affinity "
         f"{by_policy['affinity']:.0%} vs round-robin {by_policy['round_robin']:.0%} "
         f"-> {FLEET_REPORT_FILE.name}"
+    )
+    speculative = run_speculative_bench()
+    worst = min(speculative["cells"], key=lambda cell: cell["speedup"])
+    identical = all(cell["outputs_identical"] for cell in speculative["cells"])
+    print(
+        f"speculative: worst-cell decode speedup {worst['speedup']}x "
+        f"({worst['profile']} batch {worst['batch_size']}), "
+        f"outputs byte-identical={identical} -> {SPECULATIVE_REPORT_FILE.name}"
     )
     slo = run_slo_bench()
     violated = sum(1 for run in slo["runs"] if run["faulty"] and not run["all_met"])

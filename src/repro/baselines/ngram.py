@@ -39,15 +39,26 @@ class NgramLM:
                         self._tables[n][context][token] += 1
         return self
 
+    @staticmethod
+    def _argmax(counts: Counter) -> int:
+        # Counter.most_common breaks count ties by insertion order, which
+        # depends on corpus iteration order and does not survive pickling
+        # round-trips; break ties by (count desc, token id asc) instead so
+        # every process/replica agrees on the same token.
+        return min(counts.items(), key=lambda item: (-item[1], item[0]))[0]
+
     def next_token(self, context_ids: list[int]) -> int | None:
-        """Most likely next token under stupid backoff; None when untrained."""
+        """Most likely next token under stupid backoff; None when untrained.
+
+        Deterministic: count ties break toward the smallest token id.
+        """
         for n in range(self.order - 1, 0, -1):
             if len(context_ids) >= n:
                 counts = self._tables[n].get(tuple(context_ids[-n:]))
                 if counts:
-                    return counts.most_common(1)[0][0]
+                    return self._argmax(counts)
         if self._unigrams:
-            return self._unigrams.most_common(1)[0][0]
+            return self._argmax(self._unigrams)
         return None
 
     def complete(self, prompt: str, max_new_tokens: int = 96) -> str:

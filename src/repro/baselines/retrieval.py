@@ -43,13 +43,23 @@ class RetrievalBaseline:
     def __init__(self, name: str = "retrieval"):
         self.name = name
         self._entries: list[_Entry] = []
+        # Inverted index: fingerprint token -> entry ids containing it, in
+        # insertion order.  nearest() only scores entries sharing at least
+        # one token with the query; everything else has empty intersection
+        # and (for a non-empty query) a Jaccard of exactly 0.0, so it can
+        # never beat a sharing entry.
+        self._by_token: dict[str, list[int]] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def index(self, prompt: str, completion: str) -> None:
         """Add one pair to the store."""
-        self._entries.append(_Entry(_fingerprint(prompt), completion))
+        fingerprint = _fingerprint(prompt)
+        entry_id = len(self._entries)
+        self._entries.append(_Entry(fingerprint, completion))
+        for token in fingerprint:
+            self._by_token.setdefault(token, []).append(entry_id)
 
     def index_samples(self, samples) -> None:
         """Index FinetuneSamples: prompt = input_text, completion = target."""
@@ -57,7 +67,38 @@ class RetrievalBaseline:
             self.index(sample.input_text, sample.target_text)
 
     def nearest(self, prompt: str) -> tuple[float, str]:
-        """(similarity, completion) of the best match; ("", 0.0) when empty."""
+        """(similarity, completion) of the best match; ("", 0.0) when empty.
+
+        Scores only entries sharing at least one fingerprint token with the
+        query (via the inverted index); for a non-empty query every other
+        entry scores exactly 0.0 and cannot win.  Ties break toward the
+        earliest-indexed entry, identical to :meth:`nearest_scan`.
+        """
+        if not self._entries:
+            return 0.0, ""
+        query = _fingerprint(prompt)
+        if not query:
+            # Empty-fingerprint queries score 1.0 against empty-fingerprint
+            # entries, which the token index cannot see: fall back.
+            return self.nearest_scan(prompt)
+        candidate_ids: set[int] = set()
+        for token in query:
+            candidate_ids.update(self._by_token.get(token, ()))
+        if not candidate_ids:
+            # All scores are 0.0; the scan would keep the first entry.
+            return 0.0, self._entries[0].completion
+        best_score = -1.0
+        best_completion = ""
+        for entry_id in sorted(candidate_ids):
+            entry = self._entries[entry_id]
+            score = jaccard(query, entry.fingerprint)
+            if score > best_score:
+                best_score = score
+                best_completion = entry.completion
+        return best_score, best_completion
+
+    def nearest_scan(self, prompt: str) -> tuple[float, str]:
+        """Reference brute-force scan over every entry (O(entries))."""
         if not self._entries:
             return 0.0, ""
         query = _fingerprint(prompt)

@@ -235,86 +235,123 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     slab-allocation / decode-step faults.  Everything — model weights,
     prompts, fault schedule, clock — derives from ``--seed``, so the JSONL
     written to ``--out`` is byte-identical across runs of the same seed:
-    diff two runs to verify a failure reproduction, or bisect a seed range
-    to hunt for schedules that violate engine invariants.
+    diff two runs (or pass ``--verify`` to do it in one invocation) to
+    verify a failure reproduction, or bisect a seed range to hunt for
+    schedules that violate engine invariants.  ``--speculative-k`` runs
+    the same schedule with draft-then-verify decoding: the drafter is
+    warmed on the model's own greedy continuations before the injector
+    arms, and because drafts are pure functions of the context, faulted
+    steps recompute them identically on retry — the log stays
+    byte-identical across replays with speculation enabled.
     """
     from collections import deque
 
     from repro.engine.batcher import ContinuousBatcher
     from repro.engine.prefix_cache import PrefixCache
     from repro.engine.request import GenerationRequest
+    from repro.engine.speculative import RetrievalSuffixDraft
     from repro.faults import FakeClock, FaultInjector, use
     from repro.nn.kv_arena import KVArena
     from repro.nn.parameter import numpy_rng
-    from repro.nn.sampling import plan_prompt
+    from repro.nn.sampling import generate_greedy, plan_prompt
     from repro.nn.transformer import DecoderLM, TransformerConfig
 
-    rng = SeededRng(args.seed).child("chaos")
-    config = TransformerConfig(vocab_size=32, n_positions=48, dim=16, n_layers=2, n_heads=4)
-    network = DecoderLM(config, numpy_rng(args.seed))
-    fake = FakeClock()
-    injector = FaultInjector(seed=args.seed)
-    injector.on("kv_arena.acquire", probability=args.alloc_fault_rate, max_fires=4)
-    injector.on("engine.decode_step", probability=args.decode_fault_rate, max_fires=4)
-    injector.on(
-        "engine.decode_step", probability=args.slow_step_rate, error=None, delay_s=0.25, max_fires=4
-    )
-
-    with use(fake), injector:
-        arena = KVArena()
-        batcher = ContinuousBatcher(
-            network, max_batch_size=args.max_batch, prefix_cache=PrefixCache(8), arena=arena
+    def run_once() -> tuple[str, int, int]:
+        rng = SeededRng(args.seed).child("chaos")
+        config = TransformerConfig(vocab_size=32, n_positions=48, dim=16, n_layers=2, n_heads=4)
+        network = DecoderLM(config, numpy_rng(args.seed))
+        fake = FakeClock()
+        injector = FaultInjector(seed=args.seed)
+        injector.on("kv_arena.acquire", probability=args.alloc_fault_rate, max_fires=4)
+        injector.on("engine.decode_step", probability=args.decode_fault_rate, max_fires=4)
+        injector.on(
+            "engine.decode_step",
+            probability=args.slow_step_rate,
+            error=None,
+            delay_s=0.25,
+            max_fires=4,
         )
-        requests: list[GenerationRequest] = []
-        for index in range(args.requests):
+
+        # Draw every random decision up front (the rng call order is the
+        # replay contract), so the optional drafter warm-up below cannot
+        # perturb the schedule non-speculative runs produced.
+        plans: list[tuple[list[int], int, float | None]] = []
+        for _ in range(args.requests):
             prompt = [rng.randint(1, config.vocab_size - 1) for _ in range(rng.randint(3, 12))]
             planned, effective = plan_prompt(config.n_positions, prompt, 8)
-            requests.append(
-                GenerationRequest(
-                    request_id=index,
-                    prompt_ids=planned,
-                    max_new_tokens=8,
-                    effective_budget=effective,
-                    deadline_s=rng.uniform(0.3, 2.0) if rng.bernoulli(0.4) else None,
-                )
-            )
-        cancel_at: dict[int, list[GenerationRequest]] = {}
-        for request in requests:
-            if rng.bernoulli(0.2):
-                cancel_at.setdefault(rng.randint(1, 15), []).append(request)
-        arrivals = deque(requests)
-        step_index = 0
-        while True:
-            for _ in range(2):  # staggered arrival: two submissions per step
-                if arrivals:
-                    batcher.submit(arrivals.popleft())
-            for request in cancel_at.get(step_index, ()):
-                request.cancel()
-            more = batcher.step()
-            fake.advance(0.05)
-            step_index += 1
-            if not more and not arrivals:
-                break
-            if step_index > 10_000:  # max_fires caps make schedules finite; belt and braces
-                raise RuntimeError("chaos run failed to terminate")
-        batcher.prefix_cache.clear()
-        leaked = arena.stats()["bytes_in_use"]
-        events = [dict(event, kind="fault") for event in injector.events()]
+            deadline = rng.uniform(0.3, 2.0) if rng.bernoulli(0.4) else None
+            plans.append((planned, effective, deadline))
+        cancel_steps = [
+            rng.randint(1, 15) if rng.bernoulli(0.2) else None for _ in range(args.requests)
+        ]
 
-    for request in requests:
-        events.append(
-            {
-                "kind": "request",
-                "id": request.request_id,
-                "outcome": request.outcome,
-                "stop_reason": request.stop_reason,
-                "generated": len(request.generated),
-                "prefix_reused": request.prefix_reused,
-            }
-        )
-    stats = batcher.stats()
-    events.append(
-        {
+        draft = None
+        if args.speculative_k:
+            # Warm the drafter on the model's own greedy continuations —
+            # outside the injector, so warm-up forwards never consume the
+            # fault schedule.  Deterministic: numpy only, no rng.
+            draft = RetrievalSuffixDraft()
+            for planned, _, _ in plans:
+                result = generate_greedy(network, list(planned), 8)
+                draft.observe(list(planned) + list(result.token_ids))
+
+        with use(fake), injector:
+            arena = KVArena()
+            batcher = ContinuousBatcher(
+                network,
+                max_batch_size=args.max_batch,
+                prefix_cache=PrefixCache(8),
+                arena=arena,
+                speculative_k=args.speculative_k,
+                draft_model=draft,
+            )
+            requests: list[GenerationRequest] = []
+            for index, (planned, effective, deadline) in enumerate(plans):
+                requests.append(
+                    GenerationRequest(
+                        request_id=index,
+                        prompt_ids=planned,
+                        max_new_tokens=8,
+                        effective_budget=effective,
+                        deadline_s=deadline,
+                    )
+                )
+            cancel_at: dict[int, list[GenerationRequest]] = {}
+            for request, cancel_step in zip(requests, cancel_steps):
+                if cancel_step is not None:
+                    cancel_at.setdefault(cancel_step, []).append(request)
+            arrivals = deque(requests)
+            step_index = 0
+            while True:
+                for _ in range(2):  # staggered arrival: two submissions per step
+                    if arrivals:
+                        batcher.submit(arrivals.popleft())
+                for request in cancel_at.get(step_index, ()):
+                    request.cancel()
+                more = batcher.step()
+                fake.advance(0.05)
+                step_index += 1
+                if not more and not arrivals:
+                    break
+                if step_index > 10_000:  # max_fires caps make schedules finite; belt and braces
+                    raise RuntimeError("chaos run failed to terminate")
+            batcher.prefix_cache.clear()
+            leaked = arena.stats()["bytes_in_use"]
+            events = [dict(event, kind="fault") for event in injector.events()]
+
+        for request in requests:
+            events.append(
+                {
+                    "kind": "request",
+                    "id": request.request_id,
+                    "outcome": request.outcome,
+                    "stop_reason": request.stop_reason,
+                    "generated": len(request.generated),
+                    "prefix_reused": request.prefix_reused,
+                }
+            )
+        stats = batcher.stats()
+        summary = {
             "kind": "summary",
             "seed": args.seed,
             "steps": step_index,
@@ -326,14 +363,31 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             "fault_events": len(injector.events()),
             "arena_bytes_in_use": leaked,
         }
-    )
-    body = "".join(json.dumps(event, sort_keys=True) + "\n" for event in events)
+        if args.speculative_k:
+            speculative = stats["speculative"]
+            summary["speculative_k"] = speculative["k"]
+            summary["speculative_steps"] = speculative["steps"]
+            summary["draft_proposed"] = speculative["proposed_tokens"]
+            summary["draft_accepted"] = speculative["accepted_tokens"]
+        events.append(summary)
+        body = "".join(json.dumps(event, sort_keys=True) + "\n" for event in events)
+        return body, leaked, len(events)
+
+    body, leaked, event_count = run_once()
     if args.out:
         Path(args.out).write_text(body, encoding="utf-8")
-        print(f"{len(events)} events written to {args.out}", file=sys.stderr)
+        print(f"{event_count} events written to {args.out}", file=sys.stderr)
     else:
         sys.stdout.write(body)
-    return 0 if leaked == 0 else 1
+    status = 0 if leaked == 0 else 1
+    if args.verify:
+        replay_body, _, _ = run_once()
+        if replay_body == body:
+            print("replay: byte-identical", file=sys.stderr)
+        else:
+            print("replay: DIVERGED", file=sys.stderr)
+            status = 1
+    return status
 
 
 def _cmd_fleet_serve(args: argparse.Namespace) -> int:
@@ -561,6 +615,14 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--slow-step-rate", type=float, default=0.1, dest="slow_step_rate",
         help="per-step probability of a 250ms (fake-clock) slow decode step",
+    )
+    chaos.add_argument(
+        "--speculative-k", type=int, default=0, dest="speculative_k",
+        help="draft-then-verify with k drafted tokens per step (0 disables)",
+    )
+    chaos.add_argument(
+        "--verify", action="store_true",
+        help="re-run the schedule and fail unless the replay is byte-identical",
     )
     chaos.set_defaults(handler=_cmd_chaos)
 

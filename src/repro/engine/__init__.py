@@ -13,6 +13,8 @@ Layers (bottom-up):
   :func:`generate_greedy_batch` for one-shot static batches;
 * :mod:`repro.engine.prefix_cache` — longest-common-prefix K/V reuse;
 * :mod:`repro.engine.request` — request lifecycle and timing;
+* :mod:`repro.engine.speculative` — draft models for draft-then-verify
+  speculative decoding (token-identical to greedy);
 * :mod:`repro.engine.batcher` — the continuous-admission scheduler;
 * :mod:`repro.engine.engine` — the :class:`InferenceEngine` facade.
 """
@@ -22,6 +24,13 @@ from repro.engine.batcher import ContinuousBatcher, advance_request
 from repro.engine.engine import InferenceEngine
 from repro.engine.prefix_cache import PrefixCache
 from repro.engine.request import ABNORMAL_STOP_REASONS, GenerationRequest, RequestState
+from repro.engine.speculative import (
+    DRAFT_MODEL_KINDS,
+    DraftModel,
+    NgramDraft,
+    RetrievalSuffixDraft,
+    build_draft_model,
+)
 
 __all__ = [
     "ABNORMAL_STOP_REASONS",
@@ -35,4 +44,9 @@ __all__ = [
     "PrefixCache",
     "GenerationRequest",
     "RequestState",
+    "DRAFT_MODEL_KINDS",
+    "DraftModel",
+    "NgramDraft",
+    "RetrievalSuffixDraft",
+    "build_draft_model",
 ]

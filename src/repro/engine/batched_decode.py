@@ -48,6 +48,10 @@ class BatchRow:
     payload: object  # caller-owned (the engine stores its GenerationRequest here)
     real_length: int  # K/V entries this row owns in the shared caches
     pending: int  # last sampled token; its K/V joins the cache on the next step
+    # Per-request draft state: the token context (prompt + generated so
+    # far, pending included) that speculative callers hand to the draft
+    # model.  None when the batch runs without speculation.
+    context: list[int] | None = None
 
 
 def prefill_single(
@@ -228,6 +232,87 @@ class DecodingBatch:
         for row in self.rows:
             row.real_length += 1
         return [int(row.argmax()) for row in logits[:, -1, :]]
+
+    def speculative_step(self, drafts: list[list[int]]) -> list[list[int]]:
+        """One draft-then-verify decode step; returns emitted tokens per row.
+
+        ``drafts[b]`` proposes row *b*'s continuation after its pending
+        token; every row must propose the same ``k >= 1`` tokens (callers
+        pad).  The step feeds ``[pending, d_1 .. d_k]`` through a single
+        batched forward — ``k + 1`` new cache columns per row — then
+        accepts the longest prefix where each draft token equals the
+        greedy argmax of the position before it.  Emitted tokens are
+        ``greedy[:accept]``: the exact tokens plain greedy decoding would
+        have produced one step at a time, which is why speculation is
+        byte-identical to greedy regardless of what the draft proposed
+        (a wrong draft just caps ``accept`` at the first disagreement).
+        The caches keep exactly ``accept`` of the fed columns per row —
+        the pending token plus the accepted drafts; the final emitted
+        token has no K/V yet, it becomes the next step's pending — and
+        the rejected columns are rolled back: a zero-copy ``truncate``
+        when every row accepted the same count, a one-copy
+        ``realign_rows`` re-pack when accept lengths differ per row.
+        """
+        if not self.rows:
+            raise EngineError("speculative step on an empty batch")
+        if len(drafts) != len(self.rows):
+            raise EngineError(f"{len(drafts)} drafts for a batch of {len(self.rows)} rows")
+        k = len(drafts[0])
+        if k < 1 or any(len(draft) != k for draft in drafts):
+            raise EngineError("every row must draft the same k >= 1 tokens")
+        window = self.model.config.n_positions
+        max_len = max(row.real_length for row in self.rows)
+        if max_len + k >= window:
+            raise EngineError(
+                f"draft of {k} tokens past length {max_len} exceeds window {window}"
+            )
+        batch = len(self.rows)
+        width = k + 1
+        old_total = self.total_columns
+        tokens = np.empty((batch, width), dtype=np.int64)
+        for b, row in enumerate(self.rows):
+            tokens[b, 0] = row.pending
+            tokens[b, 1:] = drafts[b]
+        positions = self._positions + np.arange(width, dtype=np.int64)[None, :]
+        total = old_total + width
+        mask = self._mask[:, :total] if self._mask is not None else None
+        # Shielded like step(): the forward appends k+1 K/V columns per
+        # layer, and the rollback below must also land on every layer.
+        with shield():
+            logits = self.model.forward_incremental(tokens, self.caches, positions, mask)
+        greedy = logits.argmax(axis=-1)  # (B, k+1) — greedy token at every fed position
+        emitted: list[list[int]] = []
+        accepts: list[int] = []
+        for b, draft in enumerate(drafts):
+            accept = 1
+            while accept <= k and draft[accept - 1] == greedy[b, accept - 1]:
+                accept += 1
+            accepts.append(accept)
+            emitted.append([int(token) for token in greedy[b, :accept]])
+        if min(accepts) == max(accepts):
+            # Uniform acceptance: pad widths stay invariant, so rollback
+            # is a zero-copy forget of the rejected right-most columns.
+            drop = width - accepts[0]
+            if drop:
+                with shield():
+                    for cache in self.caches:
+                        cache.truncate(total - drop)
+            self._positions += accepts[0]
+        else:
+            # Mixed acceptance: re-pack every row right-aligned at the new
+            # max length (one copy per mixed step, never per token).
+            spans = [
+                (old_total - row.real_length, row.real_length + accept)
+                for row, accept in zip(self.rows, accepts)
+            ]
+            with shield():
+                for cache in self.caches:
+                    cache.realign_rows(spans)
+        for row, accept in zip(self.rows, accepts):
+            row.real_length += accept
+        if min(accepts) != max(accepts):
+            self._refresh_step_scratch()
+        return emitted
 
     def retire(self, indices: list[int]) -> list[BatchRow]:
         """Drop finished rows and trim columns that became all-padding."""

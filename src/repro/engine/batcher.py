@@ -41,7 +41,7 @@ from __future__ import annotations
 import threading
 from collections import deque
 
-from repro.engine.batched_decode import DecodingBatch, prefill_single
+from repro.engine.batched_decode import PAD_TOKEN_ID, DecodingBatch, prefill_single
 from repro.engine.prefix_cache import PrefixCache
 from repro.engine.request import GenerationRequest, RequestState
 from repro.errors import EngineError, InjectedFault
@@ -84,11 +84,19 @@ class ContinuousBatcher:
         prefix_cache: PrefixCache | None = None,
         obs: Observability | None = None,
         arena: KVArena | None = None,
+        speculative_k: int = 0,
+        draft_model=None,
     ):
         if max_batch_size < 1:
             raise EngineError(f"max_batch_size must be >= 1, got {max_batch_size}")
         self.model = model
         self.arena = arena
+        if speculative_k < 0:
+            raise EngineError(f"speculative_k must be >= 0, got {speculative_k}")
+        if speculative_k and draft_model is None:
+            raise EngineError("speculative_k > 0 requires a draft_model")
+        self.speculative_k = speculative_k
+        self.draft_model = draft_model
         self.max_batch_size = max_batch_size
         self.max_batch_tokens = (
             max_batch_tokens
@@ -118,6 +126,12 @@ class ContinuousBatcher:
         self.prefix_tokens_reused = 0
         self.occupancy_ticks = 0  # sum over steps of active rows; occupancy = ticks/steps
         self.peak_batch_size = 0
+        # -- speculative accounting --
+        self.spec_steps = 0  # decode steps that ran draft-then-verify
+        self.draft_proposed = 0  # draft positions verified (k per row per spec step)
+        self.draft_accepted = 0  # of those, accepted (matched the greedy chain)
+        self.spec_accept_ticks = 0  # sum of per-row acceptance lengths (1..k+1)
+        self.spec_row_ticks = 0  # row-steps verified; mean accept = accept/row ticks
         # -- observability --
         self.obs = obs if obs is not None else Observability()
         metrics = self.obs.metrics
@@ -138,6 +152,8 @@ class ContinuousBatcher:
         self._c_deadline = metrics.counter("engine.requests_deadline_exceeded")
         self._c_shed = metrics.counter("engine.requests_shed")
         self._c_decode_faults = metrics.counter("engine.decode_faults")
+        if self.speculative_k:
+            self.configure_speculative(draft_model, speculative_k)
 
     # -- introspection -------------------------------------------------------
 
@@ -273,9 +289,70 @@ class ContinuousBatcher:
                 cache.release()  # prefix-cache claims, if any, keep the slabs alive
             return
         request.begin_decode()
-        self.batch.admit(caches, pending=first_token, payload=request)
+        row = self.batch.admit(caches, pending=first_token, payload=request)
+        if self.speculative_k:
+            # Per-request draft state: the context the draft model sees —
+            # prompt plus everything generated, pending token included.
+            row.context = list(request.prompt_ids) + list(request.generated)
         with self.stats_lock:
             self.peak_batch_size = max(self.peak_batch_size, self.active_size)
+
+    # -- speculation ---------------------------------------------------------
+
+    def configure_speculative(self, draft_model, speculative_k: int) -> None:
+        """Enable draft-then-verify decoding after construction.
+
+        Registers the speculative instruments (get-or-create, so enabling
+        twice is harmless) and seeds draft context for any rows already
+        decoding, so mid-flight requests start drafting on the next step.
+        """
+        if speculative_k < 1:
+            raise EngineError(f"speculative_k must be >= 1, got {speculative_k}")
+        if draft_model is None:
+            raise EngineError("configure_speculative requires a draft_model")
+        self.speculative_k = speculative_k
+        self.draft_model = draft_model
+        metrics = self.obs.metrics
+        self._c_spec_steps = metrics.counter("engine.speculative_steps")
+        self._c_draft_proposed = metrics.counter("engine.draft_tokens_proposed")
+        self._c_draft_accepted = metrics.counter("engine.draft_tokens_accepted")
+        self._h_accept_length = metrics.histogram(
+            "engine.speculative_accept_length",
+            linear_buckets(1, 1, speculative_k + 1),
+        )
+        for row in self.batch.rows:
+            if row.context is None:
+                request: GenerationRequest = row.payload
+                row.context = list(request.prompt_ids) + list(request.generated)
+
+    def _plan_drafts(self) -> list[list[int]] | None:
+        """Propose one same-length draft per active row, or None to step plainly.
+
+        The verified width is capped three ways: the configured
+        ``speculative_k``, the position window (the last fed draft must
+        sit below ``n_positions``), and the largest remaining token
+        budget in the batch (the verify forward emits up to ``k + 1``
+        tokens; drafting past every row's budget is wasted width).  Rows
+        whose drafter proposes fewer than ``k`` tokens are padded with
+        ``PAD_TOKEN_ID`` — a pad is just a draft that only gets accepted
+        if it happens to *be* the greedy token, so identity still holds.
+        """
+        rows = self.batch.rows
+        window = self.model.config.n_positions
+        k = min(
+            self.speculative_k,
+            window - 1 - max(row.real_length for row in rows),
+            max(row.payload.max_new_tokens - len(row.payload.generated) for row in rows) - 1,
+        )
+        if k < 1:
+            return None
+        proposals = [list(self.draft_model.propose(row.context, k))[:k] for row in rows]
+        k = min(k, max(len(proposal) for proposal in proposals))
+        if k < 1:
+            return None  # no drafter had an opinion; a plain step is cheaper
+        return [
+            proposal[:k] + [PAD_TOKEN_ID] * (k - len(proposal[:k])) for proposal in proposals
+        ]
 
     def step(self) -> bool:
         """Reap, admit what fits, then run one batched decode step.
@@ -294,37 +371,57 @@ class ContinuousBatcher:
             return bool(self.queue)
         step_started = clock.now()
         try:
-            # The seam fires *before* the model forward: a raising fault
-            # skips the whole step, leaving per-layer caches consistent; a
-            # delay fault slows the step on the shared clock.
+            # The seam fires *before* the drafts and the model forward: a
+            # raising fault skips the whole step, leaving per-layer caches
+            # consistent, and the retry recomputes identical drafts from
+            # the identical contexts (draft models are pure), so chaos
+            # replay stays byte-identical with speculation enabled.
             fire("engine.decode_step", batch=len(self.batch.rows))
-            next_tokens = self.batch.step()
+            drafts = self._plan_drafts() if self.speculative_k else None
+            if drafts is not None:
+                emitted = self.batch.speculative_step(drafts)
+            else:
+                emitted = [[token] for token in self.batch.step()]
         except InjectedFault:
             with self.stats_lock:
                 self.decode_faults += 1
             self._c_decode_faults.inc()
             return True
         step_elapsed = clock.now() - step_started
+        total_emitted = sum(len(tokens) for tokens in emitted)
         self._h_decode_step.observe(step_elapsed)
-        self._h_per_token.observe(step_elapsed / len(next_tokens))
-        self._h_occupancy.observe(len(next_tokens))
-        self._c_decode_tokens.inc(len(next_tokens))
+        self._h_per_token.observe(step_elapsed / total_emitted)
+        self._h_occupancy.observe(len(emitted))
+        self._c_decode_tokens.inc(total_emitted)
+        if drafts is not None:
+            k = len(drafts[0])
+            self._c_spec_steps.inc()
+            self._c_draft_proposed.inc(k * len(emitted))
+            self._c_draft_accepted.inc(total_emitted - len(emitted))
+            for tokens in emitted:
+                self._h_accept_length.observe(len(tokens))
         tracer = self.obs.tracer
         if tracer.enabled:
             tracer.record(
                 "engine.decode_step",
                 step_started,
                 step_started + step_elapsed,
-                batch=len(next_tokens),
+                batch=len(emitted),
             )
         window = self.model.config.n_positions
         finished: list[int] = []
-        for position, next_id in enumerate(next_tokens):
+        for position, tokens in enumerate(emitted):
             row = self.batch.rows[position]
             request: GenerationRequest = row.payload
-            reason = advance_request(request, next_id, window)
+            reason = None
+            for next_id in tokens:
+                reason = advance_request(request, next_id, window)
+                if reason is not None:
+                    break
             if reason is None:
-                row.pending = next_id
+                row.pending = tokens[-1]
+                if row.context is not None:
+                    row.context.extend(tokens)
             else:
                 request.finish(reason)
                 finished.append(position)
@@ -333,9 +430,15 @@ class ContinuousBatcher:
         # completions it hasn't seen yet (or vice versa).
         with self.stats_lock:
             self.decode_steps += 1
-            self.occupancy_ticks += len(next_tokens)
-            self.decode_tokens += len(next_tokens)
+            self.occupancy_ticks += len(emitted)
+            self.decode_tokens += total_emitted
             self.completed += len(finished)
+            if drafts is not None:
+                self.spec_steps += 1
+                self.draft_proposed += len(drafts[0]) * len(emitted)
+                self.draft_accepted += total_emitted - len(emitted)
+                self.spec_accept_ticks += total_emitted
+                self.spec_row_ticks += len(emitted)
         if finished:
             self._c_retired.inc(len(finished))
         self.batch.retire(finished)
@@ -354,7 +457,7 @@ class ContinuousBatcher:
         get a coherent read mid-decode without blocking behind it.
         """
         with self.stats_lock:
-            return {
+            snapshot = {
                 "queue_depth": self.queue_depth,
                 "active_requests": self.active_size,
                 "completed_requests": self.completed,
@@ -371,3 +474,22 @@ class ContinuousBatcher:
                 "max_batch_size": self.max_batch_size,
                 "max_batch_tokens": self.max_batch_tokens,
             }
+            if self.speculative_k:
+                snapshot["speculative"] = {
+                    "k": self.speculative_k,
+                    "draft_model": getattr(
+                        self.draft_model, "name", type(self.draft_model).__name__
+                    ),
+                    "steps": self.spec_steps,
+                    "proposed_tokens": self.draft_proposed,
+                    "accepted_tokens": self.draft_accepted,
+                    "acceptance_rate": (
+                        self.draft_accepted / self.draft_proposed if self.draft_proposed else 0.0
+                    ),
+                    "mean_accept_length": (
+                        self.spec_accept_ticks / self.spec_row_ticks
+                        if self.spec_row_ticks
+                        else 0.0
+                    ),
+                }
+            return snapshot

@@ -47,6 +47,8 @@ class InferenceEngine:
         obs: Observability | None = None,
         kv_block_size: int = DEFAULT_BLOCK_SIZE,
         kv_dtype: str = "float32",
+        speculative_k: int = 0,
+        draft_model=None,
     ):
         self.network = network
         self.tokenizer = tokenizer
@@ -67,6 +69,8 @@ class InferenceEngine:
             prefix_cache=self.prefix_cache,
             obs=self.obs,
             arena=self.kv_arena,
+            speculative_k=speculative_k,
+            draft_model=draft_model,
         )
         self._lock = threading.Lock()
         self._next_request_id = 0
@@ -76,6 +80,10 @@ class InferenceEngine:
         self._h_decode = metrics.histogram("engine.decode_s")
         self._c_requests = metrics.counter("engine.requests")
         self._c_generated = metrics.counter("engine.generated_tokens")
+
+    def enable_speculative(self, draft_model, speculative_k: int) -> None:
+        """Turn on draft-then-verify decoding (see :mod:`repro.engine.speculative`)."""
+        self.batcher.configure_speculative(draft_model, speculative_k)
 
     def attach_tracer(self, tracer: Tracer) -> None:
         """Route request-lifecycle and decode-step spans to ``tracer``."""

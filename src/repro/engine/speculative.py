@@ -1,0 +1,145 @@
+"""Draft models for speculative decoding.
+
+The paper's core observation — Ansible-YAML is highly templated — is the
+ideal regime for speculative decoding: a cheap draft model predicts the
+template and the transformer only has to *verify* it.  A draft model is
+anything with::
+
+    propose(context_ids, k) -> list[int]
+
+token-level, pure, and deterministic: given the same context it must
+return the same proposal (it may return fewer than ``k`` tokens, or
+none).  Purity is what keeps `repro chaos` byte-identical with
+speculation enabled — an injected decode fault discards the whole step
+and the retry recomputes the identical drafts from the identical
+context, so nothing about a draft needs checkpointing or shielding.
+
+Correctness never depends on the draft: the verify step
+(:meth:`~repro.engine.batched_decode.DecodingBatch.speculative_step`)
+only accepts draft tokens that match the greedy argmax chain, so a bad
+drafter costs throughput, not output.  Two drafters ship, both promoted
+from ``repro.baselines``:
+
+* :class:`NgramDraft` — iterates :meth:`NgramLM.next_token` (stupid
+  backoff over BPE tokens) k times.  Strong on boilerplate the corpus
+  repeats verbatim.
+* :class:`RetrievalSuffixDraft` — a token-level suffix index over
+  previously seen sequences: match the longest recent suffix of the
+  context, propose the continuation that followed it last time.  Strong
+  on the keystroke/shared-prefix serving pattern, where the engine
+  re-decodes text it has produced before.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.baselines.ngram import NgramLM
+from repro.errors import EngineError
+
+
+@runtime_checkable
+class DraftModel(Protocol):
+    """Token-level draft proposal protocol for speculative decoding."""
+
+    def propose(self, context_ids: list[int], k: int) -> list[int]:
+        """Up to ``k`` proposed continuation tokens for ``context_ids``.
+
+        Must be pure and deterministic in ``context_ids`` (chaos replay
+        recomputes drafts on fault retry).  May return fewer than ``k``
+        tokens — including none — when the model has no opinion.
+        """
+        ...
+
+
+class NgramDraft:
+    """Adapter promoting :class:`~repro.baselines.ngram.NgramLM` to a drafter."""
+
+    def __init__(self, lm: NgramLM, name: str = "ngram"):
+        self.name = name
+        self.lm = lm
+
+    def propose(self, context_ids: list[int], k: int) -> list[int]:
+        proposed: list[int] = []
+        context = list(context_ids)
+        for _ in range(k):
+            token = self.lm.next_token(context)
+            if token is None:
+                break
+            proposed.append(token)
+            context.append(token)
+        return proposed
+
+
+class RetrievalSuffixDraft:
+    """Longest-suffix-match drafter over previously observed token sequences.
+
+    ``observe()`` indexes a sequence's every m-token window (for each
+    ``m`` in ``[min_match, match_length]``) mapping it to the position
+    that followed; ``propose()`` looks up the longest matching suffix of
+    the context and returns the next ``k`` tokens of the remembered
+    continuation.  First observation wins on key collisions, so the
+    index — and therefore every proposal — is deterministic in the
+    observation order.
+    """
+
+    def __init__(self, match_length: int = 4, min_match: int = 2, name: str = "retrieval"):
+        if not 1 <= min_match <= match_length:
+            raise EngineError(
+                f"need 1 <= min_match <= match_length, got {min_match}..{match_length}"
+            )
+        self.name = name
+        self.match_length = match_length
+        self.min_match = min_match
+        self._sequences: list[list[int]] = []
+        # Per match width m: suffix tuple -> (sequence id, continuation start).
+        self._tables: dict[int, dict[tuple[int, ...], tuple[int, int]]] = {
+            m: {} for m in range(min_match, match_length + 1)
+        }
+
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    def observe(self, ids: list[int]) -> None:
+        """Index one token sequence (e.g. prompt + completed generation)."""
+        sequence = [int(token) for token in ids]
+        sequence_id = len(self._sequences)
+        self._sequences.append(sequence)
+        for m, table in self._tables.items():
+            for position in range(m, len(sequence)):
+                key = tuple(sequence[position - m : position])
+                if key not in table:  # first observation wins: deterministic
+                    table[key] = (sequence_id, position)
+
+    def propose(self, context_ids: list[int], k: int) -> list[int]:
+        context = [int(token) for token in context_ids]
+        for m in range(self.match_length, self.min_match - 1, -1):
+            if len(context) < m:
+                continue
+            hit = self._tables[m].get(tuple(context[-m:]))
+            if hit is not None:
+                sequence_id, position = hit
+                return self._sequences[sequence_id][position : position + k]
+        return []
+
+
+#: Draft model kinds a :class:`~repro.fleet.worker.WorkerSpec` can name.
+DRAFT_MODEL_KINDS = ("ngram", "retrieval")
+
+
+def build_draft_model(kind: str, tokenizer, texts) -> DraftModel:
+    """Construct a named drafter from a tokenizer and a training corpus.
+
+    The picklable serving configuration (``WorkerSpec.draft_model``)
+    names the drafter by string; every replica rebuilds it from the same
+    fixed corpus, so all replicas draft identically.
+    """
+    if kind == "ngram":
+        return NgramDraft(NgramLM(tokenizer, order=4).fit(list(texts)))
+    if kind == "retrieval":
+        draft = RetrievalSuffixDraft()
+        for text in texts:
+            draft.observe(tokenizer.encode(text, allow_special=False))
+        return draft
+    known = ", ".join(DRAFT_MODEL_KINDS)
+    raise EngineError(f"unknown draft model {kind!r} (known: {known})")

@@ -15,7 +15,11 @@ Seams instrumented across the stack:
                        reshapes run under :func:`shield` — see below)
 ``engine.decode_step`` one batched decode step in
                        :class:`~repro.engine.batcher.ContinuousBatcher`
-                       (raise = failed step, retried; delay = slow step)
+                       (raise = failed step, retried; delay = slow step;
+                       fires before draft proposal too, and because draft
+                       models are pure the retried step recomputes the
+                       identical drafts — speculative chaos runs replay
+                       byte-identically without shielding the drafter)
 ``tokenizer.encode``   :meth:`~repro.tokenizer.bpe.BpeTokenizer.encode`
 ``checkpoint.read``    :func:`~repro.model.checkpoints.load_checkpoint`
 ``fleet.spawn``        replica spawn in :class:`~repro.fleet.router.FleetRouter`

@@ -96,6 +96,12 @@ class WorkerSpec:
     #: for the fleet collector; off by default (tracing is opt-in).
     tracing: bool = False
     tracer_capacity: int = 4096
+    #: Draft-then-verify speculative decoding: ``speculative_k`` tokens
+    #: drafted per decode step by the ``draft_model`` ("ngram" or
+    #: "retrieval", built from the fixed corpus so every replica drafts
+    #: identically).  Off by default; output is byte-identical either way.
+    speculative_k: int = 0
+    draft_model: str | None = None
 
 
 def build_service(spec: WorkerSpec):
@@ -130,6 +136,13 @@ def build_service(spec: WorkerSpec):
             tokenizer,
             max_batch_size=spec.max_batch_size,
             prefix_cache_capacity=spec.prefix_cache_capacity,
+        )
+    if spec.speculative_k:
+        from repro.engine.speculative import build_draft_model
+
+        kind = spec.draft_model if spec.draft_model is not None else "retrieval"
+        engine.enable_speculative(
+            build_draft_model(kind, engine.tokenizer, SPEC_TRAIN_TEXTS), spec.speculative_k
         )
     service = PredictionService(
         engine,

@@ -531,6 +531,77 @@ class KVCache:
         self._length = new_length
         self._writer = True
 
+    # -- speculative rollback (engine) ---------------------------------------
+
+    def truncate(self, length: int) -> None:
+        """Roll the live window back to ``length`` columns — zero copies.
+
+        The speculative-decode rollback: verified-and-rejected columns are
+        simply forgotten (the next append overwrites them).  COW safety:
+        truncating *below* the slab's frozen mark while sharers hold claims
+        on those columns relinquishes the writer seat, so a later append —
+        which would otherwise write over frozen, shared columns — takes the
+        copy-on-write path instead of corrupting the sharers' view.  With
+        an exclusive claim the frozen mark is stale (every sharer already
+        released) and is clamped so in-place appends resume.
+        """
+        if length < 0 or length > self._length:
+            raise ShapeError(f"cannot truncate length-{self._length} cache to {length}")
+        if length == self._length:
+            return
+        self._length = length
+        slab = self._slab
+        if slab is None:
+            return
+        if slab.refcount == 1:
+            if slab.frozen > length:
+                slab.frozen = length
+        elif self._writer and slab.frozen > length:
+            slab.writers -= 1
+            self._writer = False
+
+    def realign_rows(self, spans: list[tuple[int, int]]) -> None:
+        """Re-pack each row's span right-aligned at ``max(count)`` columns.
+
+        ``spans[b] = (start, count)`` names row *b*'s live columns in the
+        current layout.  Restores the engine's left-padded invariant after
+        a speculative step accepted different lengths per row: every row
+        keeps its own accepted columns, padding is zeroed, and the copy
+        lands in a fresh slab (COW-safe by construction — sharers of the
+        old slab are untouched).  One O(batch x length) copy per
+        mixed-acceptance step, never per token.
+        """
+        slab = self._slab
+        if slab is None:
+            raise ShapeError("realign_rows on an empty cache")
+        batch = slab.k.shape[0]
+        if len(spans) != batch:
+            raise ShapeError(f"realign_rows got {len(spans)} spans for batch {batch}")
+        heads, head_dim = slab.k.shape[1], slab.k.shape[3]
+        new_length = max(count for _, count in spans)
+        arena = self._arena
+        grown = arena.acquire(batch, heads, head_dim, new_length)
+        copied_columns = 0
+        for row, (start, count) in enumerate(spans):
+            if start < 0 or count < 1 or start + count > self._length:
+                raise ShapeError(
+                    f"span ({start}, {count}) outside length-{self._length} cache"
+                )
+            pad = new_length - count
+            if pad:
+                grown.k[row, :, :pad] = 0
+                grown.v[row, :, :pad] = 0
+            grown.k[row, :, pad:new_length] = slab.k[row, :, start : start + count]
+            grown.v[row, :, pad:new_length] = slab.v[row, :, start : start + count]
+            copied_columns += count
+        arena.bytes_copied += 2 * copied_columns * heads * head_dim * grown.k.itemsize
+        if self._writer:
+            slab.writers -= 1
+        arena.release(slab)
+        self._slab = grown
+        self._length = new_length
+        self._writer = True
+
     def release(self) -> None:
         """Return the storage claim to the arena; the cache becomes empty."""
         slab = self._slab
@@ -574,3 +645,11 @@ class DenseKVCache:
         # The concatenate read and wrote every accumulated element.
         self.last_append_moved_bytes = 2 * (self.keys.nbytes + self.values.nbytes)
         return self.keys, self.values
+
+    def truncate(self, length: int) -> None:
+        """Reference rollback: slice the accumulated arrays."""
+        if length < 0 or length > self.length:
+            raise ShapeError(f"cannot truncate length-{self.length} cache to {length}")
+        if self.keys is not None:
+            self.keys = self.keys[:, :, :length]
+            self.values = self.values[:, :, :length]

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import random
+from collections import Counter
+
 import pytest
 
 from repro.baselines.codex_sim import CodexSimulator, RECALL_THRESHOLD
@@ -127,3 +130,76 @@ class TestCodexSimulator:
         codex = CodexSimulator(shared_tokenizer)
         assert codex.size_label == "175B"
         assert codex.context_window_label == 2048
+
+
+class TestNgramTieBreaking:
+    """Regression: Counter.most_common broke count ties by insertion order."""
+
+    def test_context_ties_break_to_smallest_token_id(self, shared_tokenizer):
+        lm = NgramLM(shared_tokenizer, order=2)
+        # Insert the higher token id first: most_common(1) would return it.
+        lm._tables[1][(7,)] = Counter({9: 3, 4: 3, 11: 1})
+        assert lm.next_token([7]) == 4
+
+    def test_unigram_ties_break_to_smallest_token_id(self, shared_tokenizer):
+        lm = NgramLM(shared_tokenizer, order=2)
+        lm._unigrams = Counter({12: 5, 3: 5, 8: 2})
+        assert lm.next_token([99]) == 3
+
+    def test_insertion_order_is_irrelevant(self, shared_tokenizer):
+        forward = NgramLM(shared_tokenizer, order=2)
+        forward._tables[1][(1,)] = Counter({2: 4, 6: 4})
+        reversed_lm = NgramLM(shared_tokenizer, order=2)
+        reversed_lm._tables[1][(1,)] = Counter({6: 4, 2: 4})
+        assert forward.next_token([1]) == reversed_lm.next_token([1]) == 2
+
+    def test_higher_count_still_wins(self, shared_tokenizer):
+        lm = NgramLM(shared_tokenizer, order=2)
+        lm._tables[1][(5,)] = Counter({2: 1, 30: 6})
+        assert lm.next_token([5]) == 30
+
+
+class TestRetrievalInvertedIndex:
+    """The token->entry index must reproduce the brute-force scan exactly."""
+
+    @staticmethod
+    def _populated(seed: int = 0) -> RetrievalBaseline:
+        rng = random.Random(seed)
+        words = ["nginx", "redis", "install", "service", "copy", "state", "name", "apt"]
+        baseline = RetrievalBaseline()
+        for index in range(40):
+            prompt = " ".join(rng.choice(words) for _ in range(rng.randint(1, 6)))
+            baseline.index(f"- name: {prompt}\n", f"completion-{index}")
+        baseline.index("\n", "empty-fingerprint")  # no word tokens at all
+        return baseline
+
+    def test_matches_brute_force_on_random_queries(self):
+        baseline = self._populated()
+        rng = random.Random(1)
+        words = ["nginx", "redis", "install", "service", "copy", "unseen", "zzz"]
+        for _ in range(60):
+            query = " ".join(rng.choice(words) for _ in range(rng.randint(1, 5)))
+            assert baseline.nearest(query) == baseline.nearest_scan(query)
+
+    def test_empty_query_falls_back_to_scan(self):
+        baseline = self._populated()
+        # "\n###\n" has no [A-Za-z0-9_] tokens: empty fingerprint, which
+        # scores 1.0 against the empty-fingerprint entry.
+        assert baseline.nearest("\n###\n") == baseline.nearest_scan("\n###\n")
+        assert baseline.nearest("\n###\n")[0] == 1.0
+
+    def test_no_candidate_overlap_returns_first_entry(self):
+        baseline = RetrievalBaseline()
+        baseline.index("- name: install nginx\n", "first")
+        baseline.index("- name: copy config\n", "second")
+        assert baseline.nearest("qqq zzz vvv") == (0.0, "first")
+        assert baseline.nearest("qqq zzz vvv") == baseline.nearest_scan("qqq zzz vvv")
+
+    def test_tie_breaks_to_earliest_entry(self):
+        baseline = RetrievalBaseline()
+        baseline.index("alpha beta", "early")
+        baseline.index("alpha beta", "late")  # identical fingerprint
+        assert baseline.nearest("alpha beta") == (1.0, "early")
+
+    def test_empty_store(self):
+        assert RetrievalBaseline().nearest("anything") == (0.0, "")

@@ -16,7 +16,13 @@ import threading
 import numpy as np
 import pytest
 
-from repro.engine import ContinuousBatcher, GenerationRequest, InferenceEngine, PrefixCache
+from repro.engine import (
+    ContinuousBatcher,
+    GenerationRequest,
+    InferenceEngine,
+    PrefixCache,
+    RetrievalSuffixDraft,
+)
 from repro.errors import (
     DeadlineExceededError,
     InjectedFault,
@@ -207,7 +213,7 @@ class TestFaultInjector:
 # -- engine chaos -------------------------------------------------------------
 
 
-def _drive_chaos(model, seed: int, requests: int = 10):
+def _drive_chaos(model, seed: int, requests: int = 10, speculative_k: int = 0):
     """The test-side twin of ``repro chaos``: drive a seeded failure storm."""
     rng = SeededRng(seed).child("chaos")
     fake = FakeClock()
@@ -217,12 +223,7 @@ def _drive_chaos(model, seed: int, requests: int = 10):
         .on("engine.decode_step", probability=0.1, max_fires=4)
         .on("engine.decode_step", probability=0.1, error=None, delay_s=0.25, max_fires=4)
     )
-    with use(fake), injector:
-        arena = KVArena()
-        prefix_cache = PrefixCache(8)
-        batcher = ContinuousBatcher(
-            model, max_batch_size=3, prefix_cache=prefix_cache, arena=arena
-        )
+    with use(fake):
         jobs = []
         for index in range(requests):
             prompt = [rng.randint(1, model.config.vocab_size - 1) for _ in range(rng.randint(2, 8))]
@@ -236,22 +237,42 @@ def _drive_chaos(model, seed: int, requests: int = 10):
         for job in jobs:
             if rng.bernoulli(0.2):
                 cancel_at.setdefault(rng.randint(1, 12), []).append(job)
-        arrivals = list(jobs)
-        step_index = 0
-        while True:
-            for _ in range(2):
-                if arrivals:
-                    batcher.submit(arrivals.pop(0))
-            for job in cancel_at.get(step_index, ()):
-                job.cancel()
-            more = batcher.step()
-            fake.advance(0.05)
-            step_index += 1
-            assert step_index < 10_000, "chaos run failed to terminate"
-            if not more and not arrivals:
-                break
-        prefix_cache.clear()
-        return jobs, batcher, arena
+        draft = None
+        if speculative_k:
+            # Warm the drafter on the model's own greedy continuations before
+            # the injector goes live: warm-up forwards must not consume the
+            # fault schedule, or the schedule would stop replaying.
+            draft = RetrievalSuffixDraft()
+            for job in jobs:
+                warm = generate_greedy(model, list(job.prompt_ids), 8)
+                draft.observe(list(job.prompt_ids) + list(warm.token_ids))
+        with injector:
+            arena = KVArena()
+            prefix_cache = PrefixCache(8)
+            batcher = ContinuousBatcher(
+                model,
+                max_batch_size=3,
+                prefix_cache=prefix_cache,
+                arena=arena,
+                speculative_k=speculative_k,
+                draft_model=draft,
+            )
+            arrivals = list(jobs)
+            step_index = 0
+            while True:
+                for _ in range(2):
+                    if arrivals:
+                        batcher.submit(arrivals.pop(0))
+                for job in cancel_at.get(step_index, ()):
+                    job.cancel()
+                more = batcher.step()
+                fake.advance(0.05)
+                step_index += 1
+                assert step_index < 10_000, "chaos run failed to terminate"
+                if not more and not arrivals:
+                    break
+            prefix_cache.clear()
+    return jobs, batcher, arena
 
 
 class TestEngineChaos:
@@ -272,6 +293,28 @@ class TestEngineChaos:
             + stats["shed_requests"]
         )
         assert accounted == len(jobs)
+
+    @pytest.mark.speculative
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_speculation_terminates_and_leaks_nothing(self, chaos_model, seed):
+        """The chaos property is speculation-agnostic: same storm, draft on."""
+        jobs, batcher, arena = _drive_chaos(chaos_model, seed, speculative_k=4)
+        outcomes = [job.outcome for job in jobs]
+        assert all(outcome in TERMINAL_OUTCOMES for outcome in outcomes), outcomes
+        assert batcher.queue_depth == 0 and batcher.active_size == 0
+        assert arena.stats()["bytes_in_use"] == 0
+        stats = batcher.stats()
+        accounted = (
+            stats["completed_requests"]
+            + stats["cancelled_requests"]
+            + stats["deadline_expired_requests"]
+            + stats["shed_requests"]
+        )
+        assert accounted == len(jobs)
+        spec = stats["speculative"]
+        assert spec["k"] == 4
+        assert spec["steps"] > 0
+        assert spec["accepted_tokens"] <= spec["proposed_tokens"]
 
     def test_cancel_retires_mid_decode_row(self, chaos_model):
         batcher = ContinuousBatcher(chaos_model, max_batch_size=4)

@@ -296,3 +296,148 @@ class TestEngineIntegration:
     def test_invalid_kv_dtype_rejected(self, network):
         with pytest.raises(ShapeError):
             InferenceEngine(network, kv_dtype="int8")
+
+
+class TestSpeculativeRollback:
+    """truncate()/realign_rows(): the speculative-decode rollback primitives."""
+
+    @staticmethod
+    def _filled(arena: KVArena, batch: int, length: int, seed: int = 0) -> KVCache:
+        rng = np.random.default_rng(seed)
+        cache = KVCache(arena)
+        keys = rng.standard_normal((batch, 2, length, 4)).astype(np.float32)
+        values = rng.standard_normal((batch, 2, length, 4)).astype(np.float32)
+        cache.append(keys, values)
+        return cache
+
+    def test_truncate_forgets_columns_without_copying(self):
+        arena = KVArena(block_size=8)
+        cache = self._filled(arena, 1, 6)
+        before = cache.keys[:, :, :4].copy()
+        copied = arena.bytes_copied
+        cache.truncate(4)
+        assert cache.length == 4
+        assert arena.bytes_copied == copied  # zero-copy rollback
+        np.testing.assert_array_equal(cache.keys, before)
+
+    def test_truncate_bounds_checked(self):
+        arena = KVArena(block_size=8)
+        cache = self._filled(arena, 1, 3)
+        with pytest.raises(ShapeError):
+            cache.truncate(4)
+        with pytest.raises(ShapeError):
+            cache.truncate(-1)
+        cache.truncate(3)  # no-op at current length
+        assert cache.length == 3
+
+    def test_truncate_past_shared_prefix_forces_cow(self):
+        """Rolling back below the frozen mark must not corrupt the sharer."""
+        arena = KVArena(block_size=8)
+        cache = self._filled(arena, 1, 6)
+        ref = cache.share(6)  # prefix cache holds columns 0..6
+        sharer = ref.alias()
+        frozen = sharer.keys.copy()
+        cache.truncate(3)  # rollback below the frozen boundary
+        stomp = np.full((1, 2, 1, 4), 99.0, dtype=np.float32)
+        cache.append(stomp, stomp)  # would overwrite frozen column 3 in place
+        assert arena.cow_copies == 1
+        np.testing.assert_array_equal(sharer.keys, frozen)  # sharer intact
+        np.testing.assert_array_equal(cache.keys[:, :, :3], frozen[:, :, :3])
+        np.testing.assert_array_equal(cache.keys[:, :, 3], stomp[:, :, 0])
+        cache.release()
+        sharer.release()
+        ref.release()
+        assert arena.stats()["bytes_in_use"] == 0
+
+    def test_truncate_exclusive_claim_clamps_stale_frozen_mark(self):
+        arena = KVArena(block_size=8)
+        cache = self._filled(arena, 1, 6)
+        ref = cache.share(6)
+        ref.release()  # sharer gone; the frozen mark is now stale
+        cache.truncate(2)
+        grows = arena.grow_copies
+        extra = np.full((1, 2, 1, 4), 1.0, dtype=np.float32)
+        cache.append(extra, extra)  # exclusive again: in place, no copies
+        assert arena.cow_copies == 0 and arena.grow_copies == grows
+        assert cache.length == 3
+
+    def test_truncate_above_frozen_keeps_writer_seat(self):
+        arena = KVArena(block_size=8)
+        cache = self._filled(arena, 1, 6)
+        ref = cache.share(3)
+        cache.truncate(4)  # still above the frozen mark
+        extra = np.full((1, 2, 1, 4), 2.0, dtype=np.float32)
+        cache.append(extra, extra)
+        assert arena.cow_copies == 0  # write landed above frozen columns, in place
+        ref.release()
+        cache.release()
+        assert arena.stats()["bytes_in_use"] == 0
+
+    def test_realign_rows_repacks_right_aligned(self):
+        arena = KVArena(block_size=8)
+        cache = self._filled(arena, 3, 7)
+        original = cache.keys.copy()
+        # Row 0 keeps columns 1..6, row 1 keeps 0..7, row 2 keeps 3..7.
+        cache.realign_rows([(1, 5), (0, 7), (3, 4)])
+        assert cache.length == 7
+        got = cache.keys
+        np.testing.assert_array_equal(got[0, :, 2:], original[0, :, 1:6])
+        np.testing.assert_array_equal(got[0, :, :2], 0)
+        np.testing.assert_array_equal(got[1], original[1])
+        np.testing.assert_array_equal(got[2, :, 3:], original[2, :, 3:7])
+        np.testing.assert_array_equal(got[2, :, :3], 0)
+
+    def test_realign_rows_leaves_sharers_intact(self):
+        arena = KVArena(block_size=8)
+        cache = self._filled(arena, 1, 6)
+        ref = cache.share(6)
+        sharer = ref.alias()
+        frozen = sharer.keys.copy()
+        cache.realign_rows([(2, 3)])
+        np.testing.assert_array_equal(sharer.keys, frozen)
+        np.testing.assert_array_equal(cache.keys, frozen[:, :, 2:5])
+        cache.release()
+        sharer.release()
+        ref.release()
+        assert arena.stats()["bytes_in_use"] == 0
+
+    def test_realign_rows_validates_spans(self):
+        arena = KVArena(block_size=8)
+        cache = self._filled(arena, 2, 5)
+        with pytest.raises(ShapeError):
+            cache.realign_rows([(0, 5)])  # wrong batch
+        with pytest.raises(ShapeError):
+            cache.realign_rows([(0, 6), (0, 5)])  # past the end
+        with pytest.raises(ShapeError):
+            cache.realign_rows([(-1, 3), (0, 5)])  # negative start
+
+    def test_truncate_interacts_with_merge_and_select(self):
+        """Rollback composes with mid-batch admission and retirement."""
+        arena = KVArena(block_size=8)
+        batch = self._filled(arena, 1, 5, seed=1)
+        row = self._filled(arena, 1, 3, seed=2)
+        row_data = row.keys.copy()
+        batch.merge_row(row, 5)
+        row.release()
+        # Speculative step appends 3 columns, then rolls 2 back.
+        rng = np.random.default_rng(3)
+        keys = rng.standard_normal((2, 2, 3, 4)).astype(np.float32)
+        batch.append(keys, keys)
+        batch.truncate(6)
+        np.testing.assert_array_equal(batch.keys[1, :, 2:5], row_data[0])
+        np.testing.assert_array_equal(batch.keys[:, :, 5], keys[:, :, 0])
+        # Retire row 0: bottom row keeps its columns, pads trimmed.
+        batch.select_rows([1], trim=2)
+        assert batch.length == 4
+        np.testing.assert_array_equal(batch.keys[0, :, :3], row_data[0])
+        batch.release()
+        assert arena.stats()["bytes_in_use"] == 0
+
+    def test_dense_reference_truncate(self):
+        dense = DenseKVCache()
+        keys = np.ones((1, 2, 5, 4), dtype=np.float32)
+        dense.append(keys, keys)
+        dense.truncate(2)
+        assert dense.length == 2
+        with pytest.raises(ShapeError):
+            dense.truncate(3)
