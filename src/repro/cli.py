@@ -256,6 +256,86 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.nn.sampling import generate_greedy, plan_prompt
     from repro.nn.transformer import DecoderLM, TransformerConfig
 
+    def run_stream(rng, network, fake, injector, plans, draft) -> tuple[str, int, int]:
+        """The ``--stream`` run shape: the same fault schedule pointed at
+        :meth:`~repro.engine.engine.InferenceEngine.stream_ids`, with a
+        seeded fraction of streams abandoned mid-decode (generator close —
+        the client-disconnect path).  Its extra rng draws happen *after*
+        every draw the non-stream shape makes, so ``--stream`` cannot
+        perturb the schedules non-stream seeds already recorded."""
+        from repro.engine import InferenceEngine
+
+        abandons = [
+            rng.randint(1, 5) if rng.bernoulli(0.3) else None for _ in range(len(plans))
+        ]
+        with use(fake), injector:
+            engine = InferenceEngine(
+                network,
+                max_batch_size=args.max_batch,
+                prefix_cache_capacity=8,
+                default_max_new_tokens=8,
+            )
+            if draft is not None:
+                engine.enable_speculative(draft, args.speculative_k)
+            records = []
+            disconnects = 0
+            for index, ((planned, _effective, deadline), abandon) in enumerate(
+                zip(plans, abandons)
+            ):
+                handle: list = []
+                tokens = 0
+                disconnected = False
+                stream_gen = engine.stream_ids(planned, 8, deadline_s=deadline, handle=handle)
+                try:
+                    for burst in stream_gen:
+                        tokens += len(burst)
+                        if abandon is not None and tokens >= abandon:
+                            disconnected = True
+                            break
+                finally:
+                    stream_gen.close()
+                disconnects += disconnected
+                request = handle[0]
+                records.append(
+                    {
+                        "kind": "stream",
+                        "id": index,
+                        "outcome": request.outcome,
+                        "stop_reason": request.stop_reason,
+                        "tokens": tokens,
+                        "generated": len(request.generated),
+                        "disconnected": disconnected,
+                    }
+                )
+                fake.advance(0.05)
+            engine.prefix_cache.clear()
+            leaked = engine.kv_arena.stats()["bytes_in_use"]
+            events = [dict(event, kind="fault") for event in injector.events()]
+        events.extend(records)
+        stats = engine.batcher.stats()
+        summary = {
+            "kind": "summary",
+            "seed": args.seed,
+            "stream": True,
+            "streams": len(plans),
+            "disconnects": disconnects,
+            "completed": stats["completed_requests"],
+            "cancelled": stats["cancelled_requests"],
+            "deadline_expired": stats["deadline_expired_requests"],
+            "shed": stats["shed_requests"],
+            "decode_faults": stats["decode_faults"],
+            "fault_events": len(injector.events()),
+            "arena_bytes_in_use": leaked,
+        }
+        if args.speculative_k:
+            speculative = stats["speculative"]
+            summary["speculative_k"] = speculative["k"]
+            summary["draft_proposed"] = speculative["proposed_tokens"]
+            summary["draft_accepted"] = speculative["accepted_tokens"]
+        events.append(summary)
+        body = "".join(json.dumps(event, sort_keys=True) + "\n" for event in events)
+        return body, leaked, len(events)
+
     def run_once() -> tuple[str, int, int]:
         rng = SeededRng(args.seed).child("chaos")
         config = TransformerConfig(vocab_size=32, n_positions=48, dim=16, n_layers=2, n_heads=4)
@@ -294,6 +374,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             for planned, _, _ in plans:
                 result = generate_greedy(network, list(planned), 8)
                 draft.observe(list(planned) + list(result.token_ids))
+
+        if args.stream:
+            return run_stream(rng, network, fake, injector, plans, draft)
 
         with use(fake), injector:
             arena = KVArena()
@@ -447,6 +530,7 @@ def _cmd_fleet_chaos(args: argparse.Namespace) -> int:
         kill_decode_call=args.kill_decode_call if args.kill_decode_call >= 0 else None,
         profile=args.profile,
         tracing=bool(args.trace_out) or args.verify,
+        stream=args.stream,
     )
     result = run_fleet_chaos(**kwargs)
     if args.out:
@@ -461,9 +545,14 @@ def _cmd_fleet_chaos(args: argparse.Namespace) -> int:
         print(f"merged chrome trace ({written} spans) written to {args.trace_out}", file=sys.stderr)
     leaked = sum(result["leaked_bytes"].values())
     bad_outcomes = [o for o in result["outcomes"].values() if o not in OUTCOMES]
+    orphaned = sum(result.get("orphaned_sessions", {}).values())
     status = 0
-    if leaked or bad_outcomes:
-        print(f"INVARIANT VIOLATED: leaked={leaked} bad_outcomes={bad_outcomes}", file=sys.stderr)
+    if leaked or bad_outcomes or orphaned:
+        print(
+            f"INVARIANT VIOLATED: leaked={leaked} bad_outcomes={bad_outcomes} "
+            f"orphaned_sessions={orphaned}",
+            file=sys.stderr,
+        )
         status = 1
     if args.verify:
         replay = run_fleet_chaos(**kwargs)
@@ -621,6 +710,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="draft-then-verify with k drafted tokens per step (0 disables)",
     )
     chaos.add_argument(
+        "--stream", action="store_true",
+        help="drive the schedule through token streaming, abandoning a seeded "
+        "fraction of streams mid-decode (the client-disconnect path)",
+    )
+    chaos.add_argument(
         "--verify", action="store_true",
         help="re-run the schedule and fail unless the replay is byte-identical",
     )
@@ -661,6 +755,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_chaos.add_argument(
         "--kill-decode-call", type=int, default=30, dest="kill_decode_call",
         help="global decode-step call at which a replica crashes (-1 disables)",
+    )
+    fleet_chaos.add_argument(
+        "--stream", action="store_true",
+        help="streamed run shape: SSE-style token streams with seeded client "
+        "disconnects plus keystroke-session create/extend exchanges",
     )
     fleet_chaos.add_argument("--out", help="write the JSONL event log here (default: stdout)")
     fleet_chaos.add_argument(

@@ -278,7 +278,9 @@ class ContinuousBatcher:
         if self.prefix_cache is not None:
             if self.prefix_cache.insert(request.prompt_ids, caches):
                 request.prefix_key = tuple(request.prompt_ids)
+        appended_from = len(request.generated)
         reason = advance_request(request, first_token, self.model.config.n_positions)
+        request.emit_tokens(request.generated[appended_from:])
         if reason is not None:
             # Finished on its very first token — never occupies a batch row.
             request.finish(reason)
@@ -414,10 +416,12 @@ class ContinuousBatcher:
             row = self.batch.rows[position]
             request: GenerationRequest = row.payload
             reason = None
+            appended_from = len(request.generated)
             for next_id in tokens:
                 reason = advance_request(request, next_id, window)
                 if reason is not None:
                     break
+            request.emit_tokens(request.generated[appended_from:])
             if reason is None:
                 row.pending = tokens[-1]
                 if row.context is not None:

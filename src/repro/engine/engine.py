@@ -173,6 +173,61 @@ class InferenceEngine:
                 self._observe_request(request)
             return [request.result for request in requests]
 
+    def stream_ids(
+        self,
+        prompt_ids: list[int],
+        max_new_tokens: int | None = None,
+        stop_ids: frozenset[int] | set[int] | None = None,
+        deadline_s: float | None = None,
+        handle: list[GenerationRequest] | None = None,
+    ):
+        """Greedy-decode one prompt, yielding token bursts as they land.
+
+        A generator over ``list[int]`` bursts: one token per plain decode
+        step, up to ``k + 1`` per speculative step, the first of them the
+        prefill's token.  The concatenation of every yielded burst is
+        exactly ``generate_batch([prompt_ids])[0].token_ids`` — streaming
+        changes delivery, never content.
+
+        The engine lock is held from the first ``next()`` until the
+        generator finishes or is closed, so a stream serialises with other
+        callers exactly like ``generate_batch``.  Closing the generator
+        mid-stream (client disconnect) cancels the request cooperatively
+        and runs one reap step, returning its KV slabs to the arena
+        immediately; the abandoned request terminates with the
+        ``cancelled`` outcome.  ``handle``, when given, receives the live
+        request before decoding starts — e.g. for a deadline watchdog or
+        an out-of-band :meth:`~GenerationRequest.cancel`.
+        """
+        self._lock.acquire()
+        try:
+            request = self._make_request(prompt_ids, max_new_tokens, stop_ids, deadline_s)
+            if handle is not None:
+                handle.append(request)
+            pending: list[list[int]] = []
+            request.on_tokens = lambda _request, tokens: pending.append(tokens)
+            self.batcher.submit(request)
+            try:
+                while not request.is_finished:
+                    self.batcher.step()
+                    while pending:
+                        yield pending.pop(0)
+                while pending:
+                    yield pending.pop(0)
+            finally:
+                request.on_tokens = None
+                if not request.is_finished:
+                    # Consumer closed the generator (or a crash unwound the
+                    # step) with the request still live: cancel and reap so
+                    # the row's KV slabs free now, not at interpreter exit.
+                    # The reap pass runs before the decode seam fires, so
+                    # this cannot re-raise an injected fault.
+                    request.cancel()
+                    self.batcher.step()
+                self._observe_request(request)
+        finally:
+            self._lock.release()
+
     def _observe_request(self, request: GenerationRequest) -> None:
         """Fold a finished request into histograms and (if tracing) spans.
 

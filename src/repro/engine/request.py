@@ -64,6 +64,12 @@ class GenerationRequest:
         deadline_s: optional wall budget relative to submission; the
             absolute expiry is :attr:`deadline_at`.
         generated: tokens produced so far.
+        on_tokens: optional callback ``fn(request, tokens)`` the scheduler
+            invokes with each newly appended token burst (one token per
+            plain decode step, up to ``k + 1`` per speculative step, and
+            the first token at prefill).  Called inline on the scheduler
+            thread — keep it cheap; exceptions are swallowed so one
+            stream's consumer cannot poison unrelated batch rows.
         prefix_reused: prompt tokens whose K/V came from the prefix cache.
         prefix_key: the prefix-cache key this request inserted, if any —
             invalidated should the request terminate abnormally.
@@ -85,6 +91,7 @@ class GenerationRequest:
     prefill_started_at: float | None = None
     decode_started_at: float | None = None
     finished_at: float | None = None
+    on_tokens: object | None = field(default=None, repr=False)
     _cancel_requested: bool = field(default=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -126,6 +133,22 @@ class GenerationRequest:
         if not self.is_finished or self.stop_reason is None:
             raise EngineError(f"request {self.request_id} is {self.state.value}, not finished")
         return GenerationResult(list(self.generated), self.stop_reason, self.effective_budget)
+
+    # -- streaming ----------------------------------------------------------
+
+    def emit_tokens(self, tokens: list[int]) -> None:
+        """Deliver a freshly appended token burst to :attr:`on_tokens`.
+
+        A raising callback must not take down the scheduler step that was
+        advancing other rows, so errors are swallowed here; a consumer
+        that wants the stream torn down cancels the request instead.
+        """
+        if self.on_tokens is None or not tokens:
+            return
+        try:
+            self.on_tokens(self, list(tokens))
+        except Exception:
+            pass
 
     # -- cancellation / deadlines -------------------------------------------
 

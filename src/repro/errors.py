@@ -113,6 +113,19 @@ class ServiceOverloadedError(ServingError):
         self.retry_after_s = retry_after_s
 
 
+class SessionNotFoundError(ServingError):
+    """A session id names no live session (expired, evicted, or never created).
+
+    Maps to an HTTP 404.  The editor-plugin contract on receiving it is
+    to fall back to creating a fresh session from the full buffer —
+    eviction costs one re-prefill, never correctness.
+    """
+
+    def __init__(self, session_id: str):
+        super().__init__(f"unknown session: {session_id!r}")
+        self.session_id = session_id
+
+
 class DeadlineExceededError(ReproError):
     """A request's deadline elapsed before generation completed (HTTP 504)."""
 

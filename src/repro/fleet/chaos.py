@@ -30,6 +30,7 @@ from repro.errors import (
     DeadlineExceededError,
     RequestCancelledError,
     ServiceOverloadedError,
+    SessionNotFoundError,
     WorkerCrashed,
 )
 from repro.faults import FakeClock, FaultInjector, clock, use
@@ -83,6 +84,99 @@ def build_chaos_fleet(
     return router, workers
 
 
+def _stream_one(router, prompt: str, deadline_s, abandon_after: int | None) -> dict:
+    """Drive one streamed request; returns its canonical event record.
+
+    ``abandon_after`` simulates a client disconnect: after that many
+    ``token`` events the generator is closed, which propagates into the
+    engine as a cooperative cancel — the same path a dropped socket takes
+    through the REST handler.
+    """
+    outcome = "completed"
+    worker = None
+    failovers = 0
+    tokens = 0
+    disconnected = False
+    ttft_s = None
+    events = None
+    try:
+        events = router.predict_stream(prompt, max_new_tokens=8, deadline_s=deadline_s)
+        for event, data in events:
+            if event == "token":
+                tokens += 1
+                if abandon_after is not None and tokens >= abandon_after:
+                    disconnected = True
+                    outcome = "cancelled"
+                    break
+            elif event == "done":
+                outcome = data.get("outcome") or "completed"
+                worker = data.get("worker")
+                failovers = data.get("failovers", 0)
+                ttft_ms = data.get("ttft_ms")
+                ttft_s = ttft_ms / 1000.0 if ttft_ms is not None else None
+            elif event == "error":
+                status = data.get("status")
+                outcome = {504: "deadline_exceeded", 408: "cancelled"}.get(status, "shed")
+                worker = data.get("worker")
+    except DeadlineExceededError:
+        outcome = "deadline_exceeded"
+    except RequestCancelledError:
+        outcome = "cancelled"
+    except ServiceOverloadedError:
+        outcome = "shed"
+    finally:
+        if events is not None:
+            events.close()
+    return {
+        "kind": "stream",
+        "outcome": outcome,
+        "worker": worker,
+        "failovers": failovers,
+        "tokens": tokens,
+        "disconnected": disconnected,
+        "ttft_s": ttft_s,
+    }
+
+
+def _session_one(router, prompt: str, deadline_s) -> dict:
+    """One keystroke-session exchange (create → extend → close)."""
+    outcome = "completed"
+    worker = None
+    reused = 0
+    extends = 0
+    session_id = None
+    try:
+        created = router.session_create(prompt, max_new_tokens=8, deadline_s=deadline_s)
+        session_id = created["session_id"]
+        worker = created.get("worker")
+        grown = prompt + created["completion"] + "\n- name: Restart the service\n"
+        extended = router.session_extend(
+            session_id, grown, max_new_tokens=8, deadline_s=deadline_s
+        )
+        reused = extended.get("reused_tokens", 0)
+        extends = 1
+    except DeadlineExceededError:
+        outcome = "deadline_exceeded"
+    except RequestCancelledError:
+        outcome = "cancelled"
+    except SessionNotFoundError:
+        # The owning replica died between create and extend: the editor's
+        # in-flight keystroke is cancelled (it would re-create next enter).
+        outcome = "cancelled"
+    except ServiceOverloadedError:
+        outcome = "shed"
+    finally:
+        if session_id is not None:
+            router.session_close(session_id)
+    return {
+        "kind": "session",
+        "outcome": outcome,
+        "worker": worker,
+        "reused_tokens": reused,
+        "extends": extends,
+    }
+
+
 def run_fleet_chaos(
     seed: int = 0,
     n_workers: int = 3,
@@ -99,6 +193,9 @@ def run_fleet_chaos(
     heartbeat_every: int = 4,
     tracing: bool = True,
     slo_specs=DEFAULT_SLOS,
+    stream: bool = False,
+    disconnect_rate: float = 0.25,
+    session_every: int = 5,
 ) -> dict:
     """One deterministic chaos run; returns events, log text and invariants.
 
@@ -117,6 +214,19 @@ def run_fleet_chaos(
     Both are pure functions of the seed: replays reproduce them
     byte-for-byte (``chrome_trace_json`` / ``slo_json`` carry the
     canonical serializations).
+
+    With ``stream=True`` the run takes a different (still fully
+    deterministic) shape: requests go through
+    :meth:`~repro.fleet.router.FleetRouter.predict_stream`, a seeded
+    fraction of clients disconnects mid-stream (``disconnect_rate``,
+    exercised by closing the event generator — the router observes it
+    exactly as a dropped socket), and every ``session_every``-th request
+    exercises the keystroke-session API (create → extend → close)
+    instead.  The same four-outcome and zero-leak invariants apply, plus
+    a fifth: no replica may hold an orphaned session once the run ends
+    (``orphaned_sessions`` in the summary).  The two shapes draw from
+    independent code paths, so ``stream=False`` replays stay
+    byte-identical to logs recorded before streaming existed.
     """
     rng = SeededRng(seed).child("fleet-chaos")
     prompts = generate_prompts(profile, n_requests, seed=seed)
@@ -150,36 +260,53 @@ def run_fleet_chaos(
         )
         for index, prompt in enumerate(prompts):
             deadline_s = rng.uniform(0.3, 1.5) if rng.bernoulli(deadline_rate) else None
-            worker = None
-            failovers = 0
-            ttft_s = None
             started = clock.now()
-            try:
-                payload = router.predict(prompt, max_new_tokens=8, deadline_s=deadline_s)
-                outcome = "completed"
-                worker = payload["worker"]
-                failovers = payload.get("failovers", 0)
-                ttft_ms = payload.get("ttft_ms")
-                ttft_s = ttft_ms / 1000.0 if ttft_ms is not None else None
-            except DeadlineExceededError:
-                outcome = "deadline_exceeded"
-            except RequestCancelledError:
-                outcome = "cancelled"
-            except ServiceOverloadedError:
-                outcome = "shed"
-            outcomes[index] = outcome
-            if monitor is not None:
-                monitor.observe(clock.now() - started, outcome, ttft_s=ttft_s)
-            request_events.append(
-                {
-                    "kind": "request",
-                    "id": index,
-                    "outcome": outcome,
-                    "worker": worker,
-                    "failovers": failovers,
-                    "deadline_s": round(deadline_s, 6) if deadline_s is not None else None,
-                }
-            )
+            if stream:
+                if session_every and (index + 1) % session_every == 0:
+                    record = _session_one(router, prompt, deadline_s)
+                else:
+                    abandon_after = (
+                        rng.randint(1, 4) if rng.bernoulli(disconnect_rate) else None
+                    )
+                    record = _stream_one(router, prompt, deadline_s, abandon_after)
+                outcome = record["outcome"]
+                ttft_s = record.pop("ttft_s", None)
+                outcomes[index] = outcome
+                if monitor is not None:
+                    monitor.observe(clock.now() - started, outcome, ttft_s=ttft_s)
+                record["id"] = index
+                record["deadline_s"] = round(deadline_s, 6) if deadline_s is not None else None
+                request_events.append(record)
+            else:
+                worker = None
+                failovers = 0
+                ttft_s = None
+                try:
+                    payload = router.predict(prompt, max_new_tokens=8, deadline_s=deadline_s)
+                    outcome = "completed"
+                    worker = payload["worker"]
+                    failovers = payload.get("failovers", 0)
+                    ttft_ms = payload.get("ttft_ms")
+                    ttft_s = ttft_ms / 1000.0 if ttft_ms is not None else None
+                except DeadlineExceededError:
+                    outcome = "deadline_exceeded"
+                except RequestCancelledError:
+                    outcome = "cancelled"
+                except ServiceOverloadedError:
+                    outcome = "shed"
+                outcomes[index] = outcome
+                if monitor is not None:
+                    monitor.observe(clock.now() - started, outcome, ttft_s=ttft_s)
+                request_events.append(
+                    {
+                        "kind": "request",
+                        "id": index,
+                        "outcome": outcome,
+                        "worker": worker,
+                        "failovers": failovers,
+                        "deadline_s": round(deadline_s, 6) if deadline_s is not None else None,
+                    }
+                )
             fake.advance(0.05)
             if (index + 1) % heartbeat_every == 0:
                 for dead_id in router.heartbeat_tick():
@@ -190,7 +317,15 @@ def run_fleet_chaos(
         # replicas already dropped theirs on the way down).
         crashed = router.dead_worker_ids
         leaked_bytes: dict[str, int] = {}
+        orphaned_sessions: dict[str, int] = {}
         for worker_obj in workers:
+            # Sessions the run exercised were closed (or died with their
+            # replica); anything still registered pins arena blocks and
+            # counts as an orphan *before* the audit releases it.
+            orphaned_sessions[worker_obj.worker_id] = worker_obj.session_count()
+            sessions = getattr(worker_obj.service, "sessions", None)
+            if sessions is not None:
+                sessions.close_all()
             if worker_obj.engine is not None and worker_obj.engine.prefix_cache is not None:
                 worker_obj.engine.prefix_cache.clear()
             leaked_bytes[worker_obj.worker_id] = worker_obj.arena_bytes_in_use()
@@ -212,8 +347,7 @@ def run_fleet_chaos(
     events = [dict(event, kind="fault") for event in injector.events()]
     events.extend(request_events)
     aggregate = stats["aggregate"]
-    events.append(
-        {
+    summary = {
             "kind": "summary",
             "seed": seed,
             "workers": n_workers,
@@ -232,14 +366,26 @@ def run_fleet_chaos(
             "leaked_bytes": dict(sorted(leaked_bytes.items())),
             "slos_met": slo_report["all_met"] if slo_report is not None else None,
             "slos_alerting": slo_report["any_alerting"] if slo_report is not None else None,
-        }
-    )
+    }
+    if stream:
+        # Stream-only summary keys, so stream=False logs keep the exact
+        # byte layout recorded before streaming existed.
+        summary["streams"] = stats["stream_requests"]
+        summary["disconnects"] = sum(
+            1 for event in request_events if event.get("disconnected")
+        )
+        summary["session_creates"] = stats["session_creates"]
+        summary["session_extends"] = stats["session_extends"]
+        summary["sessions_lost"] = stats["sessions_lost"]
+        summary["orphaned_sessions"] = dict(sorted(orphaned_sessions.items()))
+    events.append(summary)
     log = "".join(json.dumps(event, sort_keys=True) + "\n" for event in events)
     result = {
         "events": events,
         "log": log,
         "outcomes": outcomes,
         "leaked_bytes": leaked_bytes,
+        "orphaned_sessions": orphaned_sessions,
         "crashed": crashed,
         "stats": stats,
     }

@@ -21,6 +21,16 @@ fronts a whole fleet unchanged.  What it adds over one engine:
   dropped.  A replica that answers 503 *spills* to the next preference
   without being declared dead; only when every live replica is saturated
   does the fleet itself shed.
+* **Streaming passthrough** — :meth:`predict_stream` routes exactly like
+  :meth:`predict` (affinity, failover, spill) *until the first event
+  flows*; after first byte, replica death surfaces as an in-band
+  ``error`` event, never a silent re-dispatch that could duplicate
+  delivered tokens.
+* **Session affinity** — :meth:`session_create` routes by prefix bucket
+  and pins the session to the replica holding its warm KV slab; extends
+  ride the ``session id -> worker`` map, and a dead owner converts to a
+  crisp :class:`~repro.errors.SessionNotFoundError` (``sessions_lost``
+  counter) so editors re-create instead of hanging.
 * **Heartbeat liveness** — :meth:`heartbeat_tick` probes every replica on
   the shared :mod:`repro.faults.clock`; a replica whose last successful
   probe is older than ``heartbeat_timeout_s`` is declared wedged, killed
@@ -52,6 +62,7 @@ from repro.errors import (
     InjectedFault,
     ServiceOverloadedError,
     ServingError,
+    SessionNotFoundError,
     WorkerUnavailableError,
 )
 from repro.faults import clock
@@ -103,12 +114,18 @@ class FleetRouter:
         self._last_heartbeat: dict[str, float] = {}
         self._rr_index = 0
         self._inflight_count = 0
+        #: Session affinity: session id -> worker id that holds its KV slab.
+        self._session_owner: dict[str, str] = {}
         self._lock = threading.RLock()
         self._heartbeat_thread: threading.Thread | None = None
         self._heartbeat_stop = threading.Event()
         # -- accounting --
         self.request_count = 0
         self.batch_request_count = 0
+        self.stream_request_count = 0
+        self.session_create_count = 0
+        self.session_extend_count = 0
+        self.sessions_lost = 0
         self.shed_count = 0
         self.failover_count = 0
         self.spill_count = 0
@@ -125,6 +142,8 @@ class FleetRouter:
         metrics = self.obs.metrics
         self._c_requests = metrics.counter("fleet.requests")
         self._c_batch_requests = metrics.counter("fleet.batch_requests")
+        self._c_streams = metrics.counter("fleet.streams")
+        self._c_sessions_lost = metrics.counter("fleet.sessions_lost")
         self._c_shed = metrics.counter("fleet.shed")
         self._c_failovers = metrics.counter("fleet.failovers")
         self._c_spills = metrics.counter("fleet.spills")
@@ -178,6 +197,15 @@ class FleetRouter:
             self.workers_lost += 1
             self._c_workers_lost.inc()
         self._g_live.set(len(self._workers))
+        # Sessions pinned to this replica died with its arena: forget the
+        # affinity mappings so later extends get a crisp 404 (and the
+        # plugin's create-on-miss fallback a fresh replica), not a hang.
+        orphaned = [sid for sid, owner in self._session_owner.items() if owner == worker_id]
+        for sid in orphaned:
+            del self._session_owner[sid]
+        if orphaned:
+            self.sessions_lost += len(orphaned)
+            self._c_sessions_lost.inc(len(orphaned))
         # Drain: abort whatever the replica still holds.  For an in-process
         # replica this cancels live engine rows (freeing KV slabs); for a
         # process replica it terminates the child.  Requests currently
@@ -396,6 +424,291 @@ class FleetRouter:
         if trace_context is not None:
             payload["trace_id"] = trace_context.trace_id
         return payload
+
+    def predict_stream(
+        self,
+        prompt: str,
+        max_new_tokens: int | None = None,
+        deadline_s: float | None = None,
+        trace_context: TraceContext | None = None,
+    ):
+        """Streamed completion through the fleet: ``(event, data)`` tuples.
+
+        Routing follows :meth:`predict` — affinity preference, failover on
+        a dead replica, spill on an overloaded one — but *only until the
+        first event arrives*.  Once a byte has flowed to the caller a
+        replay could duplicate delivered tokens, so mid-stream replica
+        death surfaces as an in-band ``error`` event (status 503) and the
+        replica is declared dead for subsequent requests; it is never
+        silently re-dispatched.
+        """
+        if not isinstance(prompt, str) or not prompt.strip():
+            raise ServingError("prompt must be a non-empty string")
+        deadline_at = clock.now() + deadline_s if deadline_s is not None else None
+        trace_context = self._trace_for(trace_context)
+        return self._stream(prompt, max_new_tokens, deadline_at, trace_context)
+
+    def _stream(self, prompt, max_new_tokens, deadline_at, trace_context):
+        if not self._try_admit():
+            raise self._shed("fleet admission queue full")
+        try:
+            failovers = 0
+            overloaded: set[str] = set()
+            last_overload: ServiceOverloadedError | None = None
+            while True:
+                progressed = False
+                for worker_id in self._candidates(prompt):
+                    if worker_id in overloaded:
+                        continue
+                    with self._lock:
+                        worker = self._workers.get(worker_id)
+                    if worker is None:
+                        continue
+                    inner = None
+                    try:
+                        fire("fleet.dispatch", worker=worker_id, stream=True)
+                        inner = worker.predict_stream(
+                            prompt,
+                            max_new_tokens,
+                            deadline_s=self._remaining_deadline(deadline_at),
+                            trace_context=trace_context,
+                        )
+                        first = next(inner, None)
+                    except (WorkerUnavailableError, InjectedFault):
+                        self._on_worker_failure(worker_id, "dispatch_failed")
+                        failovers += 1
+                        progressed = True
+                        break
+                    except ServiceOverloadedError as error:
+                        last_overload = error
+                        overloaded.add(worker_id)
+                        with self._lock:
+                            self.spill_count += 1
+                        self._c_spills.inc()
+                        continue
+                    with self._lock:
+                        self.stream_request_count += 1
+                        self.request_count += 1
+                        self._last_heartbeat[worker_id] = clock.now()
+                    self._c_streams.inc()
+                    self._c_requests.inc()
+                    yield from self._relay_stream(
+                        inner, first, worker_id, failovers, trace_context
+                    )
+                    return
+                if not progressed:
+                    if not self.live_worker_ids:
+                        raise self._shed("no live replicas")
+                    raise self._shed(
+                        "every live replica is saturated",
+                        retry_after_s=last_overload.retry_after_s if last_overload else None,
+                    )
+        finally:
+            self._release_admission()
+
+    def _relay_stream(self, inner, first, worker_id, failovers, trace_context):
+        """Forward one replica's live stream, annotating terminal events."""
+
+        def annotate(event, data):
+            if event in ("done", "error"):
+                data = dict(data)
+                data["worker"] = worker_id
+                if failovers:
+                    data["failovers"] = failovers
+                if trace_context is not None:
+                    data.setdefault("trace_id", trace_context.trace_id)
+            return event, data
+
+        try:
+            if first is not None:
+                yield annotate(*first)
+                for event, data in inner:
+                    yield annotate(event, data)
+        except (WorkerUnavailableError, InjectedFault):
+            # Died mid-stream: bytes already flowed, so no failover —
+            # report in-band and declare the replica dead.
+            self._on_worker_failure(worker_id, "stream_failed")
+            yield (
+                "error",
+                {
+                    "error": f"replica {worker_id} died mid-stream",
+                    "status": 503,
+                    "worker": worker_id,
+                },
+            )
+        finally:
+            close = getattr(inner, "close", None)
+            if close is not None:
+                close()
+
+    # -- sessions ------------------------------------------------------------
+
+    def _session_dispatch(self, worker_id: str, call) -> dict:
+        """One session call against a specific replica (no failover: the
+        warm KV slab lives only there).  A dead replica converts to
+        :class:`SessionNotFoundError` after dropping its mappings."""
+        with self._lock:
+            worker = self._workers.get(worker_id)
+        if worker is None:
+            raise SessionNotFoundError(f"(owner {worker_id} is gone)")
+        try:
+            fire("fleet.dispatch", worker=worker_id, session=True)
+            payload = call(worker)
+        except (WorkerUnavailableError, InjectedFault) as error:
+            self._on_worker_failure(worker_id, "dispatch_failed")
+            raise SessionNotFoundError(f"(owner {worker_id} died)") from error
+        with self._lock:
+            self._last_heartbeat[worker_id] = clock.now()
+        payload["worker"] = worker_id
+        return payload
+
+    def session_create(
+        self,
+        buffer: str,
+        max_new_tokens: int | None = None,
+        deadline_s: float | None = None,
+        trace_context: TraceContext | None = None,
+    ) -> dict:
+        """Open a keystroke session on the replica owning the buffer's
+        prefix bucket, then pin the session there (session affinity).
+
+        Creation routes like :meth:`predict` — failover and spill apply,
+        because no state exists yet.  Every subsequent extend must land on
+        the owning replica; the router keeps the ``session id -> worker``
+        map so callers never need to know fleet topology.
+        """
+        if not isinstance(buffer, str) or not buffer.strip():
+            raise ServingError("buffer must be a non-empty string")
+        if not self._try_admit():
+            raise self._shed("fleet admission queue full")
+        deadline_at = clock.now() + deadline_s if deadline_s is not None else None
+        trace_context = self._trace_for(trace_context)
+        try:
+            failovers = 0
+            overloaded: set[str] = set()
+            last_overload: ServiceOverloadedError | None = None
+            while True:
+                progressed = False
+                for worker_id in self._candidates(buffer):
+                    if worker_id in overloaded:
+                        continue
+                    with self._lock:
+                        worker = self._workers.get(worker_id)
+                    if worker is None:
+                        continue
+                    try:
+                        fire("fleet.dispatch", worker=worker_id, session=True)
+                        payload = worker.session_create(
+                            buffer,
+                            max_new_tokens,
+                            deadline_s=self._remaining_deadline(deadline_at),
+                            trace_context=trace_context,
+                        )
+                    except (WorkerUnavailableError, InjectedFault):
+                        self._on_worker_failure(worker_id, "dispatch_failed")
+                        failovers += 1
+                        progressed = True
+                        break
+                    except ServiceOverloadedError as error:
+                        last_overload = error
+                        overloaded.add(worker_id)
+                        with self._lock:
+                            self.spill_count += 1
+                        self._c_spills.inc()
+                        continue
+                    with self._lock:
+                        self._session_owner[payload["session_id"]] = worker_id
+                        self._last_heartbeat[worker_id] = clock.now()
+                        self.session_create_count += 1
+                        self.request_count += 1
+                    self._c_requests.inc()
+                    payload["worker"] = worker_id
+                    if failovers:
+                        payload["failovers"] = failovers
+                    if trace_context is not None:
+                        payload.setdefault("trace_id", trace_context.trace_id)
+                    return payload
+                if not progressed:
+                    if not self.live_worker_ids:
+                        raise self._shed("no live replicas")
+                    raise self._shed(
+                        "every live replica is saturated",
+                        retry_after_s=last_overload.retry_after_s if last_overload else None,
+                    )
+        finally:
+            self._release_admission()
+
+    def session_extend(
+        self,
+        session_id: str,
+        buffer: str,
+        max_new_tokens: int | None = None,
+        deadline_s: float | None = None,
+        trace_context: TraceContext | None = None,
+    ) -> dict:
+        """Extend a session on its owning replica (affinity-pinned).
+
+        An unknown session — never created, already closed, owner dead,
+        or evicted replica-side — raises
+        :class:`~repro.errors.SessionNotFoundError`; callers (the editor
+        plugin, the REST 404 mapping) treat that as "re-create"."""
+        if not isinstance(buffer, str) or not buffer.strip():
+            raise ServingError("buffer must be a non-empty string")
+        with self._lock:
+            owner = self._session_owner.get(session_id)
+        if owner is None:
+            raise SessionNotFoundError(session_id)
+        if not self._try_admit():
+            raise self._shed("fleet admission queue full")
+        deadline_at = clock.now() + deadline_s if deadline_s is not None else None
+        trace_context = self._trace_for(trace_context)
+        try:
+            try:
+                payload = self._session_dispatch(
+                    owner,
+                    lambda worker: worker.session_extend(
+                        session_id,
+                        buffer,
+                        max_new_tokens,
+                        deadline_s=self._remaining_deadline(deadline_at),
+                        trace_context=trace_context,
+                    ),
+                )
+            except SessionNotFoundError:
+                # Owner dead or replica evicted it: the mapping is stale.
+                with self._lock:
+                    if self._session_owner.pop(session_id, None) is not None:
+                        self.sessions_lost += 1
+                        self._c_sessions_lost.inc()
+                raise
+            with self._lock:
+                self.session_extend_count += 1
+                self.request_count += 1
+            self._c_requests.inc()
+            if trace_context is not None:
+                payload.setdefault("trace_id", trace_context.trace_id)
+            return payload
+        finally:
+            self._release_admission()
+
+    def session_close(self, session_id: str) -> dict:
+        """Release a session wherever it lives; idempotent."""
+        with self._lock:
+            owner = self._session_owner.pop(session_id, None)
+        if owner is None:
+            return {"session_id": session_id, "closed": False}
+        try:
+            return self._session_dispatch(
+                owner, lambda worker: worker.session_close(session_id)
+            )
+        except SessionNotFoundError:
+            return {"session_id": session_id, "closed": False, "worker": owner}
+
+    @property
+    def sessions(self):
+        """Duck-type marker: the fleet always speaks the session API (the
+        editor plugin checks ``backend.sessions is not None``)."""
+        return self._session_owner
 
     def predict_batch(
         self,
@@ -623,6 +936,11 @@ class FleetRouter:
                 "inflight": self._inflight_count,
                 "requests": self.request_count,
                 "batch_requests": self.batch_request_count,
+                "stream_requests": self.stream_request_count,
+                "session_creates": self.session_create_count,
+                "session_extends": self.session_extend_count,
+                "sessions_lost": self.sessions_lost,
+                "live_sessions": len(self._session_owner),
                 "shed_requests": self.shed_count,
                 "failovers": self.failover_count,
                 "spills": self.spill_count,

@@ -186,6 +186,12 @@ class InProcessWorker:
         """Die the way a process would: drop everything, free the arena."""
         self.alive = False
         self.crashes += 1
+        sessions = getattr(self.service, "sessions", None)
+        if sessions is not None:
+            try:
+                sessions.close_all()
+            except Exception:
+                pass  # crashing anyway; abort_all below frees remaining slabs
         if self.engine is not None:
             self.engine.abort_all()
             if self.engine.prefix_cache is not None:
@@ -226,6 +232,61 @@ class InProcessWorker:
         except WorkerCrashed as crash:
             self._crash()
             raise self._unavailable() from crash
+
+    def predict_stream(self, prompt: str, max_new_tokens=None, deadline_s=None, trace_context=None):
+        """Stream ``(event, data)`` tuples from the replica's service.
+
+        The generator is returned *after* a liveness check, but the
+        replica can still die mid-stream — :class:`WorkerCrashed` inside
+        the stream converts to :class:`WorkerUnavailableError` exactly as
+        ``predict`` does, so router-side failover semantics stay uniform.
+        """
+        self._guard()
+        inner = self.service.predict_stream(
+            prompt, max_new_tokens, deadline_s=deadline_s, trace_context=trace_context
+        )
+
+        def relay():
+            try:
+                yield from inner
+            except WorkerCrashed as crash:
+                self._crash()
+                raise self._unavailable() from crash
+            finally:
+                inner.close()
+
+        return relay()
+
+    def session_create(self, buffer: str, max_new_tokens=None, deadline_s=None, trace_context=None) -> dict:
+        self._guard()
+        try:
+            return self.service.session_create(
+                buffer, max_new_tokens, deadline_s=deadline_s, trace_context=trace_context
+            )
+        except WorkerCrashed as crash:
+            self._crash()
+            raise self._unavailable() from crash
+
+    def session_extend(
+        self, session_id: str, buffer: str, max_new_tokens=None, deadline_s=None, trace_context=None
+    ) -> dict:
+        self._guard()
+        try:
+            return self.service.session_extend(
+                session_id, buffer, max_new_tokens, deadline_s=deadline_s, trace_context=trace_context
+            )
+        except WorkerCrashed as crash:
+            self._crash()
+            raise self._unavailable() from crash
+
+    def session_close(self, session_id: str) -> dict:
+        self._guard()
+        return self.service.session_close(session_id)
+
+    def session_count(self) -> int:
+        """Live server-side keystroke sessions (orphan accounting)."""
+        sessions = getattr(self.service, "sessions", None)
+        return sessions.count if sessions is not None else 0
 
     def heartbeat(self) -> float:
         self._guard()
@@ -360,6 +421,72 @@ class ProcessWorker:
             deadline_ms=deadline_ms,
             headers=headers,
         )
+
+    def predict_stream(self, prompt: str, max_new_tokens=None, deadline_s=None, trace_context=None):
+        """Stream ``(event, data)`` tuples over HTTP (SSE under the hood).
+
+        Converts the client's :class:`~repro.serving.stream.SseEvent`
+        stream to the same tuple shape :class:`InProcessWorker` yields, so
+        the router passthrough treats both flavours identically.  Opening
+        the stream against an unreachable child raises
+        :class:`WorkerUnavailableError` before any event flows.
+        """
+        if self._client is None:
+            raise WorkerUnavailableError(
+                f"worker {self.worker_id} is not started", worker_id=self.worker_id
+            )
+        deadline_ms = deadline_s * 1000.0 if deadline_s is not None else None
+        headers = trace_context.to_headers() if trace_context is not None else None
+
+        def relay():
+            try:
+                inner = self._client.predict_stream(
+                    prompt, max_new_tokens, deadline_ms=deadline_ms, headers=headers
+                )
+                for event in inner:
+                    if event.comment:
+                        continue
+                    yield event.event, event.json()
+            except (ServiceOverloadedError, DeadlineExceededError, RequestCancelledError):
+                raise
+            except ServingError as error:
+                cause = error.__cause__
+                transport = isinstance(cause, urllib.error.URLError) and not isinstance(
+                    cause, urllib.error.HTTPError
+                )
+                if transport:
+                    raise self._unavailable(error) from error
+                raise
+
+        return relay()
+
+    def session_create(self, buffer: str, max_new_tokens=None, deadline_s=None, trace_context=None) -> dict:
+        deadline_ms = deadline_s * 1000.0 if deadline_s is not None else None
+        headers = trace_context.to_headers() if trace_context is not None else None
+        return self._call(
+            self._client.session_create,
+            buffer,
+            max_new_tokens,
+            deadline_ms=deadline_ms,
+            headers=headers,
+        )
+
+    def session_extend(
+        self, session_id: str, buffer: str, max_new_tokens=None, deadline_s=None, trace_context=None
+    ) -> dict:
+        deadline_ms = deadline_s * 1000.0 if deadline_s is not None else None
+        headers = trace_context.to_headers() if trace_context is not None else None
+        return self._call(
+            self._client.session_extend,
+            session_id,
+            buffer,
+            max_new_tokens,
+            deadline_ms=deadline_ms,
+            headers=headers,
+        )
+
+    def session_close(self, session_id: str) -> dict:
+        return self._call(self._client.session_close, session_id)
 
     def heartbeat(self) -> float:
         self._call(self._client.health)

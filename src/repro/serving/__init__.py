@@ -1,9 +1,19 @@
-"""Serving layer: REST service, client, cache, editor-plugin simulation."""
+"""Serving layer: REST service, client, streaming, sessions, editor plugin."""
 
 from repro.serving.cache import LruCache
 from repro.serving.client import PredictionClient, RetryPolicy
 from repro.serving.plugin import ESCAPE, EditorSession, Suggestion, TAB
 from repro.serving.service import PredictionService, RestServer
+from repro.serving.session import SessionManager
+from repro.serving.stream import (
+    STREAM_EVENTS,
+    SseEvent,
+    SseParser,
+    TextDelta,
+    iter_sse,
+    sse_comment,
+    sse_encode,
+)
 
 __all__ = [
     "LruCache",
@@ -15,4 +25,12 @@ __all__ = [
     "TAB",
     "PredictionService",
     "RestServer",
+    "SessionManager",
+    "STREAM_EVENTS",
+    "SseEvent",
+    "SseParser",
+    "TextDelta",
+    "iter_sse",
+    "sse_comment",
+    "sse_encode",
 ]

@@ -15,8 +15,14 @@ import json
 import urllib.error
 import urllib.request
 
-from repro.errors import DeadlineExceededError, ServiceOverloadedError, ServingError
+from repro.errors import (
+    DeadlineExceededError,
+    ServiceOverloadedError,
+    ServingError,
+    SessionNotFoundError,
+)
 from repro.faults import clock
+from repro.serving.stream import SseParser
 from repro.utils.rng import SeededRng
 
 
@@ -115,6 +121,8 @@ class PredictionClient:
             ) from error
         if error.code == 504:
             raise DeadlineExceededError(f"{method} {path} deadline exceeded: {message}") from error
+        if error.code == 404 and "/v1/sessions/" in path:
+            raise SessionNotFoundError(path.split("/")[3]) from error
         raise ServingError(f"{method} {path} failed: {message}") from error
 
     def _request_once(
@@ -237,6 +245,106 @@ class PredictionClient:
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
         return self._request("POST", "/v1/completions", payload, headers=headers)
+
+    def predict_stream(
+        self,
+        prompt: str,
+        max_new_tokens: int | None = None,
+        deadline_ms: float | None = None,
+        headers: dict[str, str] | None = None,
+        chunk_size: int = 512,
+    ):
+        """Incremental completion: yields parsed SSE events as they arrive.
+
+        A generator over :class:`~repro.serving.stream.SseEvent` — feed
+        ``event.json()`` for the payload; ``token`` events carry ``text``
+        deltas whose concatenation equals the non-streaming completion,
+        and the final event is ``done`` (or ``error``).  Closing the
+        generator early closes the socket, which the server observes as a
+        client disconnect and answers by cancelling the request.  Streams
+        do not retry or fail over: once bytes flowed, a replay could
+        duplicate delivered tokens.
+        """
+        path = "/v1/completions?stream=1"
+        url = self.base_url + path
+        payload: dict = {"prompt": prompt, "stream": True}
+        if max_new_tokens is not None:
+            payload["max_new_tokens"] = max_new_tokens
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        request = urllib.request.Request(
+            url,
+            data=json.dumps(payload).encode("utf-8"),
+            method="POST",
+            headers={"Content-Type": "application/json", **(headers or {})},
+        )
+        try:
+            response = urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            self._raise_http("POST", path, error)
+        except urllib.error.URLError as error:
+            raise ServingError(f"cannot reach service at {url}: {error}") from error
+        parser = SseParser()
+        try:
+            while True:
+                chunk = response.read(chunk_size)
+                if not chunk:
+                    break
+                for event in parser.feed(chunk):
+                    yield event
+            for event in parser.close():
+                yield event
+        finally:
+            response.close()
+
+    def stream_text(self, prompt: str, max_new_tokens: int | None = None) -> "list[str]":
+        """Convenience: the stream's ``token`` text deltas, in order."""
+        deltas = []
+        for event in self.predict_stream(prompt, max_new_tokens):
+            if event.event == "token":
+                deltas.append(event.json().get("text", ""))
+            elif event.event == "error":
+                data = event.json()
+                raise ServingError(f"stream failed: {data.get('error')} ({data.get('status')})")
+        return deltas
+
+    # -- sessions -------------------------------------------------------------
+
+    def session_create(
+        self,
+        buffer: str,
+        max_new_tokens: int | None = None,
+        deadline_ms: float | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> dict:
+        """Open a keystroke session; the payload carries ``session_id``."""
+        payload: dict = {"buffer": buffer}
+        if max_new_tokens is not None:
+            payload["max_new_tokens"] = max_new_tokens
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return self._request("POST", "/v1/sessions", payload, headers=headers)
+
+    def session_extend(
+        self,
+        session_id: str,
+        buffer: str,
+        max_new_tokens: int | None = None,
+        deadline_ms: float | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> dict:
+        """Extend a session with the full new buffer (only the delta prefills)."""
+        payload: dict = {"buffer": buffer}
+        if max_new_tokens is not None:
+            payload["max_new_tokens"] = max_new_tokens
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return self._request(
+            "POST", f"/v1/sessions/{session_id}/extend", payload, headers=headers
+        )
+
+    def session_close(self, session_id: str) -> dict:
+        return self._request("DELETE", f"/v1/sessions/{session_id}")
 
     def health(self) -> dict:
         return self._request("GET", "/v1/health")

@@ -7,14 +7,21 @@ paste it back on the editor.  The user can either hit tab and accept the
 suggestion, or escape key to reject the suggestion."
 
 :class:`EditorSession` models the buffer + keystroke protocol against any
-prediction backend (in-process service or HTTP client).
+prediction backend (in-process service or HTTP client).  When the backend
+speaks the session API (``session_create`` / ``session_extend``), every
+enter after the first *extends* the server-side keystroke session: the
+buffer the plugin re-sends is almost entirely the previous prompt plus
+the accepted completion, so the server rolls its warm KV slab forward and
+prefills only the delta instead of the whole file — the pattern the KV
+arena was built for.  Backends without the session API (or whose session
+was evicted server-side) fall back to stateless ``predict`` transparently.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ServingError
+from repro.errors import ServingError, SessionNotFoundError
 
 TAB = "tab"
 ESCAPE = "escape"
@@ -27,6 +34,8 @@ class Suggestion:
     text: str
     latency_ms: float
     cached: bool
+    #: Tokens served from the session's warm KV slab (0 = cold/stateless).
+    reused_tokens: int = 0
 
 
 @dataclass
@@ -35,7 +44,9 @@ class EditorSession:
 
     Attributes:
         backend: object with ``predict(prompt) -> dict`` (a
-            :class:`PredictionService` or :class:`PredictionClient`).
+            :class:`PredictionService` or :class:`PredictionClient`);
+            if it also exposes ``session_create``/``session_extend``,
+            suggestions ride a server-side keystroke session.
         buffer: current file content.
         accepted / rejected: per-session acceptance accounting.
     """
@@ -44,11 +55,45 @@ class EditorSession:
     buffer: str = ""
     accepted: int = 0
     rejected: int = 0
+    session_id: str | None = field(default=None)
+    prefilled_tokens: int = 0  # cumulative server-side prefill work
+    reused_tokens: int = 0  # cumulative warm-slab reuse
     _pending: Suggestion | None = field(default=None, repr=False)
+
+    @property
+    def session_capable(self) -> bool:
+        if not (
+            hasattr(self.backend, "session_create")
+            and hasattr(self.backend, "session_extend")
+        ):
+            return False
+        # An in-process PredictionService without a tokenizer-equipped
+        # engine has the methods but no session manager behind them.
+        return getattr(self.backend, "sessions", True) is not None
 
     def type_text(self, text: str) -> None:
         """User types raw text (no trigger)."""
         self.buffer += text
+
+    def _complete(self) -> dict:
+        """One completion of the full buffer, session-first.
+
+        A lost session (evicted / reaped server-side) degrades to a fresh
+        create — one cold prefill, never an error surfaced to the editor.
+        """
+        if not self.session_capable:
+            return self.backend.predict(self.buffer)
+        if self.session_id is None:
+            result = self.backend.session_create(self.buffer)
+        else:
+            try:
+                result = self.backend.session_extend(self.session_id, self.buffer)
+            except SessionNotFoundError:
+                result = self.backend.session_create(self.buffer)
+        self.session_id = result.get("session_id", self.session_id)
+        self.prefilled_tokens += result.get("prefilled", 0)
+        self.reused_tokens += result.get("reused_tokens", 0)
+        return result
 
     def press_enter(self) -> Suggestion:
         """User hits enter after a ``- name:`` prompt line: trigger the API.
@@ -61,11 +106,12 @@ class EditorSession:
         if not self.buffer.rstrip("\n").split("\n")[-1].lstrip().startswith("- name:"):
             raise ServingError("enter pressed on a line that is not a '- name:' prompt")
         self.buffer += "\n"
-        result = self.backend.predict(self.buffer)
+        result = self._complete()
         self._pending = Suggestion(
             text=result["completion"],
             latency_ms=result.get("latency_ms", 0.0),
             cached=result.get("cached", False),
+            reused_tokens=result.get("reused_tokens", 0),
         )
         return self._pending
 
@@ -85,6 +131,12 @@ class EditorSession:
         else:
             raise ServingError(f"unknown key {key!r}; use 'tab' or 'escape'")
         return self.buffer
+
+    def close(self) -> None:
+        """Release the server-side session, if any (end of editing)."""
+        if self.session_id is not None and hasattr(self.backend, "session_close"):
+            self.backend.session_close(self.session_id)
+        self.session_id = None
 
     @property
     def acceptance_rate(self) -> float:

@@ -10,8 +10,18 @@ Endpoints::
 
     POST /v1/completions        {"prompt": "...", "max_new_tokens": 96}
                              -> {"completion": "...", "latency_ms": ..., "cached": ...}
+    POST /v1/completions?stream=1
+                             -> text/event-stream of token / heartbeat /
+                                done (or error) SSE events; concatenated
+                                token text == the non-streaming completion
     POST /v1/batch_completions  {"prompts": ["...", ...], "max_new_tokens": 96}
                              -> {"completions": [...], "latency_ms": ..., "cached": [...]}
+    POST /v1/sessions           {"buffer": "..."} -> {"session_id": ..., "completion": ...}
+    POST /v1/sessions/{id}/extend
+                                {"buffer": "<full new buffer>"}
+                             -> same payload; only the keystroke suffix is
+                                prefilled (``reused_tokens`` vs ``prefilled``)
+    DELETE /v1/sessions/{id} -> {"closed": true|false}
     GET  /v1/health             -> {"status": "ok", "model": "..."}
     GET  /v1/stats              -> request counts, cache stats, latency stats,
                                    in-flight count and tracing status, engine
@@ -78,12 +88,15 @@ from repro.errors import (
     RequestCancelledError,
     ServiceOverloadedError,
     ServingError,
+    SessionNotFoundError,
 )
 from repro.faults import clock
 from repro.obs import Observability
 from repro.obs.distributed import TRACE_ID_HEADER, TraceContext
 from repro.obs.export import prometheus_exposition
 from repro.serving.cache import LruCache
+from repro.serving.session import SessionManager
+from repro.serving.stream import TextDelta, sse_encode
 
 
 class _InflightEntry:
@@ -116,6 +129,9 @@ class PredictionService:
         fallback=None,
         default_deadline_s: float | None = None,
         shed_retry_after_s: float = 0.5,
+        max_sessions: int = 64,
+        session_ttl_s: float | None = None,
+        heartbeat_interval_s: float | None = None,
     ):
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ServingError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
@@ -127,6 +143,7 @@ class PredictionService:
         self.max_queue_depth = max_queue_depth
         self.default_deadline_s = default_deadline_s
         self.shed_retry_after_s = shed_retry_after_s
+        self.heartbeat_interval_s = heartbeat_interval_s
         self.request_count = 0
         self.coalesced_count = 0
         self.batch_request_count = 0
@@ -134,6 +151,8 @@ class PredictionService:
         self.degraded_count = 0
         self.deadline_exceeded_count = 0
         self.cancelled_count = 0
+        self.stream_count = 0
+        self.stream_disconnects = 0
         self.total_latency_ms = 0.0
         self._inflight_count = 0  # generations currently admitted (backpressure)
         self._lock = threading.Lock()
@@ -155,6 +174,17 @@ class PredictionService:
         self._c_deadline = metrics.counter("serving.deadline_exceeded")
         self._c_cancelled = metrics.counter("serving.cancelled")
         self._g_inflight = metrics.gauge("serving.inflight")
+        self._c_streams = metrics.counter("serving.streams")
+        self._c_stream_disconnects = metrics.counter("serving.stream_disconnects")
+        self._h_stream_ttft = metrics.histogram("serving.stream_ttft_s")
+        self._h_intertoken = metrics.histogram("serving.stream_intertoken_s")
+        # Keystroke sessions ride on the engine's KV arena; without a
+        # tokenizer-equipped engine the endpoints report 400 instead.
+        self.sessions: SessionManager | None = None
+        if engine is not None and getattr(engine, "tokenizer", None) is not None:
+            self.sessions = SessionManager(
+                engine, max_sessions=max_sessions, ttl_s=session_ttl_s, obs=obs
+            )
 
     # -- admission / degradation ---------------------------------------------
 
@@ -353,6 +383,356 @@ class PredictionService:
             payload["ttft_ms"] = ttft_s * 1000.0
         return payload
 
+    # -- streaming -----------------------------------------------------------
+
+    def predict_stream(
+        self,
+        prompt: str,
+        max_new_tokens: int | None = None,
+        deadline_s: float | None = None,
+        trace_context: TraceContext | None = None,
+    ):
+        """One completion as a stream of ``(event, data)`` pairs.
+
+        Events follow :data:`repro.serving.stream.STREAM_EVENTS`: zero or
+        more ``token`` events whose ``text`` fields concatenate to exactly
+        the non-streaming completion, optional ``heartbeat`` keepalives
+        (every ``heartbeat_interval_s`` on the faults clock), and one
+        terminal ``done`` — or ``error`` carrying an HTTP-ish ``status``
+        for dispositions that surface after the first byte has been sent
+        (504 deadline, 408 cancel, 503 shed with no fallback).
+
+        Closing the generator mid-stream is the client-disconnect path:
+        the engine request is cancelled cooperatively and its KV slabs
+        return to the arena immediately.  Streams skip the coalescing map
+        (two concurrent identical streams each decode — delivery order is
+        the product) but share the cache both ways: hits replay as a
+        single burst, and completed streams populate it.
+
+        Validation errors and pre-stream shedding raise *before* the
+        first event, so an HTTP front-end can still answer with a plain
+        status; anything after the first token arrives in-band.
+        """
+        if not isinstance(prompt, str) or not prompt.strip():
+            raise ServingError("prompt must be a non-empty string")
+        budget = max_new_tokens or self.max_new_tokens
+        deadline = deadline_s if deadline_s is not None else self.default_deadline_s
+        return self._predict_stream(prompt, budget, deadline, trace_context)
+
+    def _stream_done(self, data: dict, trace_context: TraceContext | None) -> tuple[str, dict]:
+        if trace_context is not None:
+            data["trace_id"] = trace_context.trace_id
+        return "done", data
+
+    def _predict_stream(
+        self,
+        prompt: str,
+        budget: int,
+        deadline_s: float | None,
+        trace_context: TraceContext | None,
+    ):
+        started = clock.now()
+        with self._lock:
+            self.stream_count += 1
+            cached = self.cache.get(prompt)
+        self._c_streams.inc()
+        if cached is not None:
+            with self._lock:
+                payload = self._account(cached, started, cached_hit=True)
+            yield "token", {"text": cached, "index": 0}
+            yield self._stream_done(
+                {
+                    "completion": cached,
+                    "stop_reason": None,
+                    "outcome": "completed",
+                    "cached": True,
+                    "degraded": False,
+                    "latency_ms": payload["latency_ms"],
+                },
+                trace_context,
+            )
+            return
+        engine = self.engine
+        streamable = (
+            engine is not None
+            and hasattr(engine, "stream_ids")
+            and getattr(engine, "tokenizer", None) is not None
+        )
+        if not streamable:
+            # No token-level engine: serve the whole completion through
+            # the ordinary path, then replay it as a one-burst stream.
+            payload = self._predict(prompt, budget, deadline_s)
+            yield "token", {"text": payload["completion"], "index": 0}
+            yield self._stream_done(
+                {
+                    "completion": payload["completion"],
+                    "stop_reason": None,
+                    "outcome": "completed",
+                    "cached": payload["cached"],
+                    "degraded": bool(payload.get("degraded")),
+                    "latency_ms": payload["latency_ms"],
+                },
+                trace_context,
+            )
+            return
+        if not self._try_admit():
+            text = self._degrade(prompt, budget, "queue full")  # raises 503 sans fallback
+            with self._lock:
+                payload = self._account(text, started, cached_hit=False, degraded=True)
+            yield "token", {"text": text, "index": 0}
+            yield self._stream_done(
+                {
+                    "completion": text,
+                    "stop_reason": None,
+                    "outcome": "completed",
+                    "cached": False,
+                    "degraded": True,
+                    "latency_ms": payload["latency_ms"],
+                },
+                trace_context,
+            )
+            return
+        activation = (
+            self.obs.tracer.activate(trace_context.trace_id, trace_context.parent_span)
+            if trace_context is not None
+            else nullcontext()
+        )
+        tokenizer = engine.tokenizer
+        deltas = TextDelta(tokenizer)
+        handle: list = []
+        token_ids: list[int] = []
+        index = 0
+        first_token_at: float | None = None
+        last_emit = started
+        finished = False
+        inner = engine.stream_ids(
+            tokenizer.encode(prompt), budget, deadline_s=deadline_s, handle=handle
+        )
+        try:
+            with activation:
+                for burst in inner:
+                    now = clock.now()
+                    if first_token_at is None:
+                        first_token_at = now
+                        self._h_stream_ttft.observe(now - started)
+                    else:
+                        self._h_intertoken.observe(now - last_emit)
+                    if (
+                        self.heartbeat_interval_s is not None
+                        and now - last_emit >= self.heartbeat_interval_s
+                    ):
+                        yield "heartbeat", {"elapsed_ms": (now - started) * 1000.0}
+                    last_emit = now
+                    token_ids.extend(burst)
+                    text = deltas.push(token_ids)
+                    yield "token", {"text": text, "token_ids": list(burst), "index": index}
+                    index += 1
+                request = handle[0]
+                outcome = request.outcome
+                if outcome == "completed":
+                    tail = deltas.flush(token_ids)
+                    if tail:
+                        yield "token", {"text": tail, "token_ids": [], "index": index}
+                    completion = tokenizer.decode(request.generated)
+                    ttft_s = (
+                        first_token_at - started if first_token_at is not None else None
+                    )
+                    with self._lock:
+                        self.cache.put(prompt, completion)
+                        payload = self._account(
+                            completion, started, cached_hit=False, ttft_s=ttft_s
+                        )
+                    yield self._stream_done(
+                        {
+                            "completion": completion,
+                            "stop_reason": request.stop_reason,
+                            "outcome": outcome,
+                            "cached": False,
+                            "degraded": False,
+                            "latency_ms": payload["latency_ms"],
+                            "ttft_ms": payload.get("ttft_ms"),
+                            "generated_tokens": len(request.generated),
+                        },
+                        trace_context,
+                    )
+                elif outcome == "deadline_exceeded":
+                    with self._lock:
+                        self.deadline_exceeded_count += 1
+                    self._c_deadline.inc()
+                    yield "error", {
+                        "error": f"deadline of {deadline_s}s exceeded",
+                        "status": 504,
+                        "outcome": outcome,
+                    }
+                elif outcome == "cancelled":
+                    with self._lock:
+                        self.cancelled_count += 1
+                    self._c_cancelled.inc()
+                    yield "error", {
+                        "error": "request cancelled",
+                        "status": 408,
+                        "outcome": outcome,
+                    }
+                else:  # shed by the engine at prefill
+                    if self.fallback is not None:
+                        text = self._degrade(prompt, budget, "engine shed the request")
+                        with self._lock:
+                            payload = self._account(text, started, cached_hit=False, degraded=True)
+                        yield "token", {"text": text, "index": index}
+                        yield self._stream_done(
+                            {
+                                "completion": text,
+                                "stop_reason": None,
+                                "outcome": "completed",
+                                "cached": False,
+                                "degraded": True,
+                                "latency_ms": payload["latency_ms"],
+                            },
+                            trace_context,
+                        )
+                    else:
+                        with self._lock:
+                            self.shed_count += 1
+                        self._c_shed.inc()
+                        yield "error", {
+                            "error": "service overloaded (engine shed the request)",
+                            "status": 503,
+                            "outcome": outcome,
+                            "retry_after_s": self.shed_retry_after_s,
+                        }
+                finished = True
+        finally:
+            # Runs on normal completion AND on generator close (client
+            # disconnect): closing the engine stream cancels a still-live
+            # request and reaps it, freeing its arena blocks immediately.
+            inner.close()
+            self._release_admission()
+            if not finished:
+                with self._lock:
+                    self.stream_disconnects += 1
+                self._c_stream_disconnects.inc()
+            tracer = self.obs.tracer
+            if tracer.enabled:
+                tracer.record(
+                    "serving.predict_stream",
+                    started,
+                    clock.now(),
+                    tokens=len(token_ids),
+                    disconnected=not finished,
+                )
+
+    # -- sessions ------------------------------------------------------------
+
+    def _require_sessions(self) -> SessionManager:
+        if self.sessions is None:
+            raise ServingError(
+                "sessions unavailable: service has no tokenizer-equipped engine"
+            )
+        return self.sessions
+
+    def _session_call(
+        self,
+        name: str,
+        trace_context: TraceContext | None,
+        runner,
+        discard_on_abort: bool = False,
+    ) -> dict:
+        """Shared admission / tracing / outcome plumbing for session ops.
+
+        ``discard_on_abort`` marks calls whose caller has no way to learn
+        the session id when the call maps to an error status (create): a
+        session that survived server-side but was never announced would be
+        an orphan pinning arena blocks until eviction, so it is closed
+        before the error propagates.
+        """
+        started = clock.now()
+        activation = (
+            self.obs.tracer.activate(trace_context.trace_id, trace_context.parent_span)
+            if trace_context is not None
+            else nullcontext()
+        )
+        if not self._try_admit():
+            raise self._shed("queue full")
+        try:
+            with activation, self.obs.tracer.span(name) as span:
+                payload = runner()
+                span.set(outcome=payload["outcome"], reused=payload["reused_tokens"])
+        finally:
+            self._release_admission()
+        outcome = payload["outcome"]
+        if outcome in ("deadline_exceeded", "cancelled") and discard_on_abort:
+            self.sessions.close(payload["session_id"])
+        if outcome == "deadline_exceeded":
+            with self._lock:
+                self.deadline_exceeded_count += 1
+            self._c_deadline.inc()
+            raise DeadlineExceededError("session deadline exceeded")
+        if outcome == "cancelled":
+            with self._lock:
+                self.cancelled_count += 1
+            self._c_cancelled.inc()
+            raise RequestCancelledError("session request cancelled")
+        latency_ms = (clock.now() - started) * 1000.0
+        with self._lock:
+            self.request_count += 1
+            self.total_latency_ms += latency_ms
+        self._c_requests.inc()
+        payload["latency_ms"] = latency_ms
+        payload["ttft_ms"] = payload.pop("ttft_s") * 1000.0
+        if trace_context is not None:
+            payload["trace_id"] = trace_context.trace_id
+        return payload
+
+    def session_create(
+        self,
+        buffer: str,
+        max_new_tokens: int | None = None,
+        deadline_s: float | None = None,
+        trace_context: TraceContext | None = None,
+    ) -> dict:
+        """``POST /v1/sessions``: open a keystroke session from a full buffer."""
+        sessions = self._require_sessions()
+        if not isinstance(buffer, str) or not buffer.strip():
+            raise ServingError("buffer must be a non-empty string")
+        budget = max_new_tokens or self.max_new_tokens
+        deadline = deadline_s if deadline_s is not None else self.default_deadline_s
+        return self._session_call(
+            "serving.session_create",
+            trace_context,
+            lambda: sessions.create(buffer, budget, deadline),
+            discard_on_abort=True,
+        )
+
+    def session_extend(
+        self,
+        session_id: str,
+        buffer: str,
+        max_new_tokens: int | None = None,
+        deadline_s: float | None = None,
+        trace_context: TraceContext | None = None,
+    ) -> dict:
+        """``POST /v1/sessions/{id}/extend``: continue with the new buffer.
+
+        Raises :class:`~repro.errors.SessionNotFoundError` (HTTP 404) for
+        evicted / reaped / unknown ids — clients fall back to
+        :meth:`session_create`.
+        """
+        sessions = self._require_sessions()
+        if not isinstance(buffer, str) or not buffer.strip():
+            raise ServingError("buffer must be a non-empty string")
+        budget = max_new_tokens or self.max_new_tokens
+        deadline = deadline_s if deadline_s is not None else self.default_deadline_s
+        return self._session_call(
+            "serving.session_extend",
+            trace_context,
+            lambda: sessions.extend(session_id, buffer, budget, deadline),
+        )
+
+    def session_close(self, session_id: str) -> dict:
+        """``DELETE /v1/sessions/{id}``: release the session's KV slabs."""
+        sessions = self._require_sessions()
+        return {"session_id": session_id, "closed": sessions.close(session_id)}
+
     # -- batch prediction ----------------------------------------------------
 
     def predict_batch(
@@ -500,6 +880,8 @@ class PredictionService:
                 "degraded_requests": self.degraded_count,
                 "deadline_exceeded_requests": self.deadline_exceeded_count,
                 "cancelled_requests": self.cancelled_count,
+                "stream_requests": self.stream_count,
+                "stream_disconnects": self.stream_disconnects,
                 "max_queue_depth": self.max_queue_depth,
                 "inflight": self._inflight_count,
                 "cache_hit_rate": self.cache.hit_rate,
@@ -513,6 +895,8 @@ class PredictionService:
             "spans_buffered": len(tracer),
             "spans_recorded": tracer.total_recorded,
         }
+        if self.sessions is not None:
+            report["sessions"] = self.sessions.stats()
         if self.engine is not None:
             report["engine"] = self.engine.stats()
         return report
@@ -613,23 +997,85 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send_json({"error": f"unknown path {self.path}"}, status=404)
 
+    def _stream_sse(self, events, trace_context: TraceContext | None) -> None:
+        """Write a ``(event, data)`` generator as a ``text/event-stream``.
+
+        The first event is pulled *before* the status line goes out, so
+        pre-stream failures (validation, shed-without-fallback) still map
+        to plain HTTP statuses in the caller.  Once streaming, a broken
+        pipe — the client hung up — closes the generator, which cancels
+        the underlying engine request and frees its KV slabs.
+        """
+        events = iter(events)
+        try:
+            first = next(events)
+        except StopIteration:
+            first = None
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        if trace_context is not None:
+            self.send_header(TRACE_ID_HEADER, trace_context.trace_id)
+        self.end_headers()
+        try:
+            if first is not None:
+                self.wfile.write(sse_encode(*first))
+                self.wfile.flush()
+                for event, data in events:
+                    self.wfile.write(sse_encode(event, data))
+                    self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # client disconnect: fall through to close() below
+        finally:
+            events.close()
+
     def do_POST(self) -> None:
         try:
+            parsed = urlparse(self.path)
+            query = parse_qs(parsed.query)
+            parts = [part for part in parsed.path.split("/") if part]
             length = int(self.headers.get("Content-Length", "0"))
             payload = json.loads(self.rfile.read(length) or b"{}")
             deadline_ms = payload.get("deadline_ms")
             deadline_s = deadline_ms / 1000.0 if deadline_ms is not None else None
             trace_context = TraceContext.from_headers(self.headers)
-            if self.path == "/v1/completions":
+            if parsed.path == "/v1/completions":
+                wants_stream = (query.get("stream") or ["0"])[0] in ("1", "true") or bool(
+                    payload.get("stream")
+                )
+                if wants_stream:
+                    events = self.service.predict_stream(
+                        payload.get("prompt", ""),
+                        payload.get("max_new_tokens"),
+                        deadline_s=deadline_s,
+                        trace_context=trace_context,
+                    )
+                    self._stream_sse(events, trace_context)
+                    return
                 result = self.service.predict(
                     payload.get("prompt", ""),
                     payload.get("max_new_tokens"),
                     deadline_s=deadline_s,
                     trace_context=trace_context,
                 )
-            elif self.path == "/v1/batch_completions":
+            elif parsed.path == "/v1/batch_completions":
                 result = self.service.predict_batch(
                     payload.get("prompts", []),
+                    payload.get("max_new_tokens"),
+                    deadline_s=deadline_s,
+                    trace_context=trace_context,
+                )
+            elif parsed.path == "/v1/sessions":
+                result = self.service.session_create(
+                    payload.get("buffer", payload.get("prompt", "")),
+                    payload.get("max_new_tokens"),
+                    deadline_s=deadline_s,
+                    trace_context=trace_context,
+                )
+            elif len(parts) == 4 and parts[:2] == ["v1", "sessions"] and parts[3] == "extend":
+                result = self.service.session_extend(
+                    parts[2],
+                    payload.get("buffer", payload.get("prompt", "")),
                     payload.get("max_new_tokens"),
                     deadline_s=deadline_s,
                     trace_context=trace_context,
@@ -641,6 +1087,8 @@ class _Handler(BaseHTTPRequestHandler):
                 {TRACE_ID_HEADER: trace_context.trace_id} if trace_context is not None else None
             )
             self._send_json(result, headers=echo)
+        except SessionNotFoundError as error:
+            self._send_json({"error": str(error)}, status=404)
         except ServiceOverloadedError as error:
             retry_after = error.retry_after_s if error.retry_after_s is not None else 1.0
             body = json.dumps(
@@ -660,6 +1108,17 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json({"error": str(error)}, status=400)
         except (ValueError, json.JSONDecodeError) as error:
             self._send_json({"error": f"bad request: {error}"}, status=400)
+
+    def do_DELETE(self) -> None:
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        try:
+            if len(parts) == 3 and parts[:2] == ["v1", "sessions"]:
+                self._send_json(self.service.session_close(parts[2]))
+            else:
+                self._send_json({"error": f"unknown path {self.path}"}, status=404)
+        except ServingError as error:
+            self._send_json({"error": str(error)}, status=400)
 
 
 class RestServer:

@@ -1,0 +1,383 @@
+"""Keystroke sessions: incremental prompt extension over a live KV slab.
+
+The editor-plugin serving pattern the KV arena was designed for: the user
+types, the plugin re-sends the *full* buffer, and almost all of it is the
+previous request's prompt plus the completion the user just accepted.  A
+:class:`SessionManager` keeps that state warm — each session owns
+exclusive per-layer :class:`~repro.nn.kv_arena.KVCache` handles holding
+the K/V of every token fed so far, and an *extend* call
+
+1. tokenizes the new buffer and plans it through the same
+   budget-aware :func:`~repro.nn.sampling.plan_prompt` as every other
+   engine path,
+2. finds the longest common token prefix with the session's cached
+   context and rolls the caches back to it (``KVCache.truncate`` —
+   zero-copy COW-safe rollback, the same primitive speculative decode
+   uses),
+3. runs one ``forward_incremental`` over only the *suffix* — the few
+   tokens the keystroke actually added — and
+4. greedy-decodes with exactly the
+   :func:`~repro.engine.batcher.advance_request` stop policy.
+
+Because causal attention makes incremental prefill bit-identical to
+prefilling from scratch (the property the prefix cache already relies
+on), an extend's completion is byte-identical to a cold re-prefill of the
+full buffer; the conformance suite asserts this across dtypes and seeds.
+What changes is only the work: TTFT drops from O(buffer) to O(keystroke).
+
+Lifecycle: sessions are LRU-evicted beyond ``max_sessions`` and reaped
+after ``ttl_s`` idle seconds (both on the :mod:`repro.faults` clock, so
+TTL behaviour is exact under a fake clock).  Every exit path — close,
+evict, reap, crash (:meth:`close_all`), or a mid-extend fault — releases
+the session's caches back to the arena: the chaos suite's zero-leak and
+no-orphaned-session invariants hold by construction.
+
+Locking: public entry points take the manager lock, then the engine's
+request lock for anything touching the model or the arena — the same
+coarse serialisation as ``generate_batch``, in a fixed order, so sessions
+never race a batch decode for slabs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.batcher import advance_request
+from repro.engine.request import GenerationRequest
+from repro.errors import (
+    InjectedFault,
+    ServiceOverloadedError,
+    ServingError,
+    SessionNotFoundError,
+)
+from repro.faults import clock
+from repro.faults.inject import fire
+from repro.nn.kv_arena import KVCache
+
+
+def _common_prefix(left: list[int], right: list[int]) -> int:
+    bound = min(len(left), len(right))
+    index = 0
+    while index < bound and left[index] == right[index]:
+        index += 1
+    return index
+
+
+@dataclass
+class _Session:
+    """One live editor session and the token context its caches hold."""
+
+    session_id: str
+    caches: list[KVCache]
+    cached_ids: list[int] = field(default_factory=list)  # tokens with K/V resident
+    created_at: float = 0.0
+    last_used_at: float = 0.0
+    extends: int = 0
+
+    def release(self) -> None:
+        for cache in self.caches:
+            cache.release()
+        self.cached_ids.clear()
+
+
+class SessionManager:
+    """LRU/TTL-bounded table of keystroke sessions over one engine."""
+
+    def __init__(
+        self,
+        engine,
+        *,
+        max_sessions: int = 64,
+        ttl_s: float | None = None,
+        obs=None,
+    ):
+        if engine.tokenizer is None:
+            raise ServingError("sessions need a tokenizer-equipped engine")
+        if max_sessions < 1:
+            raise ServingError(f"max_sessions must be >= 1, got {max_sessions}")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ServingError(f"ttl_s must be positive, got {ttl_s}")
+        self.engine = engine
+        self.max_sessions = max_sessions
+        self.ttl_s = ttl_s
+        self.obs = obs if obs is not None else engine.obs
+        self._sessions: "OrderedDict[str, _Session]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._next_id = 0
+        # -- accounting (guarded by self._lock) --
+        self.created = 0
+        self.extends = 0
+        self.evicted = 0
+        self.reaped = 0
+        self.closed = 0
+        self.prefill_tokens = 0
+        self.reused_tokens = 0
+        self.decode_tokens = 0
+        self.decode_faults = 0
+        metrics = self.obs.metrics
+        self._c_created = metrics.counter("session.created")
+        self._c_extends = metrics.counter("session.extends")
+        self._c_evicted = metrics.counter("session.evicted")
+        self._c_reaped = metrics.counter("session.reaped")
+        self._c_prefill = metrics.counter("session.prefill_tokens")
+        self._c_reused = metrics.counter("session.reused_tokens")
+        self._h_create_ttft = metrics.histogram("session.create_ttft_s")
+        self._h_extend_ttft = metrics.histogram("session.extend_ttft_s")
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def session_ids(self) -> list[str]:
+        with self._lock:
+            return list(self._sessions)
+
+    def stats(self) -> dict:
+        with self._lock:
+            fed = self.prefill_tokens + self.reused_tokens
+            return {
+                "live_sessions": len(self._sessions),
+                "max_sessions": self.max_sessions,
+                "ttl_s": self.ttl_s,
+                "created": self.created,
+                "extends": self.extends,
+                "evicted": self.evicted,
+                "reaped": self.reaped,
+                "closed": self.closed,
+                "prefill_tokens": self.prefill_tokens,
+                "reused_tokens": self.reused_tokens,
+                "decode_tokens": self.decode_tokens,
+                "decode_faults": self.decode_faults,
+                "token_reuse_rate": self.reused_tokens / fed if fed else 0.0,
+            }
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _drop_locked(self, session: _Session) -> None:
+        """Release a session's slabs and forget it; both locks held."""
+        self._sessions.pop(session.session_id, None)
+        session.release()
+
+    def close(self, session_id: str) -> bool:
+        """Release one session; True if it existed."""
+        with self._lock, self.engine._lock:
+            session = self._sessions.get(session_id)
+            if session is None:
+                return False
+            self._drop_locked(session)
+            self.closed += 1
+            return True
+
+    def close_all(self) -> int:
+        """Release every session — the replica-crash / shutdown path.
+
+        A dead replica must not leave orphaned sessions pinning arena
+        blocks: this is what :class:`repro.fleet.worker.InProcessWorker`
+        calls from its crash handler, right after ``engine.abort_all()``.
+        """
+        with self._lock, self.engine._lock:
+            dropped = len(self._sessions)
+            for session in list(self._sessions.values()):
+                self._drop_locked(session)
+            self.closed += dropped
+            return dropped
+
+    def reap_idle(self, now: float | None = None) -> int:
+        """Drop sessions idle past ``ttl_s``; returns how many."""
+        if self.ttl_s is None:
+            return 0
+        moment = clock.now() if now is None else now
+        with self._lock, self.engine._lock:
+            stale = [
+                session
+                for session in self._sessions.values()
+                if moment - session.last_used_at >= self.ttl_s
+            ]
+            for session in stale:
+                self._drop_locked(session)
+                self.reaped += 1
+                self._c_reaped.inc()
+            return len(stale)
+
+    def _evict_over_capacity_locked(self) -> None:
+        while len(self._sessions) > self.max_sessions:
+            _, session = self._sessions.popitem(last=False)
+            session.release()
+            self.evicted += 1
+            self._c_evicted.inc()
+
+    # -- generation core ------------------------------------------------------
+
+    def _run(self, session: _Session, request: GenerationRequest) -> dict:
+        """Prefill the suffix atop the session's warm caches, then decode.
+
+        Token-for-token the policy of
+        :func:`~repro.nn.sampling.generate_greedy`: same planned prompt,
+        same stop handling, same budget-before-window ordering — which is
+        what makes a warm extend byte-identical to a cold re-prefill.
+        Both locks and the engine lock are held by the caller.
+        """
+        model = self.engine.network
+        window = model.config.n_positions
+        planned = request.prompt_ids
+        common = min(_common_prefix(session.cached_ids, planned), len(planned) - 1)
+        if common < session.caches[0].length:
+            for cache in session.caches:
+                cache.truncate(common)
+            del session.cached_ids[common:]
+        request.prefix_reused = common
+        suffix = planned[common:]
+        request.begin_prefill()
+        try:
+            logits = model.forward_incremental(
+                np.array([suffix], dtype=np.int64), session.caches
+            )
+        except BaseException:
+            # A fault mid-prefill (slab allocation, injected crash) can
+            # leave per-layer caches at mixed lengths — the session is
+            # unrecoverable.  Release every slab and forget it so the
+            # failure sheds this one request without leaking a byte.
+            self._drop_locked(session)
+            request.finish("shed")
+            self.engine._observe_request(request)
+            raise
+        session.cached_ids.extend(suffix)
+        prefilled = len(suffix)
+        first_token = int(logits[0, -1].argmax())
+        request.begin_decode()
+        ttft_s = request.decode_started_at - request.submitted_at
+        appended_from = len(request.generated)
+        reason = advance_request(request, first_token, window)
+        request.emit_tokens(request.generated[appended_from:])
+        pending = first_token
+        try:
+            while reason is None:
+                if request.cancel_requested:
+                    reason = "cancelled"
+                    break
+                if request.expired():
+                    reason = "deadline_exceeded"
+                    break
+                try:
+                    # Same transient-fault contract as the batcher: the seam
+                    # fires before the forward touches any state, so a raised
+                    # InjectedFault skips nothing and the retry is identical.
+                    fire("engine.decode_step", batch=1, session=session.session_id)
+                except InjectedFault:
+                    self.decode_faults += 1
+                    continue
+                logits = model.forward_incremental(
+                    np.array([[pending]], dtype=np.int64), session.caches
+                )
+                session.cached_ids.append(pending)
+                appended_from = len(request.generated)
+                pending = int(logits[0, -1].argmax())
+                reason = advance_request(request, pending, window)
+                request.emit_tokens(request.generated[appended_from:])
+        except BaseException:
+            # A crash unwinding the decode loop (WorkerCrashed fires before
+            # the forward, so the caches stay consistent): record the
+            # request as cancelled — the replica's crash handler closes
+            # every session right after, releasing the slabs.
+            request.finish("cancelled")
+            self.engine._observe_request(request)
+            raise
+        request.finish(reason)
+        self.prefill_tokens += prefilled
+        self.reused_tokens += common
+        self.decode_tokens += len(request.generated)
+        self._c_prefill.inc(prefilled)
+        self._c_reused.inc(common)
+        self.engine._observe_request(request)
+        completion = self.engine.tokenizer.decode(request.generated)
+        return {
+            "session_id": session.session_id,
+            "completion": completion,
+            "stop_reason": request.stop_reason,
+            "outcome": request.outcome,
+            "ttft_s": ttft_s,
+            "prefilled": prefilled,
+            "reused_tokens": common,
+            "generated_tokens": len(request.generated),
+            "extends": session.extends,
+        }
+
+    def _generate(self, session: _Session, buffer: str, max_new_tokens, deadline_s) -> dict:
+        ids = self.engine.tokenizer.encode(buffer)
+        if not ids:
+            raise ServingError(f"buffer encodes to no tokens: {buffer!r}")
+        with self.engine._lock:
+            request = self.engine._make_request(ids, max_new_tokens, None, deadline_s)
+            try:
+                return self._run(session, request)
+            except (InjectedFault, MemoryError) as error:
+                raise ServiceOverloadedError(
+                    f"session {session.session_id} shed during prefill"
+                ) from error
+
+    # -- public API -----------------------------------------------------------
+
+    def create(
+        self,
+        buffer: str,
+        max_new_tokens: int | None = None,
+        deadline_s: float | None = None,
+    ) -> dict:
+        """Open a session from a full buffer; returns the first completion.
+
+        The payload carries ``session_id`` for subsequent :meth:`extend`
+        calls, plus the same disposition fields the completion endpoint
+        reports (``outcome``, ``stop_reason``, ``ttft_s``).
+        """
+        with self._lock:
+            now = clock.now()
+            session = _Session(
+                session_id=f"s{self._next_id:04d}",
+                caches=self.engine.network.new_cache(self.engine.kv_arena),
+                created_at=now,
+                last_used_at=now,
+            )
+            self._next_id += 1
+            payload = self._generate(session, buffer, max_new_tokens, deadline_s)
+            self._sessions[session.session_id] = session
+            self.created += 1
+            self._c_created.inc()
+            self._h_create_ttft.observe(payload["ttft_s"])
+            self._evict_over_capacity_locked()
+            return payload
+
+    def extend(
+        self,
+        session_id: str,
+        buffer: str,
+        max_new_tokens: int | None = None,
+        deadline_s: float | None = None,
+    ) -> dict:
+        """Continue a session with the client's *full* new buffer.
+
+        Only the tokens past the common prefix with the session's cached
+        context are prefilled; the payload's ``reused_tokens`` /
+        ``prefilled`` split is the no-re-prefill regression surface.
+        Raises :class:`SessionNotFoundError` for unknown / evicted /
+        reaped ids — callers recover by creating a fresh session.
+        """
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is None:
+                raise SessionNotFoundError(session_id)
+            session.extends += 1
+            session.last_used_at = clock.now()
+            self._sessions.move_to_end(session_id)
+            payload = self._generate(session, buffer, max_new_tokens, deadline_s)
+            session.last_used_at = clock.now()
+            self.extends += 1
+            self._c_extends.inc()
+            self._h_extend_ttft.observe(payload["ttft_s"])
+            return payload

@@ -1,0 +1,230 @@
+"""Server-sent-event wire format for token streaming.
+
+``POST /v1/completions?stream=1`` answers with ``text/event-stream``: one
+SSE event per emitted token burst, heartbeat keepalives while the decode
+is between tokens, and a terminal ``done`` (or ``error``) event carrying
+the request's disposition.  This module owns both halves of that wire:
+
+* :func:`sse_encode` — render one event as bytes.  Payloads are JSON with
+  ``ensure_ascii``, so bytes that would corrupt the SSE framing (``\\r``,
+  ``\\n``, U+2028/U+2029 — the same characters the Prometheus exposition
+  escapes) travel as escape sequences, never as raw line terminators.
+* :class:`SseParser` — an incremental byte-level parser.  Chunk
+  boundaries are arbitrary (a proxy may split anywhere, including the
+  middle of a multi-byte UTF-8 character or between ``\\r`` and ``\\n``),
+  so the parser buffers *bytes* until a complete line is delimited and
+  only then decodes.  Per the SSE spec it honours ``\\r\\n``, ``\\n`` and
+  bare ``\\r`` line terminators, joins multiple ``data:`` lines with
+  ``\\n``, strips one optional space after the field colon, and ignores
+  comment lines (``:`` prefix) apart from surfacing them as heartbeats.
+* :class:`TextDelta` — turns a growing token-id sequence into text
+  deltas whose concatenation is byte-identical to decoding the full
+  sequence at once, holding back trailing bytes that do not yet form a
+  complete UTF-8 character (a multi-byte character split across two
+  token emissions must not leak a replacement character mid-stream).
+
+Every helper is transport-agnostic and deterministic, which is what lets
+the conformance suite fuzz the framing separately from the engine.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ServingError
+
+#: Event names the serving layer emits on a completion stream.
+STREAM_EVENTS = ("token", "heartbeat", "done", "error")
+
+_REPLACEMENT = "�"
+
+
+def sse_encode(event: str, data: dict) -> bytes:
+    """Render one SSE event (``event:`` + ``data:`` + blank line) as bytes.
+
+    ``data`` is JSON-serialised with ``ensure_ascii=True`` and sorted
+    keys: ASCII-only output guarantees no raw ``\\r``/U+2028 can break a
+    line-oriented consumer, and the canonical key order keeps streamed
+    logs byte-identical across replays.
+    """
+    if not event or any(c in event for c in "\r\n"):
+        raise ServingError(f"invalid SSE event name {event!r}")
+    body = json.dumps(data, ensure_ascii=True, sort_keys=True)
+    return f"event: {event}\ndata: {body}\n\n".encode("ascii")
+
+
+def sse_comment(text: str = "") -> bytes:
+    """A comment line (``: text``) — the keepalive a proxy must forward."""
+    if any(c in text for c in "\r\n"):
+        raise ServingError("SSE comments cannot contain line terminators")
+    return f": {text}\n\n".encode("utf-8")
+
+
+@dataclass
+class SseEvent:
+    """One parsed server-sent event."""
+
+    event: str
+    data: str
+    comment: bool = False
+
+    def json(self) -> dict:
+        """The JSON payload carried by ``data`` (raises on non-JSON)."""
+        try:
+            return json.loads(self.data)
+        except (ValueError, json.JSONDecodeError) as error:
+            raise ServingError(f"non-JSON SSE data: {self.data!r}") from error
+
+
+class SseParser:
+    """Incremental SSE parser fed raw bytes, yielding :class:`SseEvent`.
+
+    Feed arbitrary chunks (any split points, including mid-character and
+    between ``\\r`` and ``\\n``); complete events come back as they are
+    delimited by blank lines.  Call :meth:`close` at end-of-stream to
+    flush a final event that was not blank-line-terminated.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = b""
+        self._event_name = ""
+        self._data_lines: list[str] = []
+        self._events: list[SseEvent] = []
+
+    # -- line framing --------------------------------------------------------
+
+    def _split_lines(self, closing: bool) -> list[bytes]:
+        """Pop complete lines off the byte buffer, honouring CRLF/CR/LF.
+
+        A buffer ending in a lone ``\\r`` is ambiguous — the next chunk
+        may begin with the ``\\n`` of a CRLF pair — so that byte stays
+        buffered until more input (or close) disambiguates it.
+        """
+        lines: list[bytes] = []
+        buffer = self._buffer
+        start = 0
+        index = 0
+        end = len(buffer)
+        while index < end:
+            byte = buffer[index]
+            if byte == 0x0A:  # \n
+                lines.append(buffer[start:index])
+                index += 1
+                start = index
+            elif byte == 0x0D:  # \r — maybe \r\n
+                if index + 1 < end:
+                    lines.append(buffer[start:index])
+                    index += 2 if buffer[index + 1] == 0x0A else 1
+                    start = index
+                elif closing:
+                    lines.append(buffer[start:index])
+                    index += 1
+                    start = index
+                else:
+                    break  # trailing \r: wait for the next chunk
+            else:
+                index += 1
+        self._buffer = buffer[start:]
+        return lines
+
+    def _dispatch_line(self, raw: bytes) -> None:
+        if not raw:
+            self._flush_event()
+            return
+        line = raw.decode("utf-8", errors="replace")
+        if line.startswith(":"):
+            comment = line[1:]
+            if comment.startswith(" "):
+                comment = comment[1:]
+            self._events.append(SseEvent(event="comment", data=comment, comment=True))
+            return
+        name, _, value = line.partition(":")
+        if value.startswith(" "):
+            value = value[1:]
+        if name == "event":
+            self._event_name = value
+        elif name == "data":
+            self._data_lines.append(value)
+        # Unknown fields (id, retry, anything else) are ignored per spec.
+
+    def _flush_event(self) -> None:
+        if not self._event_name and not self._data_lines:
+            return  # blank line with nothing accumulated
+        self._events.append(
+            SseEvent(event=self._event_name or "message", data="\n".join(self._data_lines))
+        )
+        self._event_name = ""
+        self._data_lines = []
+
+    # -- public API ----------------------------------------------------------
+
+    def feed(self, chunk: bytes) -> list[SseEvent]:
+        """Consume one chunk; return every event completed by it."""
+        if not isinstance(chunk, (bytes, bytearray)):
+            raise ServingError(f"SseParser.feed wants bytes, got {type(chunk).__name__}")
+        self._buffer += bytes(chunk)
+        for line in self._split_lines(closing=False):
+            self._dispatch_line(line)
+        events, self._events = self._events, []
+        return events
+
+    def close(self) -> list[SseEvent]:
+        """Flush end-of-stream: emit any final unterminated event."""
+        for line in self._split_lines(closing=True):
+            self._dispatch_line(line)
+        if self._buffer:
+            self._dispatch_line(self._buffer)
+            self._buffer = b""
+        self._flush_event()
+        events, self._events = self._events, []
+        return events
+
+
+def iter_sse(chunks) -> "list[SseEvent]":
+    """Parse an iterable of byte chunks into a flat event list (eager)."""
+    parser = SseParser()
+    events: list[SseEvent] = []
+    for chunk in chunks:
+        events.extend(parser.feed(chunk))
+    events.extend(parser.close())
+    return events
+
+
+@dataclass
+class TextDelta:
+    """Incremental detokenizer whose deltas concatenate to the full decode.
+
+    Byte-level BPE means a token boundary can fall inside a multi-byte
+    UTF-8 character: decoding a prefix of the final token sequence then
+    yields a trailing U+FFFD that a later token resolves into the real
+    character.  Emitting that replacement character would make the
+    concatenated stream differ from the one-shot decode — so ``push``
+    holds back any trailing replacement-character run and only emits text
+    that is a stable prefix of every future decode.  ``flush`` emits the
+    remainder (genuine replacement characters included) once the token
+    sequence is final.
+    """
+
+    tokenizer: object
+    _sent: str = field(default="", repr=False)
+
+    def push(self, token_ids: list[int]) -> str:
+        """The new stable text given the full token sequence so far."""
+        full = self.tokenizer.decode(list(token_ids))
+        stable = full.rstrip(_REPLACEMENT)
+        if not stable.startswith(self._sent):
+            # The held-back tail resolved differently than the previous
+            # stable prefix predicted (cannot happen for prefix-extending
+            # sequences, but guard against misuse): wait for flush.
+            return ""
+        delta = stable[len(self._sent):]
+        self._sent = stable
+        return delta
+
+    def flush(self, token_ids: list[int]) -> str:
+        """The final remainder so the concatenation equals the full decode."""
+        full = self.tokenizer.decode(list(token_ids))
+        delta = full[len(self._sent):] if full.startswith(self._sent) else full
+        self._sent = full
+        return delta

@@ -135,3 +135,122 @@ class TestCrashMechanics:
             crashed = [worker for worker in workers if worker.crashes]
             assert len(crashed) == 1
             assert crashed[0].arena_bytes_in_use() == 0
+
+
+def _audit(workers):
+    """(leaked_bytes, orphaned_sessions) across every replica, dead or alive."""
+    orphans = sum(worker.session_count() for worker in workers)
+    for worker in workers:
+        sessions = getattr(worker.service, "sessions", None)
+        if sessions is not None:
+            sessions.close_all()
+        if worker.engine is not None and worker.engine.prefix_cache is not None:
+            worker.engine.prefix_cache.clear()
+    return sum(worker.arena_bytes_in_use() for worker in workers), orphans
+
+
+@pytest.mark.streaming
+class TestStreamChaos:
+    """Streams killed mid-decode always land in one of the four outcomes,
+    leak zero KV bytes, and orphan zero sessions."""
+
+    PROMPT = "- name: Install nginx please\n"
+
+    def test_replica_death_mid_stream_surfaces_in_band(self):
+        # Crash after the stream has already delivered bytes: no failover
+        # is possible (tokens flowed), so the stream must end with an
+        # in-band error event and the replica must free everything.
+        fake = FakeClock()
+        injector = FaultInjector(seed=0)
+        injector.on("engine.decode_step", at_calls=[3], error=WorkerCrashed)
+        with use(fake), injector:
+            router, workers = build_chaos_fleet(0, 2)
+            events = list(router.predict_stream(self.PROMPT, max_new_tokens=8))
+            kinds = [event for event, _ in events]
+            assert kinds[-1] in ("done", "error")
+            if kinds[-1] == "error":
+                status = events[-1][1]["status"]
+                assert status in (503, 504, 408)
+            crashed = [worker for worker in workers if worker.crashes]
+            assert len(crashed) == 1
+            leaked, orphans = _audit(workers)
+            assert leaked == 0
+            assert orphans == 0
+
+    def test_replica_death_before_first_event_fails_over(self):
+        # Crash at the very first decode step: zero bytes have flowed, so
+        # the router may transparently re-dispatch to the survivor.
+        fake = FakeClock()
+        injector = FaultInjector(seed=0)
+        injector.on("engine.decode_step", at_calls=[1], error=WorkerCrashed)
+        with use(fake), injector:
+            router, workers = build_chaos_fleet(0, 2)
+            events = list(router.predict_stream(self.PROMPT, max_new_tokens=8))
+            done = [data for event, data in events if event == "done"]
+            assert done, "stream did not complete despite a live survivor"
+            assert done[0]["outcome"] == "completed"
+            assert done[0].get("failovers", 0) == 1
+            leaked, orphans = _audit(workers)
+            assert leaked == 0
+            assert orphans == 0
+
+    def test_client_disconnect_cancels_and_frees(self):
+        fake = FakeClock()
+        with use(fake):
+            router, workers = build_chaos_fleet(0, 2)
+            stream = router.predict_stream(self.PROMPT, max_new_tokens=8)
+            seen = 0
+            for event, _data in stream:
+                if event == "token":
+                    seen += 1
+                    if seen >= 2:
+                        break
+            stream.close()  # the dropped-socket path
+            cancelled = sum(
+                worker.engine.batcher.stats()["cancelled_requests"] for worker in workers
+            )
+            assert cancelled == 1
+            leaked, orphans = _audit(workers)
+            assert leaked == 0
+            assert orphans == 0
+
+    def test_session_owner_death_orphans_nothing(self):
+        fake = FakeClock()
+        with use(fake):
+            router, workers = build_chaos_fleet(0, 2)
+            created = router.session_create(self.PROMPT, max_new_tokens=6)
+            owner = next(w for w in workers if w.worker_id == created["worker"])
+            owner.kill()
+            from repro.errors import SessionNotFoundError
+
+            with pytest.raises(SessionNotFoundError):
+                router.session_extend(
+                    created["session_id"], self.PROMPT + "x\n", max_new_tokens=6
+                )
+            assert router.stats()["sessions_lost"] == 1
+            leaked, orphans = _audit(workers)
+            assert leaked == 0
+            assert orphans == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_stream_run_invariants_across_seeds(self, seed):
+        result = run_fleet_chaos(seed=seed, tracing=False, stream=True)
+        assert set(result["outcomes"].values()) <= set(OUTCOMES)
+        assert all(leak == 0 for leak in result["leaked_bytes"].values())
+        assert all(count == 0 for count in result["orphaned_sessions"].values())
+
+    def test_stream_run_replays_byte_identically(self):
+        first = run_fleet_chaos(seed=1, tracing=False, stream=True)
+        second = run_fleet_chaos(seed=1, tracing=False, stream=True)
+        assert first["log"] == second["log"]
+        summary = json.loads(first["log"].splitlines()[-1])
+        assert summary["streams"] > 0
+        assert summary["session_creates"] > 0
+
+    def test_stream_flag_does_not_perturb_plain_runs(self):
+        # The stream shape draws its own rng tail; plain replays recorded
+        # before streaming existed must stay byte-identical.
+        plain = run_fleet_chaos(seed=1, tracing=False)
+        again = run_fleet_chaos(seed=1, tracing=False)
+        assert plain["log"] == again["log"]
+        assert "streams" not in json.loads(plain["log"].splitlines()[-1])

@@ -117,3 +117,101 @@ class TestAgainstRealService:
         replay = EditorSession(backend=service)
         replay.type_text("- name: Start SSH server")
         assert replay.press_enter().cached is True
+
+    def test_service_without_session_manager_falls_back_to_predict(self):
+        # A PredictionService over a bare completer HAS session_create /
+        # session_extend methods, but no manager behind them — the plugin
+        # must detect that and stay on the stateless predict path.
+        service = PredictionService(_StaticCompleter())
+        session = EditorSession(backend=service)
+        assert session.session_capable is False
+        session.type_text("- name: Start SSH server")
+        session.press_enter()
+        assert session.session_id is None
+
+
+@pytest.mark.streaming
+class TestSessionBackedPlugin:
+    """The keystroke flow rides server-side sessions: every enter after
+    the first extends the warm KV slab instead of re-prefilling the file."""
+
+    def _editor(self):
+        from tests.test_streaming_equivalence import TRAIN_TEXTS, build_engine
+        from repro.tokenizer.bpe import BpeTokenizer
+
+        tokenizer = BpeTokenizer.train(TRAIN_TEXTS, vocab_size=300)
+        engine = build_engine(tokenizer, 0)
+        # max_new_tokens small enough that plan_prompt never left-truncates
+        # the growing buffer (truncation would legitimately shrink the
+        # common prefix and force a re-prefill, muddying the regression).
+        service = PredictionService(
+            engine, engine=engine, cache_capacity=1, max_new_tokens=12
+        )
+        return EditorSession(backend=service), service
+
+    def test_no_reprefill_across_keystroke_extends(self):
+        editor, service = self._editor()
+        assert editor.session_capable is True
+        engine = service.engine
+
+        editor.type_text("- name: Install nginx")
+        editor.press_enter()
+        editor.press(TAB)
+        prefill_after_first = engine.batcher.stats()["prefill_tokens"]
+        buffer_tokens = len(engine.tokenizer.encode(editor.buffer))
+
+        for step in range(3):
+            editor.type_text(f"- name: Task number {step}")
+            editor.press_enter()
+            editor.press(TAB)
+
+        # The regression surface: stateless keystrokes re-prefill the whole
+        # growing buffer every enter (quadratic); sessions prefill only the
+        # per-keystroke delta, so total prefill work stays BELOW even one
+        # re-send of the final buffer on top of the first prefill.
+        final_buffer_tokens = len(engine.tokenizer.encode(editor.buffer))
+        prefill_total = engine.batcher.stats()["prefill_tokens"]
+        session_stats = service.sessions.stats()
+        delta_prefilled = session_stats["prefill_tokens"]
+        assert editor.session_id is not None
+        assert session_stats["extends"] == 3
+        assert editor.reused_tokens > 0
+        # batcher prefill counter is flat: sessions never go through the
+        # batcher's admission prefill after the first enter
+        assert prefill_total == prefill_after_first == 0  # sessions bypass batcher
+        assert delta_prefilled < buffer_tokens + final_buffer_tokens
+        editor.close()
+        assert service.sessions.count == 0
+
+    def test_session_prefill_is_delta_only(self):
+        editor, service = self._editor()
+        editor.type_text("- name: Install nginx")
+        editor.press_enter()
+        # Reject the suggestion: the buffer then grows ONLY by what the
+        # user types, so BPE prefix-stability holds and the next extend's
+        # prefill must be just the typed delta (± a boundary merge).
+        editor.press(ESCAPE)
+        before = service.sessions.stats()["prefill_tokens"]
+        keystroke = "- name: One more"
+        editor.type_text(keystroke)
+        editor.press_enter()
+        after = service.sessions.stats()["prefill_tokens"]
+        engine = service.engine
+        whole_buffer = len(engine.tokenizer.encode(editor.buffer))
+        typed_delta = len(engine.tokenizer.encode(keystroke + "\n"))
+        # the extend prefilled roughly the typed delta, not the whole file
+        assert after - before < whole_buffer
+        assert after - before <= typed_delta + 4  # BPE boundary slack
+
+    def test_lost_session_degrades_to_fresh_create(self):
+        editor, service = self._editor()
+        editor.type_text("- name: Install nginx")
+        editor.press_enter()
+        editor.press(TAB)
+        lost_id = editor.session_id
+        service.sessions.close_all()  # server evicted / restarted
+        editor.type_text("- name: Another")
+        editor.press_enter()  # must not raise
+        assert editor.session_id is not None
+        assert editor.session_id != lost_id
+        assert service.sessions.stats()["created"] == 2

@@ -1,0 +1,171 @@
+"""Keystroke sessions: lifecycle, eviction, reaping, HTTP surface, leaks.
+
+The session manager holds warm KV slabs between requests — exactly the
+kind of state that leaks when lifecycle paths (LRU eviction, idle TTL,
+explicit close, crash close_all) miss a release.  Every test here ends by
+asserting the arena is empty once sessions are gone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServingError, SessionNotFoundError
+from repro.faults import FakeClock, use
+from repro.serving import PredictionService, RestServer, SessionManager
+from repro.serving.client import PredictionClient
+from tests.test_streaming_equivalence import TRAIN_TEXTS, build_engine
+
+pytestmark = pytest.mark.streaming
+
+BUFFER = TRAIN_TEXTS[0]
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    from repro.tokenizer.bpe import BpeTokenizer
+
+    return BpeTokenizer.train(TRAIN_TEXTS, vocab_size=300)
+
+
+def arena_empty(engine) -> bool:
+    engine.prefix_cache.clear()
+    return engine.kv_arena.stats()["bytes_in_use"] == 0
+
+
+class TestLifecycle:
+    def test_create_extend_close_accounting(self, tokenizer):
+        engine = build_engine(tokenizer, 0)
+        manager = SessionManager(engine)
+        created = manager.create(BUFFER, 8)
+        assert created["outcome"] == "completed"
+        assert created["extends"] == 0
+        grown = BUFFER + created["completion"] + "\n- name: Another step\n"
+        extended = manager.extend(created["session_id"], grown, 8)
+        assert extended["extends"] == 1
+        assert extended["reused_tokens"] > 0
+        stats = manager.stats()
+        assert stats["created"] == 1 and stats["extends"] == 1
+        assert stats["token_reuse_rate"] > 0
+        assert manager.close(created["session_id"]) is True
+        assert manager.close(created["session_id"]) is False
+        assert manager.count == 0
+        assert arena_empty(engine)
+
+    def test_unknown_session_raises_404_error(self, tokenizer):
+        engine = build_engine(tokenizer, 0)
+        manager = SessionManager(engine)
+        with pytest.raises(SessionNotFoundError):
+            manager.extend("s9999", BUFFER, 4)
+
+    def test_empty_buffer_rejected(self, tokenizer):
+        engine = build_engine(tokenizer, 0)
+        service = PredictionService(engine, engine=engine)
+        with pytest.raises(ServingError):
+            service.session_create("   ")
+
+    def test_session_ids_are_stable_and_unique(self, tokenizer):
+        engine = build_engine(tokenizer, 0)
+        manager = SessionManager(engine)
+        ids = [manager.create(text, 4)["session_id"] for text in TRAIN_TEXTS[:3]]
+        assert len(set(ids)) == 3
+        assert manager.session_ids() == ids
+
+
+class TestEviction:
+    def test_lru_eviction_over_capacity_releases_slabs(self, tokenizer):
+        engine = build_engine(tokenizer, 0)
+        manager = SessionManager(engine, max_sessions=2)
+        first = manager.create(TRAIN_TEXTS[0], 4)["session_id"]
+        second = manager.create(TRAIN_TEXTS[1], 4)["session_id"]
+        third = manager.create(TRAIN_TEXTS[2], 4)["session_id"]
+        assert manager.count == 2
+        assert manager.stats()["evicted"] == 1
+        with pytest.raises(SessionNotFoundError):
+            manager.extend(first, TRAIN_TEXTS[0] + "x\n", 4)
+        # survivors still extend fine
+        manager.extend(third, TRAIN_TEXTS[2] + "x\n", 4)
+        manager.close_all()
+        assert arena_empty(engine)
+        assert second  # silence unused warning
+
+    def test_extend_refreshes_lru_position(self, tokenizer):
+        engine = build_engine(tokenizer, 0)
+        manager = SessionManager(engine, max_sessions=2)
+        first = manager.create(TRAIN_TEXTS[0], 4)["session_id"]
+        second = manager.create(TRAIN_TEXTS[1], 4)["session_id"]
+        manager.extend(first, TRAIN_TEXTS[0] + "y\n", 4)  # first is now MRU
+        manager.create(TRAIN_TEXTS[2], 4)
+        assert first in manager.session_ids()
+        assert second not in manager.session_ids()
+
+    def test_idle_ttl_reaping(self, tokenizer):
+        fake = FakeClock()
+        with use(fake):
+            engine = build_engine(tokenizer, 0)
+            manager = SessionManager(engine, ttl_s=10.0)
+            stale = manager.create(TRAIN_TEXTS[0], 4)["session_id"]
+            fake.advance(8.0)
+            live = manager.create(TRAIN_TEXTS[1], 4)["session_id"]
+            fake.advance(5.0)  # stale is 13s idle, live only 5s
+            assert manager.reap_idle() == 1
+            assert manager.session_ids() == [live]
+            with pytest.raises(SessionNotFoundError):
+                manager.extend(stale, TRAIN_TEXTS[0] + "x\n", 4)
+            assert manager.stats()["reaped"] == 1
+        manager.close_all()
+        assert arena_empty(engine)
+
+    def test_close_all_drops_everything(self, tokenizer):
+        engine = build_engine(tokenizer, 0)
+        manager = SessionManager(engine, max_sessions=8)
+        for text in TRAIN_TEXTS:
+            manager.create(text, 4)
+        assert manager.close_all() == len(TRAIN_TEXTS)
+        assert manager.count == 0
+        assert arena_empty(engine)
+
+
+class TestHttpSurface:
+    def test_session_endpoints_roundtrip(self, tokenizer):
+        engine = build_engine(tokenizer, 0)
+        service = PredictionService(engine, engine=engine)
+        with RestServer(service) as server:
+            client = PredictionClient(server.url)
+            created = client.session_create(BUFFER, max_new_tokens=6)
+            assert created["session_id"].startswith("s")
+            assert "ttft_ms" in created
+            grown = BUFFER + created["completion"] + "\n- name: Next\n"
+            extended = client.session_extend(created["session_id"], grown, max_new_tokens=6)
+            assert extended["reused_tokens"] > 0
+            closed = client.session_close(created["session_id"])
+            assert closed["closed"] is True
+        assert arena_empty(engine)
+
+    def test_extend_unknown_session_is_http_404(self, tokenizer):
+        engine = build_engine(tokenizer, 0)
+        service = PredictionService(engine, engine=engine)
+        with RestServer(service) as server:
+            client = PredictionClient(server.url)
+            with pytest.raises(SessionNotFoundError):
+                client.session_extend("s4242", BUFFER, max_new_tokens=4)
+
+    def test_stats_surface_sessions(self, tokenizer):
+        engine = build_engine(tokenizer, 0)
+        service = PredictionService(engine, engine=engine)
+        with RestServer(service) as server:
+            client = PredictionClient(server.url)
+            client.session_create(BUFFER, max_new_tokens=4)
+            stats = client.stats()
+        assert stats["sessions"]["created"] == 1
+        assert stats["sessions"]["live_sessions"] == 1
+
+    def test_sessions_unavailable_without_engine_tokenizer(self):
+        class _Stub:
+            def complete(self, prompt, max_new_tokens=96):
+                return " done"
+
+        service = PredictionService(_Stub())
+        assert service.sessions is None
+        with pytest.raises(ServingError):
+            service.session_create(BUFFER)
